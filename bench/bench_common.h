@@ -1,0 +1,77 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every bench runs with no arguments at laptop-friendly defaults and accepts
+// --scale= / --threads= / --reps= style flags to grow toward paper scale.
+// Output is a paper-style table plus a short "expectation" note naming the
+// qualitative shape the paper reports (see EXPERIMENTS.md for the mapping).
+#ifndef XSTREAM_BENCH_BENCH_COMMON_H_
+#define XSTREAM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "graph/types.h"
+#include "storage/raid_device.h"
+#include "storage/sim_device.h"
+#include "util/env.h"
+#include "util/format.h"
+#include "util/options.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+inline void BenchHeader(const char* figure, const char* title, const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("paper expectation: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+// A simulated RAID-0 pair plus its children, mirroring the paper's testbed
+// (two devices in software RAID-0, 512 KB stripe, §5.1).
+struct SimRaidPair {
+  std::unique_ptr<SimDevice> a;
+  std::unique_ptr<SimDevice> b;
+  std::unique_ptr<RaidDevice> raid;
+
+  static SimRaidPair Make(const std::string& name, const DeviceProfile& profile) {
+    SimRaidPair pair;
+    pair.a = std::make_unique<SimDevice>(name + "-0", profile);
+    pair.b = std::make_unique<SimDevice>(name + "-1", profile);
+    pair.raid =
+        std::make_unique<RaidDevice>(name, std::vector<StorageDevice*>{pair.a.get(), pair.b.get()});
+    return pair;
+  }
+};
+
+inline EdgeList MakeRmat(uint32_t scale, uint32_t edge_factor, bool undirected, uint64_t seed) {
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.undirected = undirected;
+  params.seed = seed;
+  EdgeList edges = GenerateRmat(params);
+  PermuteEdges(edges, seed + 1);
+  return edges;
+}
+
+inline std::vector<int> ThreadSweep(const Options& opts) {
+  int max_threads = static_cast<int>(opts.GetInt("max-threads", NumCores() >= 2 ? NumCores() : 1));
+  std::vector<int> sweep;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    sweep.push_back(t);
+  }
+  if (sweep.empty() || sweep.back() != max_threads) {
+    sweep.push_back(max_threads);
+  }
+  return sweep;
+}
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+// Fig 10: the dataset table. Prints the paper's graphs alongside the
+// synthetic stand-ins this reproduction uses (see DESIGN.md §2.5), with the
+// stand-ins' actual vertex/edge counts at default scale.
+#include "bench_common.h"
+#include "graph/datasets.h"
+
+namespace xstream {
+namespace {
+
+const char* KindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kScaleFree:
+      return "RMAT (scale-free)";
+    case DatasetKind::kHighDiameter:
+      return "grid (high diameter)";
+    case DatasetKind::kChained:
+      return "clustered chain";
+    case DatasetKind::kBipartite:
+      return "bipartite ratings";
+  }
+  return "?";
+}
+
+void PrintGroup(const char* title, const std::vector<DatasetSpec>& specs, int scale_shift) {
+  std::printf("%s\n", title);
+  Table table({"Name", "Paper |V| / |E|", "Stand-in", "Stand-in |V|", "Stand-in |E|", "Type"});
+  for (const auto& spec : specs) {
+    EdgeList edges = GenerateDataset(spec, scale_shift);
+    GraphInfo info = ScanEdges(edges);
+    table.AddRow({spec.name, spec.paper_size, KindName(spec.kind),
+                  HumanCount(info.num_vertices), HumanCount(info.num_edges),
+                  spec.directed ? "Directed" : "Undir."});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xstream
+
+int main(int argc, char** argv) {
+  using namespace xstream;
+  Options opts(argc, argv);
+  BenchHeader("Figure 10", "Datasets",
+              "paper graphs are mapped to generator stand-ins preserving degree "
+              "skew / diameter / bipartite structure");
+  int shift = static_cast<int>(opts.GetInt("scale-shift", 0));
+  PrintGroup("In-memory", InMemoryDatasets(), shift);
+  PrintGroup("Out-of-core", OutOfCoreDatasets(), shift);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 14: strong scaling with thread count for WCC, Pagerank, BFS and SpMV
+// on the largest in-memory RMAT graph. Expectation: near-linear runtime
+// improvement with threads (log-log straight lines) up to the core count.
+#include "algorithms/algorithms.h"
+#include "bench_common.h"
+#include "core/inmem_engine.h"
+
+namespace xstream {
+namespace {
+
+template <typename Algo, typename Run>
+double Time(const EdgeList& edges, uint64_t n, int threads, Run&& run) {
+  InMemoryConfig config;
+  config.threads = threads;
+  InMemoryEngine<Algo> engine(config, edges, n);
+  WallTimer timer;
+  run(engine);
+  return timer.Seconds() + engine.stats().setup_seconds;
+}
+
+}  // namespace
+}  // namespace xstream
+
+int main(int argc, char** argv) {
+  using namespace xstream;
+  Options opts(argc, argv);
+  BenchHeader("Figure 14", "Strong scaling (threads)",
+              "runtimes shrink near-linearly with added threads for all four "
+              "algorithms");
+
+  uint32_t scale = static_cast<uint32_t>(opts.GetUint("scale", 16));
+  EdgeList edges = MakeRmat(scale, 16, /*undirected=*/true, 1);
+  GraphInfo info = ScanEdges(edges);
+  std::printf("RMAT scale %u: %s vertices, %s edge records\n", scale,
+              HumanCount(info.num_vertices).c_str(), HumanCount(info.num_edges).c_str());
+
+  Table table({"Threads", "WCC (s)", "Pagerank (s)", "BFS (s)", "SpMV (s)"});
+  for (int t : ThreadSweep(opts)) {
+    double wcc = Time<WccAlgorithm>(edges, info.num_vertices, t,
+                                    [](auto& e) { RunWcc(e); });
+    double pr = Time<PageRankAlgorithm>(edges, info.num_vertices, t,
+                                        [](auto& e) { RunPageRank(e, 5); });
+    double bfs = Time<BfsAlgorithm>(edges, info.num_vertices, t,
+                                    [](auto& e) { RunBfs(e, 0); });
+    double spmv = Time<SpmvAlgorithm>(edges, info.num_vertices, t,
+                                      [](auto& e) { RunSpmv(e); });
+    table.AddRow({std::to_string(t), FormatDouble(wcc, 3), FormatDouble(pr, 3),
+                  FormatDouble(bfs, 3), FormatDouble(spmv, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

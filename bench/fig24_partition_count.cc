@@ -1,0 +1,66 @@
+// Fig 24: effect of the number of streaming partitions on in-memory
+// runtime. Expectation: a U-shaped (in log-x) curve — too few partitions
+// overflow the cache with vertex state; too many add partitioning overhead
+// and random access; a wide flat basin in between. X-Stream's auto-choice
+// lands in the basin.
+#include "algorithms/algorithms.h"
+#include "bench_common.h"
+#include "core/inmem_engine.h"
+
+namespace xstream {
+namespace {
+
+template <typename Algo, typename Run>
+double RunWithPartitions(const EdgeList& edges, uint64_t n, int threads, uint32_t partitions,
+                         Run&& run) {
+  InMemoryConfig config;
+  config.threads = threads;
+  config.num_partitions = partitions;
+  InMemoryEngine<Algo> engine(config, edges, n);
+  WallTimer timer;
+  run(engine);
+  return timer.Seconds() + engine.stats().setup_seconds;
+}
+
+}  // namespace
+}  // namespace xstream
+
+int main(int argc, char** argv) {
+  using namespace xstream;
+  Options opts(argc, argv);
+  BenchHeader("Figure 24", "Effect of the number of partitions (in-memory)",
+              "runtime is flat over a wide partition range, rising at both "
+              "extremes");
+
+  int threads = static_cast<int>(opts.GetInt("threads", NumCores()));
+  uint32_t scale = static_cast<uint32_t>(opts.GetUint("scale", 15));
+  uint32_t max_partitions = static_cast<uint32_t>(opts.GetUint("max-partitions", 1u << 14));
+  EdgeList edges = MakeRmat(scale, 16, true, 8);
+  GraphInfo info = ScanEdges(edges);
+
+  // Report the auto choice for reference.
+  {
+    InMemoryConfig config;
+    config.threads = threads;
+    InMemoryEngine<WccAlgorithm> probe(config, edges, info.num_vertices);
+    std::printf("auto-selected partitions: %u (fanout %u)\n", probe.num_partitions(),
+                probe.shuffle_fanout());
+  }
+
+  Table table({"Partitions", "WCC (s)", "Pagerank (s)", "BFS (s)", "SpMV (s)"});
+  for (uint32_t k = 1; k <= max_partitions; k *= 4) {
+    double wcc = RunWithPartitions<WccAlgorithm>(edges, info.num_vertices, threads, k,
+                                                 [](auto& e) { RunWcc(e); });
+    double pr = RunWithPartitions<PageRankAlgorithm>(edges, info.num_vertices, threads, k,
+                                                     [](auto& e) { RunPageRank(e, 5); });
+    double bfs = RunWithPartitions<BfsAlgorithm>(edges, info.num_vertices, threads, k,
+                                                 [](auto& e) { RunBfs(e, 0); });
+    double spmv = RunWithPartitions<SpmvAlgorithm>(edges, info.num_vertices, threads, k,
+                                                   [](auto& e) { RunSpmv(e); });
+    table.AddRow({std::to_string(k), FormatDouble(wcc, 3), FormatDouble(pr, 3),
+                  FormatDouble(bfs, 3), FormatDouble(spmv, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

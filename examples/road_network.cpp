@@ -1,0 +1,80 @@
+// Shortest paths on a road-network-like graph — the workload the paper
+// identifies as X-Stream's weak spot (§5.3): the grid's huge diameter forces
+// thousands of scatter-gather iterations, each streaming every edge for a
+// tiny frontier. The example measures it honestly and contrasts the same
+// query on a scale-free graph of equal size, reproducing the paper's
+// dimacs-usa observation in miniature.
+//
+//   ./build/examples/road_network [--side=384]
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/sssp.h"
+#include "core/inmem_engine.h"
+#include "graph/generators.h"
+#include "util/format.h"
+#include "util/options.h"
+
+namespace {
+
+template <typename F>
+void Report(const char* label, xstream::SsspResult& r, F&& reachable) {
+  std::printf("%-12s %7llu iterations  %9s  %5.1f%% wasted edges  (%s reachable)\n", label,
+              static_cast<unsigned long long>(r.stats.iterations),
+              xstream::HumanDuration(r.stats.WallSeconds()).c_str(),
+              r.stats.WastedEdgePercent(), xstream::HumanCount(reachable(r)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xstream;
+  Options opts(argc, argv);
+  uint32_t side = static_cast<uint32_t>(opts.GetUint("side", 384));
+  int threads = static_cast<int>(opts.GetInt("threads", 0));
+
+  auto reachable = [](const SsspResult& r) {
+    uint64_t n = 0;
+    for (float d : r.dist) {
+      n += std::isfinite(d) ? 1 : 0;
+    }
+    return n;
+  };
+
+  // Road network stand-in: side x side grid, random segment costs.
+  {
+    EdgeList roads = GenerateGrid(side, side, 5);
+    GraphInfo info = ScanEdges(roads);
+    std::printf("road grid: %s junctions, %s segments, diameter %u\n",
+                HumanCount(info.num_vertices).c_str(), HumanCount(info.num_edges).c_str(),
+                2 * (side - 1));
+    InMemoryConfig config;
+    config.threads = threads;
+    InMemoryEngine<SsspAlgorithm> engine(config, roads, info.num_vertices);
+    SsspResult r = RunSssp(engine, 0);
+    Report("road grid:", r, reachable);
+  }
+
+  // Same vertex count, scale-free: the shape X-Stream is built for.
+  {
+    uint32_t scale = 1;
+    while ((1u << scale) < side * side) {
+      ++scale;
+    }
+    EdgeList social = GenerateRmat({.scale = scale, .edge_factor = 2, .undirected = true,
+                                    .seed = 6});
+    GraphInfo info = ScanEdges(social);
+    std::printf("scale-free: %s vertices, %s edges\n", HumanCount(info.num_vertices).c_str(),
+                HumanCount(info.num_edges).c_str());
+    InMemoryConfig config;
+    config.threads = threads;
+    InMemoryEngine<SsspAlgorithm> engine(config, social, info.num_vertices);
+    SsspResult r = RunSssp(engine, 0);
+    Report("scale-free:", r, reachable);
+  }
+
+  std::printf("\nthe road grid needs orders of magnitude more iterations for the same edge "
+              "budget —\nX-Stream streams the full edge list per iteration, so high-diameter "
+              "graphs are its\nworst case (paper §5.3, Figs 12-13).\n");
+  return 0;
+}

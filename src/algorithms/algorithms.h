@@ -1,0 +1,19 @@
+// Umbrella header: every scatter-gather algorithm shipped with the library
+// (the paper's §5.2 suite plus BFS and HyperANF).
+#ifndef XSTREAM_ALGORITHMS_ALGORITHMS_H_
+#define XSTREAM_ALGORITHMS_ALGORITHMS_H_
+
+#include "algorithms/als.h"
+#include "algorithms/bfs.h"
+#include "algorithms/bp.h"
+#include "algorithms/conductance.h"
+#include "algorithms/hyperanf.h"
+#include "algorithms/mcst.h"
+#include "algorithms/mis.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/scc.h"
+#include "algorithms/spmv.h"
+#include "algorithms/sssp.h"
+#include "algorithms/wcc.h"
+
+#endif  // XSTREAM_ALGORITHMS_ALGORITHMS_H_

@@ -1,0 +1,64 @@
+// Small dense linear solver shared by the ALS implementations (X-Stream
+// scatter-gather ALS and the GraphChi-like PSW ALS): solves the regularized
+// normal equations (A^T A + reg·I) x = A^T b via Cholesky.
+#ifndef XSTREAM_ALGORITHMS_DENSE_SOLVER_H_
+#define XSTREAM_ALGORITHMS_DENSE_SOLVER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace xstream {
+
+// `ata_packed` holds the upper triangle row-major: (0,0),(0,1)..(0,K-1),
+// (1,1).. — K*(K+1)/2 entries. `x` receives the solution.
+template <uint32_t K>
+void SolveRegularizedNormalEquations(const float* ata_packed, const float* atb, float reg,
+                                     float* x) {
+  float m[K][K];
+  uint32_t t = 0;
+  for (uint32_t i = 0; i < K; ++i) {
+    for (uint32_t j = i; j < K; ++j) {
+      m[i][j] = ata_packed[t];
+      m[j][i] = ata_packed[t];
+      ++t;
+    }
+    m[i][i] += reg;
+  }
+  // Cholesky: m = L L^T (the regularizer keeps it positive definite).
+  float l[K][K] = {};
+  for (uint32_t i = 0; i < K; ++i) {
+    for (uint32_t j = 0; j <= i; ++j) {
+      float sum = m[i][j];
+      for (uint32_t k = 0; k < j; ++k) {
+        sum -= l[i][k] * l[j][k];
+      }
+      if (i == j) {
+        l[i][i] = std::sqrt(std::max(sum, 1e-9f));
+      } else {
+        l[i][j] = sum / l[j][j];
+      }
+    }
+  }
+  // Ly = atb, then L^T x = y.
+  float y[K];
+  for (uint32_t i = 0; i < K; ++i) {
+    float sum = atb[i];
+    for (uint32_t k = 0; k < i; ++k) {
+      sum -= l[i][k] * y[k];
+    }
+    y[i] = sum / l[i][i];
+  }
+  for (int ii = static_cast<int>(K) - 1; ii >= 0; --ii) {
+    uint32_t i = static_cast<uint32_t>(ii);
+    float sum = y[i];
+    for (uint32_t k = i + 1; k < K; ++k) {
+      sum -= l[k][i] * x[k];
+    }
+    x[i] = sum / l[i][i];
+  }
+}
+
+}  // namespace xstream
+
+#endif  // XSTREAM_ALGORITHMS_DENSE_SOLVER_H_

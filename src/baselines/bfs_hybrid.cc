@@ -1,0 +1,122 @@
+#include "baselines/bfs_hybrid.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+HybridBfsResult RunHybridBfs(const Csr& out, const Csr& in, VertexId root, ThreadPool& pool,
+                             double alpha, double beta) {
+  uint64_t n = out.num_vertices();
+  HybridBfsResult result;
+  result.levels.assign(n, UINT32_MAX);
+
+  std::vector<std::atomic<uint8_t>> visited(n);
+  for (auto& v : visited) {
+    v.store(0, std::memory_order_relaxed);
+  }
+  // Dense frontier bitmaps for bottom-up; sparse queue for top-down.
+  std::vector<uint8_t> front_bitmap(n, 0);
+  std::vector<uint8_t> next_bitmap(n, 0);
+  std::vector<VertexId> frontier{root};
+
+  visited[root].store(1, std::memory_order_relaxed);
+  front_bitmap[root] = 1;
+  result.levels[root] = 0;
+  result.reached = 1;
+
+  std::vector<std::vector<VertexId>> local(static_cast<size_t>(pool.num_threads()));
+  uint64_t frontier_edges = out.OutDegree(root);
+  uint64_t unvisited = n - 1;
+  bool bottom_up = false;
+  uint32_t level = 0;
+
+  while (!frontier.empty() || (bottom_up && frontier_edges > 0)) {
+    ++level;
+    // Beamer's heuristics: go bottom-up when the frontier's out-edges exceed
+    // the unexplored edges / alpha; return top-down when the frontier
+    // shrinks below n / beta vertices.
+    if (!bottom_up && frontier_edges > (out.num_edges() / static_cast<uint64_t>(alpha) + 1)) {
+      bottom_up = true;
+    } else if (bottom_up && frontier.size() < n / static_cast<uint64_t>(beta)) {
+      bottom_up = false;
+    }
+
+    std::atomic<uint64_t> discovered{0};
+    std::atomic<uint64_t> next_edges{0};
+    for (auto& q : local) {
+      q.clear();
+    }
+    std::fill(next_bitmap.begin(), next_bitmap.end(), 0);
+
+    if (bottom_up) {
+      ++result.bottom_up_steps;
+      pool.ParallelForTid(0, n, 1024, [&](int tid, uint64_t lo, uint64_t hi) {
+        auto& next = local[static_cast<size_t>(tid)];
+        uint64_t found = 0;
+        uint64_t edges = 0;
+        for (uint64_t v = lo; v < hi; ++v) {
+          if (visited[v].load(std::memory_order_relaxed)) {
+            continue;
+          }
+          uint64_t deg = in.OutDegree(static_cast<VertexId>(v));
+          const VertexId* parents = in.Neighbors(static_cast<VertexId>(v));
+          for (uint64_t e = 0; e < deg; ++e) {
+            if (front_bitmap[parents[e]]) {
+              visited[v].store(1, std::memory_order_relaxed);
+              result.levels[v] = level;
+              next.push_back(static_cast<VertexId>(v));
+              next_bitmap[v] = 1;
+              ++found;
+              edges += out.OutDegree(static_cast<VertexId>(v));
+              break;  // the parent-scan shortcut: stop at the first hit
+            }
+          }
+        }
+        discovered.fetch_add(found, std::memory_order_relaxed);
+        next_edges.fetch_add(edges, std::memory_order_relaxed);
+      });
+    } else {
+      pool.ParallelForTid(0, frontier.size(), 64, [&](int tid, uint64_t lo, uint64_t hi) {
+        auto& next = local[static_cast<size_t>(tid)];
+        uint64_t found = 0;
+        uint64_t edges = 0;
+        for (uint64_t i = lo; i < hi; ++i) {
+          VertexId v = frontier[i];
+          uint64_t deg = out.OutDegree(v);
+          const VertexId* nbrs = out.Neighbors(v);
+          for (uint64_t e = 0; e < deg; ++e) {
+            VertexId u = nbrs[e];
+            uint8_t expected = 0;
+            if (visited[u].compare_exchange_strong(expected, 1, std::memory_order_relaxed)) {
+              result.levels[u] = level;
+              next.push_back(u);
+              next_bitmap[u] = 1;
+              ++found;
+              edges += out.OutDegree(u);
+            }
+          }
+        }
+        discovered.fetch_add(found, std::memory_order_relaxed);
+        next_edges.fetch_add(edges, std::memory_order_relaxed);
+      });
+    }
+
+    frontier.clear();
+    for (auto& q : local) {
+      frontier.insert(frontier.end(), q.begin(), q.end());
+    }
+    result.reached += discovered.load();
+    unvisited -= discovered.load();
+    frontier_edges = next_edges.load();
+    front_bitmap.swap(next_bitmap);
+    if (discovered.load() == 0) {
+      break;
+    }
+  }
+  result.depth = level > 0 ? level - 1 : 0;
+  return result;
+}
+
+}  // namespace xstream

@@ -1,0 +1,37 @@
+// Hybrid direction-optimizing BFS, after Hong et al. [33] / Beamer et
+// al. [18] (paper Figs 19-21).
+//
+// Top-down steps push from the frontier; once the frontier's edge count
+// crosses a threshold the traversal switches to bottom-up: every unvisited
+// vertex scans its in-neighbors and adopts a parent from the frontier
+// bitmap, which skips the bulk of the frontier's outgoing edges on
+// scale-free graphs. The paper credits this "random access enables highly
+// effective algorithm-specific optimizations" — and charges it the index
+// pre-processing cost in Fig 20.
+#ifndef XSTREAM_BASELINES_BFS_HYBRID_H_
+#define XSTREAM_BASELINES_BFS_HYBRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/csr.h"
+#include "graph/types.h"
+#include "threads/thread_pool.h"
+
+namespace xstream {
+
+struct HybridBfsResult {
+  std::vector<uint32_t> levels;
+  uint64_t reached = 0;
+  uint32_t depth = 0;
+  uint32_t bottom_up_steps = 0;  // levels processed in bottom-up mode
+};
+
+// `out` is the forward index; `in` the transpose (equal for undirected
+// graphs). alpha/beta are Beamer's switch heuristics.
+HybridBfsResult RunHybridBfs(const Csr& out, const Csr& in, VertexId root, ThreadPool& pool,
+                             double alpha = 14.0, double beta = 24.0);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BASELINES_BFS_HYBRID_H_

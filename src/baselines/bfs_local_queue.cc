@@ -1,0 +1,57 @@
+#include "baselines/bfs_local_queue.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+LocalQueueBfsResult RunLocalQueueBfs(const Csr& graph, VertexId root, ThreadPool& pool) {
+  uint64_t n = graph.num_vertices();
+  LocalQueueBfsResult result;
+  result.levels.assign(n, UINT32_MAX);
+
+  std::vector<std::atomic<uint8_t>> visited(n);
+  for (auto& v : visited) {
+    v.store(0, std::memory_order_relaxed);
+  }
+
+  std::vector<VertexId> frontier{root};
+  visited[root].store(1, std::memory_order_relaxed);
+  result.levels[root] = 0;
+  result.reached = 1;
+
+  std::vector<std::vector<VertexId>> local(static_cast<size_t>(pool.num_threads()));
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    for (auto& q : local) {
+      q.clear();
+    }
+    pool.ParallelForTid(0, frontier.size(), 64, [&](int tid, uint64_t lo, uint64_t hi) {
+      auto& next = local[static_cast<size_t>(tid)];
+      for (uint64_t i = lo; i < hi; ++i) {
+        VertexId v = frontier[i];
+        uint64_t deg = graph.OutDegree(v);
+        const VertexId* nbrs = graph.Neighbors(v);
+        for (uint64_t e = 0; e < deg; ++e) {
+          VertexId u = nbrs[e];
+          uint8_t expected = 0;
+          if (visited[u].compare_exchange_strong(expected, 1, std::memory_order_relaxed)) {
+            result.levels[u] = level;
+            next.push_back(u);
+          }
+        }
+      }
+    });
+    frontier.clear();
+    for (auto& q : local) {
+      frontier.insert(frontier.end(), q.begin(), q.end());
+      result.reached += q.size();
+    }
+  }
+  result.depth = level > 0 ? level - 1 : 0;
+  return result;
+}
+
+}  // namespace xstream

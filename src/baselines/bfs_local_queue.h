@@ -1,0 +1,30 @@
+// "Local queue" parallel BFS, after Agarwal et al. [12] (paper Fig 19).
+//
+// Level-synchronous top-down BFS with random access through a CSR index:
+// threads drain the current frontier in blocks, probe the visited bitmap
+// with compare-and-swap, and push discoveries onto thread-local next queues
+// that are concatenated between levels — the optimized-synchronization
+// design the paper benchmarks X-Stream against.
+#ifndef XSTREAM_BASELINES_BFS_LOCAL_QUEUE_H_
+#define XSTREAM_BASELINES_BFS_LOCAL_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/csr.h"
+#include "graph/types.h"
+#include "threads/thread_pool.h"
+
+namespace xstream {
+
+struct LocalQueueBfsResult {
+  std::vector<uint32_t> levels;  // UINT32_MAX = unreachable
+  uint64_t reached = 0;
+  uint32_t depth = 0;
+};
+
+LocalQueueBfsResult RunLocalQueueBfs(const Csr& graph, VertexId root, ThreadPool& pool);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BASELINES_BFS_LOCAL_QUEUE_H_

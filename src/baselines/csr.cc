@@ -1,0 +1,95 @@
+#include "baselines/csr.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+namespace {
+
+int CompareEdgeBySrc(const void* a, const void* b) {
+  const Edge* ea = static_cast<const Edge*>(a);
+  const Edge* eb = static_cast<const Edge*>(b);
+  if (ea->src != eb->src) {
+    return ea->src < eb->src ? -1 : 1;
+  }
+  if (ea->dst != eb->dst) {
+    return ea->dst < eb->dst ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SortEdgesQuickSort(EdgeList& edges) {
+  std::qsort(edges.data(), edges.size(), sizeof(Edge), CompareEdgeBySrc);
+}
+
+void SortEdgesCountingSort(EdgeList& edges, uint64_t num_vertices) {
+  std::vector<uint64_t> counts(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    ++counts[e.src + 1];
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    counts[v + 1] += counts[v];
+  }
+  EdgeList out(edges.size());
+  for (const Edge& e : edges) {
+    out[counts[e.src]++] = e;
+  }
+  edges.swap(out);
+}
+
+Csr Csr::BuildQuickSort(const EdgeList& edges, uint64_t num_vertices) {
+  EdgeList sorted = edges;
+  SortEdgesQuickSort(sorted);
+  Csr csr;
+  csr.offsets_.assign(num_vertices + 1, 0);
+  csr.neighbors_.resize(sorted.size());
+  csr.weights_.resize(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    csr.neighbors_[i] = sorted[i].dst;
+    csr.weights_[i] = sorted[i].weight;
+    XS_CHECK_LT(sorted[i].src, num_vertices);
+    ++csr.offsets_[sorted[i].src + 1];
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    csr.offsets_[v + 1] += csr.offsets_[v];
+  }
+  return csr;
+}
+
+Csr Csr::BuildByCounting(const EdgeList& edges, uint64_t num_vertices, bool transpose) {
+  Csr csr;
+  csr.offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    VertexId key = transpose ? e.dst : e.src;
+    ++csr.offsets_[key + 1];
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    csr.offsets_[v + 1] += csr.offsets_[v];
+  }
+  csr.neighbors_.resize(edges.size());
+  csr.weights_.resize(edges.size());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    VertexId key = transpose ? e.dst : e.src;
+    VertexId val = transpose ? e.src : e.dst;
+    uint64_t pos = cursor[key]++;
+    csr.neighbors_[pos] = val;
+    csr.weights_[pos] = e.weight;
+  }
+  return csr;
+}
+
+Csr Csr::BuildCountingSort(const EdgeList& edges, uint64_t num_vertices) {
+  return BuildByCounting(edges, num_vertices, /*transpose=*/false);
+}
+
+Csr Csr::BuildTranspose(const EdgeList& edges, uint64_t num_vertices) {
+  return BuildByCounting(edges, num_vertices, /*transpose=*/true);
+}
+
+}  // namespace xstream

@@ -1,0 +1,58 @@
+// Compressed Sparse Row graphs — the "sort the edges and build an index"
+// representation that X-Stream argues against (paper §1).
+//
+// Two builders mirror the sorting baselines of Fig 18: libc quicksort
+// (qsort) and counting sort over the known vertex keyspace. Both produce an
+// identical index; only the pre-processing cost differs.
+#ifndef XSTREAM_BASELINES_CSR_H_
+#define XSTREAM_BASELINES_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  uint64_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  uint64_t num_edges() const { return neighbors_.size(); }
+
+  uint64_t OutDegree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // Neighbors of v, parallel to Weights(v).
+  const VertexId* Neighbors(VertexId v) const { return neighbors_.data() + offsets_[v]; }
+  const float* Weights(VertexId v) const { return weights_.data() + offsets_[v]; }
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+
+  // Builds by sorting a copy of the edge list with libc qsort (the paper's
+  // "quicksort (from the C library)") and indexing the runs.
+  static Csr BuildQuickSort(const EdgeList& edges, uint64_t num_vertices);
+
+  // Builds with a counting sort over source ids ("since the keyspace is
+  // known"): one counting pass, one placement pass.
+  static Csr BuildCountingSort(const EdgeList& edges, uint64_t num_vertices);
+
+  // The transposed index (in-edges), built by counting sort on destinations.
+  static Csr BuildTranspose(const EdgeList& edges, uint64_t num_vertices);
+
+ private:
+  static Csr BuildByCounting(const EdgeList& edges, uint64_t num_vertices, bool transpose);
+
+  std::vector<uint64_t> offsets_;   // num_vertices + 1
+  std::vector<VertexId> neighbors_;
+  std::vector<float> weights_;
+};
+
+// The sorting kernels themselves, exposed for the Fig 18 timing comparison
+// (they do the same work as the builders minus index assembly).
+void SortEdgesQuickSort(EdgeList& edges);
+void SortEdgesCountingSort(EdgeList& edges, uint64_t num_vertices);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BASELINES_CSR_H_

@@ -1,0 +1,409 @@
+// A GraphChi-like out-of-core engine using Parallel Sliding Windows, after
+// Kyrola & Blelloch [37] (paper Figs 22-23).
+//
+// GraphChi's design, reproduced here:
+//  * Vertices are split into P intervals; shard s holds every edge whose
+//    *destination* lies in interval s, sorted by *source* — producing the
+//    shards requires sorting the input ("pre-sort", the pre-processing cost
+//    Fig 22 charges GraphChi).
+//  * Data lives on the edges: each on-disk record carries a mutable
+//    EdgeValue. The vertex-centric update(v) reads v's in-edge values and
+//    writes v's out-edge values.
+//  * Executing interval s loads shard s entirely (the "memory shard") plus
+//    one sliding window from every other shard — the block of records with
+//    source in interval s, contiguous because shards are sorted by source.
+//  * Iterating v's in-edges requires the memory shard grouped by
+//    destination, so the engine re-sorts it (an index sort) after every
+//    load — the "re-sort" column of Fig 22.
+//  * P is chosen so a shard plus its windows fit the memory budget; for a
+//    fixed budget GraphChi needs many more shards than X-Stream needs
+//    streaming partitions, because X-Stream only keeps vertex *state* in
+//    memory (Fig 22's parenthesized counts).
+//
+// The window reads/writes per interval produce the fragmented, bursty I/O
+// pattern of Fig 23. Updates within an interval run in parallel with
+// GraphChi's asynchronous (Gauss-Seidel) semantics.
+#ifndef XSTREAM_BASELINES_GRAPHCHI_LIKE_H_
+#define XSTREAM_BASELINES_GRAPHCHI_LIKE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "storage/device.h"
+#include "threads/thread_pool.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+template <typename P>
+concept PswVertexProgram = requires(P p, VertexId v, typename P::VertexValue& value,
+                                    uint32_t out_degree, float w) {
+  typename P::VertexValue;
+  typename P::EdgeValue;
+  { p.InitVertex(v, out_degree, value) } -> std::same_as<void>;
+  { p.InitEdge(v, v, w, out_degree) } -> std::same_as<typename P::EdgeValue>;
+};
+
+struct PswConfig {
+  int threads = 2;
+  uint64_t memory_budget_bytes = 8ull << 20;
+  uint32_t num_shards = 0;  // 0 = auto from the budget
+  std::string file_prefix = "psw";
+};
+
+struct PswStats {
+  double pre_sort_seconds = 0.0;  // shard construction (partition + sort + write)
+  double re_sort_seconds = 0.0;   // cumulative in-memory re-sort by destination
+  double compute_seconds = 0.0;   // wall time of the sweeps
+  uint64_t iterations = 0;
+  uint64_t updated_vertices = 0;  // vertices whose update reported a change
+};
+
+template <PswVertexProgram Program>
+class PswEngine {
+ public:
+  using VertexValue = typename Program::VertexValue;
+  using EdgeValue = typename Program::EdgeValue;
+
+#pragma pack(push, 1)
+  struct DiskEdge {
+    VertexId src;
+    VertexId dst;
+    float weight;
+    EdgeValue value;
+  };
+#pragma pack(pop)
+
+  // Per-vertex view handed to Program::Update.
+  class Context {
+   public:
+    VertexId id() const { return id_; }
+    uint64_t num_vertices() const { return engine_->num_vertices_; }
+    uint32_t out_degree() const { return engine_->out_degree_[id_]; }
+    VertexValue& value() { return engine_->values_[id_]; }
+
+    // f(src, weight, const EdgeValue&)
+    template <typename F>
+    void ForEachInEdge(F&& f) const {
+      const auto& shard = engine_->memory_shard_;
+      for (uint64_t i = in_begin_; i < in_end_; ++i) {
+        const DiskEdge& e = shard[engine_->dst_index_[i]];
+        f(e.src, e.weight, e.value);
+      }
+    }
+
+    // f(dst, weight, EdgeValue&) over mutable out-edge values.
+    template <typename F>
+    void ForEachOutEdge(F&& f) {
+      for (uint32_t q = 0; q < engine_->num_shards_; ++q) {
+        auto [begin, end] = engine_->out_ranges_[q][id_ - interval_begin_];
+        DiskEdge* records = engine_->WindowRecords(q);
+        for (uint64_t i = begin; i < end; ++i) {
+          DiskEdge& e = records[i];
+          f(e.dst, e.weight, e.value);
+        }
+      }
+    }
+
+   private:
+    friend class PswEngine;
+    PswEngine* engine_ = nullptr;
+    VertexId id_ = 0;
+    VertexId interval_begin_ = 0;
+    uint64_t in_begin_ = 0;
+    uint64_t in_end_ = 0;
+  };
+
+  PswEngine(const PswConfig& config, StorageDevice& dev, const EdgeList& edges,
+            uint64_t num_vertices, Program& program)
+      : config_(config),
+        pool_(config.threads > 0 ? config.threads : 2),
+        dev_(dev),
+        num_vertices_(num_vertices) {
+    WallTimer timer;
+
+    out_degree_.assign(num_vertices_, 0);
+    for (const Edge& e : edges) {
+      ++out_degree_[e.src];
+    }
+
+    uint64_t edge_bytes = edges.size() * sizeof(DiskEdge);
+    num_shards_ = config.num_shards > 0
+                      ? config.num_shards
+                      : static_cast<uint32_t>(
+                            std::max<uint64_t>(1, (2 * edge_bytes + config.memory_budget_bytes -
+                                                   1) /
+                                                      config.memory_budget_bytes));
+    interval_size_ = (num_vertices_ + num_shards_ - 1) / num_shards_;
+    if (interval_size_ == 0) {
+      interval_size_ = 1;
+    }
+
+    BuildShards(edges, program);
+
+    values_.resize(num_vertices_);
+    pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t v = lo; v < hi; ++v) {
+        program.InitVertex(static_cast<VertexId>(v), out_degree_[v], values_[v]);
+      }
+    });
+
+    stats_.pre_sort_seconds = timer.Seconds();
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t num_vertices() const { return num_vertices_; }
+  const std::vector<VertexValue>& values() const { return values_; }
+  PswStats& stats() { return stats_; }
+
+  // One full sweep over all intervals; returns the number of vertices whose
+  // update reported a change.
+  uint64_t RunIteration(Program& program) {
+    WallTimer timer;
+    std::atomic<uint64_t> changed{0};
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      ExecuteInterval(program, s, changed);
+    }
+    ++stats_.iterations;
+    stats_.compute_seconds += timer.Seconds();
+    stats_.updated_vertices += changed.load();
+    return changed.load();
+  }
+
+  void RunIterations(Program& program, uint64_t iterations) {
+    for (uint64_t i = 0; i < iterations; ++i) {
+      RunIteration(program);
+    }
+  }
+
+  // Sweeps until a full iteration changes nothing (WCC-style fixpoints).
+  uint64_t RunUntilConverged(Program& program, uint64_t max_iterations = 1000) {
+    for (uint64_t i = 0; i < max_iterations; ++i) {
+      if (RunIteration(program) == 0) {
+        break;
+      }
+    }
+    return stats_.iterations;
+  }
+
+ private:
+  VertexId IntervalBegin(uint32_t s) const {
+    return static_cast<VertexId>(std::min<uint64_t>(s * interval_size_, num_vertices_));
+  }
+  VertexId IntervalEnd(uint32_t s) const {
+    return static_cast<VertexId>(
+        std::min<uint64_t>((s + uint64_t{1}) * interval_size_, num_vertices_));
+  }
+  uint32_t IntervalOf(VertexId v) const { return static_cast<uint32_t>(v / interval_size_); }
+
+  std::string ShardFile(uint32_t s) const {
+    return config_.file_prefix + ".shard." + std::to_string(s);
+  }
+
+  void BuildShards(const EdgeList& edges, Program& program) {
+    shard_files_.resize(num_shards_);
+    shard_sizes_.assign(num_shards_, 0);
+    window_offsets_.assign(num_shards_,
+                           std::vector<uint64_t>(static_cast<size_t>(num_shards_) + 1, 0));
+
+    // Bucket edges by destination interval.
+    std::vector<std::vector<DiskEdge>> buckets(num_shards_);
+    for (const Edge& e : edges) {
+      DiskEdge de;
+      de.src = e.src;
+      de.dst = e.dst;
+      de.weight = e.weight;
+      de.value = program.InitEdge(e.src, e.dst, e.weight, out_degree_[e.src]);
+      buckets[IntervalOf(e.dst)].push_back(de);
+    }
+    // Sort each shard by source (the measured pre-sort) and write it out,
+    // recording the window offsets: for each source interval q, the record
+    // range within the shard.
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      auto& shard = buckets[s];
+      std::sort(shard.begin(), shard.end(), [](const DiskEdge& a, const DiskEdge& b) {
+        if (a.src != b.src) {
+          return a.src < b.src;
+        }
+        return a.dst < b.dst;
+      });
+      auto& offsets = window_offsets_[s];
+      uint64_t cursor = 0;
+      for (uint32_t q = 0; q < num_shards_; ++q) {
+        offsets[q] = cursor;
+        VertexId end = IntervalEnd(q);
+        while (cursor < shard.size() && shard[cursor].src < end) {
+          ++cursor;
+        }
+      }
+      offsets[num_shards_] = shard.size();
+      shard_sizes_[s] = shard.size();
+      shard_files_[s] = dev_.Create(ShardFile(s));
+      if (!shard.empty()) {
+        dev_.Write(shard_files_[s], 0,
+                   std::span<const std::byte>(reinterpret_cast<const std::byte*>(shard.data()),
+                                              shard.size() * sizeof(DiskEdge)));
+      }
+    }
+  }
+
+  DiskEdge* WindowRecords(uint32_t q) {
+    return q == current_interval_ ? memory_shard_.data() : windows_[q].data();
+  }
+
+  void ExecuteInterval(Program& program, uint32_t s, std::atomic<uint64_t>& changed) {
+    VertexId begin = IntervalBegin(s);
+    VertexId end = IntervalEnd(s);
+    if (begin == end) {
+      return;
+    }
+    current_interval_ = s;
+
+    // Load the memory shard (all in-edges of the interval) sequentially.
+    memory_shard_.assign(shard_sizes_[s], DiskEdge{});
+    if (shard_sizes_[s] > 0) {
+      dev_.Read(shard_files_[s], 0,
+                std::span<std::byte>(reinterpret_cast<std::byte*>(memory_shard_.data()),
+                                     memory_shard_.size() * sizeof(DiskEdge)));
+    }
+
+    // Re-sort (index sort) by destination — the Fig 22 "re-sort" cost.
+    {
+      WallTimer resort;
+      dst_index_.resize(memory_shard_.size());
+      std::iota(dst_index_.begin(), dst_index_.end(), 0);
+      std::sort(dst_index_.begin(), dst_index_.end(), [this](uint32_t a, uint32_t b) {
+        return memory_shard_[a].dst < memory_shard_[b].dst;
+      });
+      stats_.re_sort_seconds += resort.Seconds();
+    }
+    // Per-vertex in-edge ranges over the dst-sorted index.
+    uint64_t interval_verts = end - begin;
+    in_ranges_.assign(interval_verts, {0, 0});
+    for (uint64_t i = 0; i < dst_index_.size();) {
+      VertexId d = memory_shard_[dst_index_[i]].dst;
+      uint64_t j = i;
+      while (j < dst_index_.size() && memory_shard_[dst_index_[j]].dst == d) {
+        ++j;
+      }
+      in_ranges_[d - begin] = {i, j};
+      i = j;
+    }
+
+    // Load the sliding windows: from every other shard, the block of records
+    // with source in this interval (out-edges of the interval).
+    windows_.assign(num_shards_, {});
+    for (uint32_t q = 0; q < num_shards_; ++q) {
+      if (q == s) {
+        continue;
+      }
+      uint64_t lo = window_offsets_[q][s];
+      uint64_t hi = window_offsets_[q][s + 1];
+      windows_[q].assign(hi - lo, DiskEdge{});
+      if (hi > lo) {
+        dev_.Read(shard_files_[q], lo * sizeof(DiskEdge),
+                  std::span<std::byte>(reinterpret_cast<std::byte*>(windows_[q].data()),
+                                       (hi - lo) * sizeof(DiskEdge)));
+      }
+    }
+
+    // Per-window, per-vertex out-edge subranges (windows are src-sorted).
+    out_ranges_.assign(num_shards_, {});
+    for (uint32_t q = 0; q < num_shards_; ++q) {
+      auto& ranges = out_ranges_[q];
+      ranges.assign(interval_verts, {0, 0});
+      DiskEdge* records;
+      uint64_t base;
+      uint64_t count;
+      if (q == s) {
+        records = memory_shard_.data();
+        base = window_offsets_[s][s];
+        count = window_offsets_[s][s + 1];
+      } else {
+        records = windows_[q].data();
+        base = 0;
+        count = windows_[q].size();
+      }
+      for (uint64_t i = base; i < (q == s ? count : base + count);) {
+        VertexId src = records[i].src;
+        uint64_t j = i;
+        uint64_t limit = (q == s) ? count : base + count;
+        while (j < limit && records[j].src == src) {
+          ++j;
+        }
+        ranges[src - begin] = {i, j};
+        i = j;
+      }
+    }
+
+    // Update the interval's vertices (asynchronous/Gauss-Seidel semantics:
+    // in-interval edges may expose already-updated values).
+    std::atomic<uint64_t> local_changed{0};
+    pool_.ParallelFor(0, interval_verts, 256, [&](uint64_t lo, uint64_t hi) {
+      uint64_t c = 0;
+      for (uint64_t i = lo; i < hi; ++i) {
+        Context ctx;
+        ctx.engine_ = this;
+        ctx.id_ = static_cast<VertexId>(begin + i);
+        ctx.interval_begin_ = begin;
+        ctx.in_begin_ = in_ranges_[i].first;
+        ctx.in_end_ = in_ranges_[i].second;
+        if (program.Update(ctx)) {
+          ++c;
+        }
+      }
+      local_changed.fetch_add(c, std::memory_order_relaxed);
+    });
+    changed.fetch_add(local_changed.load(), std::memory_order_relaxed);
+
+    // Write back the modified out-edge blocks (one per shard).
+    for (uint32_t q = 0; q < num_shards_; ++q) {
+      uint64_t lo = window_offsets_[q][s];
+      uint64_t hi = window_offsets_[q][s + 1];
+      if (hi == lo) {
+        continue;
+      }
+      const DiskEdge* records =
+          (q == s) ? memory_shard_.data() + lo : windows_[q].data();
+      dev_.Write(shard_files_[q], lo * sizeof(DiskEdge),
+                 std::span<const std::byte>(reinterpret_cast<const std::byte*>(records),
+                                            (hi - lo) * sizeof(DiskEdge)));
+    }
+  }
+
+  PswConfig config_;
+  ThreadPool pool_;
+  StorageDevice& dev_;
+  uint64_t num_vertices_;
+  uint32_t num_shards_ = 1;
+  uint64_t interval_size_ = 1;
+
+  std::vector<uint32_t> out_degree_;
+  std::vector<VertexValue> values_;
+
+  std::vector<FileId> shard_files_;
+  std::vector<uint64_t> shard_sizes_;
+  // window_offsets_[shard][q] = first record in `shard` with src in interval
+  // q (record units); [num_shards] = shard size.
+  std::vector<std::vector<uint64_t>> window_offsets_;
+
+  // Interval-execution scratch state.
+  uint32_t current_interval_ = 0;
+  std::vector<DiskEdge> memory_shard_;
+  std::vector<uint32_t> dst_index_;
+  std::vector<std::pair<uint64_t, uint64_t>> in_ranges_;
+  std::vector<std::vector<DiskEdge>> windows_;
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> out_ranges_;
+
+  PswStats stats_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BASELINES_GRAPHCHI_LIKE_H_

@@ -1,0 +1,159 @@
+#include "baselines/ligra_like.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+LigraGraph LigraGraph::Build(const EdgeList& edges, uint64_t num_vertices) {
+  LigraGraph g;
+  WallTimer timer;
+  g.out = Csr::BuildQuickSort(edges, num_vertices);
+  // Inverting requires materializing the reversed list, then sorting it —
+  // the random-access-heavy step Fig 20 attributes most of Ligra-pre to.
+  EdgeList reversed(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    reversed[i] = Edge{edges[i].dst, edges[i].src, edges[i].weight};
+  }
+  g.in = Csr::BuildQuickSort(reversed, num_vertices);
+  g.preprocess_seconds = timer.Seconds();
+  return g;
+}
+
+namespace {
+
+// Ligra's density threshold: go dense when the frontier plus its out-edges
+// exceed |E| / 20.
+bool ShouldPull(uint64_t frontier_size, uint64_t frontier_edges, uint64_t num_edges) {
+  return frontier_size + frontier_edges > num_edges / 20;
+}
+
+}  // namespace
+
+LigraBfsResult RunLigraBfs(const LigraGraph& graph, VertexId root, ThreadPool& pool) {
+  const Csr& out = graph.out;
+  const Csr& in = graph.in;
+  uint64_t n = out.num_vertices();
+
+  LigraBfsResult result;
+  result.levels.assign(n, UINT32_MAX);
+  std::vector<std::atomic<uint8_t>> visited(n);
+  for (auto& v : visited) {
+    v.store(0, std::memory_order_relaxed);
+  }
+
+  std::vector<VertexId> sparse{root};
+  std::vector<uint8_t> dense(n, 0);
+  visited[root].store(1, std::memory_order_relaxed);
+  dense[root] = 1;
+  result.levels[root] = 0;
+  result.reached = 1;
+
+  std::vector<std::vector<VertexId>> local(static_cast<size_t>(pool.num_threads()));
+  uint64_t frontier_edges = out.OutDegree(root);
+  uint32_t level = 0;
+
+  while (!sparse.empty()) {
+    ++level;
+    std::vector<uint8_t> next_dense(n, 0);
+    for (auto& q : local) {
+      q.clear();
+    }
+    std::atomic<uint64_t> next_edges{0};
+
+    if (ShouldPull(sparse.size(), frontier_edges, out.num_edges())) {
+      ++result.pull_steps;
+      pool.ParallelForTid(0, n, 1024, [&](int tid, uint64_t lo, uint64_t hi) {
+        auto& next = local[static_cast<size_t>(tid)];
+        uint64_t edges = 0;
+        for (uint64_t v = lo; v < hi; ++v) {
+          if (visited[v].load(std::memory_order_relaxed)) {
+            continue;
+          }
+          uint64_t deg = in.OutDegree(static_cast<VertexId>(v));
+          const VertexId* parents = in.Neighbors(static_cast<VertexId>(v));
+          for (uint64_t e = 0; e < deg; ++e) {
+            if (dense[parents[e]]) {
+              visited[v].store(1, std::memory_order_relaxed);
+              result.levels[v] = level;
+              next.push_back(static_cast<VertexId>(v));
+              next_dense[v] = 1;
+              edges += out.OutDegree(static_cast<VertexId>(v));
+              break;
+            }
+          }
+        }
+        next_edges.fetch_add(edges, std::memory_order_relaxed);
+      });
+    } else {
+      pool.ParallelForTid(0, sparse.size(), 64, [&](int tid, uint64_t lo, uint64_t hi) {
+        auto& next = local[static_cast<size_t>(tid)];
+        uint64_t edges = 0;
+        for (uint64_t i = lo; i < hi; ++i) {
+          VertexId v = sparse[i];
+          uint64_t deg = out.OutDegree(v);
+          const VertexId* nbrs = out.Neighbors(v);
+          for (uint64_t e = 0; e < deg; ++e) {
+            VertexId u = nbrs[e];
+            uint8_t expected = 0;
+            if (visited[u].compare_exchange_strong(expected, 1, std::memory_order_relaxed)) {
+              result.levels[u] = level;
+              next.push_back(u);
+              next_dense[u] = 1;
+              edges += out.OutDegree(u);
+            }
+          }
+        }
+        next_edges.fetch_add(edges, std::memory_order_relaxed);
+      });
+    }
+
+    sparse.clear();
+    for (auto& q : local) {
+      sparse.insert(sparse.end(), q.begin(), q.end());
+    }
+    result.reached += sparse.size();
+    frontier_edges = next_edges.load();
+    dense.swap(next_dense);
+  }
+  return result;
+}
+
+LigraPageRankResult RunLigraPageRank(const LigraGraph& graph, int iterations,
+                                     ThreadPool& pool) {
+  const Csr& out = graph.out;
+  const Csr& in = graph.in;
+  uint64_t n = out.num_vertices();
+
+  LigraPageRankResult result;
+  result.ranks.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  // PageRank's frontier is always the whole vertex set, so every EdgeMap is
+  // dense: pull over in-edges (Fig 20's observation that "Pagerank's uniform
+  // communication pattern makes direction reversal ineffective" — the dense
+  // pull is the best Ligra can do and still loses to streaming).
+  for (int it = 0; it < iterations; ++it) {
+    pool.ParallelFor(0, n, 1024, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t v = lo; v < hi; ++v) {
+        double sum = 0.0;
+        uint64_t deg = in.OutDegree(static_cast<VertexId>(v));
+        const VertexId* parents = in.Neighbors(static_cast<VertexId>(v));
+        for (uint64_t e = 0; e < deg; ++e) {
+          VertexId u = parents[e];
+          uint64_t out_deg = out.OutDegree(u);
+          if (out_deg > 0) {
+            sum += result.ranks[u] / static_cast<double>(out_deg);
+          }
+        }
+        next[v] = 0.15 / static_cast<double>(n) + 0.85 * sum;
+      }
+    });
+    result.ranks.swap(next);
+  }
+  return result;
+}
+
+}  // namespace xstream

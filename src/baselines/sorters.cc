@@ -1,0 +1,38 @@
+#include "baselines/sorters.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace xstream {
+
+namespace {
+
+bool IsSortedBySrc(const EdgeList& edges) {
+  return std::is_sorted(edges.begin(), edges.end(),
+                        [](const Edge& a, const Edge& b) { return a.src < b.src; });
+}
+
+}  // namespace
+
+SortTiming TimeQuickSort(const EdgeList& edges) {
+  EdgeList copy = edges;
+  WallTimer timer;
+  SortEdgesQuickSort(copy);
+  SortTiming t;
+  t.seconds = timer.Seconds();
+  t.sorted = IsSortedBySrc(copy);
+  return t;
+}
+
+SortTiming TimeCountingSort(const EdgeList& edges, uint64_t num_vertices) {
+  EdgeList copy = edges;
+  WallTimer timer;
+  SortEdgesCountingSort(copy, num_vertices);
+  SortTiming t;
+  t.seconds = timer.Seconds();
+  t.sorted = IsSortedBySrc(copy);
+  return t;
+}
+
+}  // namespace xstream

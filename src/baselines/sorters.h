@@ -1,0 +1,25 @@
+// Timed sorting baselines for Fig 18: how long does it take just to *sort*
+// the edge list (the pre-processing other systems need), compared to
+// X-Stream computing the answer outright from the unsorted list.
+#ifndef XSTREAM_BASELINES_SORTERS_H_
+#define XSTREAM_BASELINES_SORTERS_H_
+
+#include "baselines/csr.h"
+#include "graph/types.h"
+
+namespace xstream {
+
+struct SortTiming {
+  double seconds = 0.0;
+  bool sorted = false;  // verification flag
+};
+
+// Sorts a copy with libc qsort and reports the time.
+SortTiming TimeQuickSort(const EdgeList& edges);
+
+// Sorts a copy with counting sort over the known keyspace.
+SortTiming TimeCountingSort(const EdgeList& edges, uint64_t num_vertices);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BASELINES_SORTERS_H_

@@ -1,0 +1,201 @@
+// Parallel multi-stage shuffler (paper §3.1 "In-memory Data Structures" and
+// §4.2 "Parallel Multistage Shuffler").
+//
+// A shuffle step groups records by target partition without ordering them —
+// a counting pass, an offset pass, and a copy pass. For large partition
+// counts a single step loses cache locality (one output cursor per
+// partition), so partitions are grouped into a tree with fanout F and one
+// shuffle step runs per tree level, addressed by the most significant bits
+// of the partition id. Two buffers alternate between input and output roles.
+//
+// Parallelism follows Fig 7: the record range is split into one slice per
+// thread; each thread shuffles only its own slice and maintains a private
+// index array, so no synchronization is needed inside a stage. The chunk for
+// partition p is the union of each slice's chunk p.
+#ifndef XSTREAM_BUFFERS_SHUFFLER_H_
+#define XSTREAM_BUFFERS_SHUFFLER_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "buffers/stream_buffer.h"
+#include "threads/thread_pool.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+// Result of a shuffle: which buffer the records ended in, plus per-slice,
+// per-partition chunk index arrays (record units).
+template <typename Record>
+struct ShuffleOutput {
+  Record* data = nullptr;  // final resting buffer (== a or b passed in)
+  uint32_t num_partitions = 0;
+  int stages_run = 0;
+  // chunk for partition p contributed by slice s: slices[s][p].
+  std::vector<std::vector<ChunkRef>> slices;
+
+  uint64_t PartitionRecords(uint32_t p) const {
+    uint64_t total = 0;
+    for (const auto& s : slices) {
+      total += s[p].count;
+    }
+    return total;
+  }
+
+  uint64_t TotalRecords() const {
+    uint64_t total = 0;
+    for (const auto& s : slices) {
+      for (const auto& c : s) {
+        total += c.count;
+      }
+    }
+    return total;
+  }
+};
+
+inline uint32_t CeilLog2(uint32_t x) {
+  XS_CHECK_GT(x, 0u);
+  return x <= 1 ? 0 : 32u - static_cast<uint32_t>(std::countl_zero(x - 1));
+}
+
+// Shuffles `count` records (currently in `a`) into partition-grouped chunks,
+// alternating between buffers `a` and `b`.
+//
+//  * num_partitions == K. If `fanout` >= K (or stages == 1), a single
+//    counting-shuffle step handles any K. Otherwise K and fanout must both
+//    be powers of two (paper §4.2) and ceil(log_F K) steps run.
+//  * part_of(record) must return a value < K.
+//
+// Both buffers must hold at least `count` records. Returns the index arrays
+// and the buffer the records ended up in.
+template <typename Record, typename PartOf>
+ShuffleOutput<Record> ShuffleRecords(ThreadPool& pool, Record* a, Record* b, uint64_t count,
+                                     uint32_t num_partitions, uint32_t fanout, PartOf part_of) {
+  static_assert(std::is_trivially_copyable_v<Record>);
+  XS_CHECK_GT(num_partitions, 0u);
+  XS_CHECK(fanout > 1 || num_partitions == 1)
+      << "fanout must exceed 1 when there is more than one partition";
+
+  const int num_slices = pool.num_threads();
+  ShuffleOutput<Record> out;
+  out.num_partitions = num_partitions;
+  out.slices.resize(static_cast<size_t>(num_slices));
+
+  // Fixed slice boundaries: records never leave their slice (Fig 7).
+  std::vector<uint64_t> slice_begin(static_cast<size_t>(num_slices) + 1);
+  for (int s = 0; s <= num_slices; ++s) {
+    slice_begin[static_cast<size_t>(s)] =
+        count * static_cast<uint64_t>(s) / static_cast<uint64_t>(num_slices);
+  }
+
+  if (num_partitions == 1) {
+    out.data = a;
+    out.stages_run = 0;
+    for (int s = 0; s < num_slices; ++s) {
+      auto sb = slice_begin[static_cast<size_t>(s)];
+      out.slices[static_cast<size_t>(s)] = {
+          ChunkRef{sb, slice_begin[static_cast<size_t>(s) + 1] - sb}};
+    }
+    return out;
+  }
+
+  const uint32_t total_bits = CeilLog2(num_partitions);
+  int stages;
+  if (fanout >= num_partitions) {
+    stages = 1;
+  } else {
+    XS_CHECK(std::has_single_bit(num_partitions))
+        << "multi-stage shuffle requires power-of-two partitions, got " << num_partitions;
+    XS_CHECK(std::has_single_bit(fanout)) << "fanout must be a power of two, got " << fanout;
+    uint32_t fanout_bits = CeilLog2(fanout);
+    stages = static_cast<int>((total_bits + fanout_bits - 1) / fanout_bits);
+  }
+
+  // Per-slice chunk lists for the current tree level (node-major order).
+  std::vector<std::vector<ChunkRef>> cur(static_cast<size_t>(num_slices));
+  for (int s = 0; s < num_slices; ++s) {
+    auto sb = slice_begin[static_cast<size_t>(s)];
+    cur[static_cast<size_t>(s)] = {ChunkRef{sb, slice_begin[static_cast<size_t>(s) + 1] - sb}};
+  }
+
+  Record* src = a;
+  Record* dst = b;
+  uint32_t bits_consumed = 0;
+
+  for (int stage = 0; stage < stages; ++stage) {
+    uint32_t remaining = total_bits - bits_consumed;
+    uint32_t step_bits;
+    if (stages == 1) {
+      step_bits = remaining;  // single stage handles arbitrary K below
+    } else {
+      uint32_t fanout_bits = CeilLog2(fanout);
+      step_bits = std::min(fanout_bits, remaining);
+    }
+    // Children per node this stage. For a single stage with arbitrary K the
+    // "bit" framing is bypassed: children == num_partitions.
+    const uint64_t children =
+        (stages == 1) ? num_partitions : (uint64_t{1} << step_bits);
+    const uint32_t next_consumed = bits_consumed + step_bits;
+    const uint32_t child_shift = total_bits - next_consumed;
+    const uint64_t child_mask = children - 1;
+
+    std::vector<std::vector<ChunkRef>> next(static_cast<size_t>(num_slices));
+
+    pool.RunOnAll([&](int tid) {
+      const auto& my_chunks = cur[static_cast<size_t>(tid)];
+      auto& my_next = next[static_cast<size_t>(tid)];
+      my_next.assign(my_chunks.size() * children, ChunkRef{});
+
+      std::vector<uint64_t> counts(children);
+      // Pass 1+2 fused per node: count, assign offsets, copy. Offsets are
+      // assigned node-major so children become next-level nodes in order.
+      uint64_t cursor = slice_begin[static_cast<size_t>(tid)];
+      std::vector<uint64_t> positions(children);
+      for (size_t node = 0; node < my_chunks.size(); ++node) {
+        const ChunkRef& chunk = my_chunks[node];
+        std::fill(counts.begin(), counts.end(), 0);
+        const Record* in = src + chunk.begin;
+        for (uint64_t r = 0; r < chunk.count; ++r) {
+          uint64_t p = part_of(in[r]);
+          uint64_t child = (stages == 1) ? p : ((p >> child_shift) & child_mask);
+          ++counts[child];
+        }
+        for (uint64_t c = 0; c < children; ++c) {
+          ChunkRef& ref = my_next[node * children + c];
+          ref.begin = cursor;
+          ref.count = counts[c];
+          positions[c] = cursor;
+          cursor += counts[c];
+        }
+        for (uint64_t r = 0; r < chunk.count; ++r) {
+          uint64_t p = part_of(in[r]);
+          uint64_t child = (stages == 1) ? p : ((p >> child_shift) & child_mask);
+          dst[positions[child]++] = in[r];
+        }
+      }
+    });
+
+    cur.swap(next);
+    std::swap(src, dst);
+    bits_consumed = next_consumed;
+  }
+
+  // cur now holds, per slice, 2^total_bits (or K for single-stage) chunks in
+  // partition order; trim to exactly K (pow2 rounding can exceed K only when
+  // part_of never produces those ids, so the extra chunks are empty).
+  out.data = src;
+  out.stages_run = stages;
+  for (int s = 0; s < num_slices; ++s) {
+    auto& chunks = cur[static_cast<size_t>(s)];
+    XS_CHECK_GE(chunks.size(), num_partitions);
+    chunks.resize(num_partitions);
+    out.slices[static_cast<size_t>(s)] = std::move(chunks);
+  }
+  return out;
+}
+
+}  // namespace xstream
+
+#endif  // XSTREAM_BUFFERS_SHUFFLER_H_

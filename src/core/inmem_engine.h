@@ -1,0 +1,327 @@
+// The in-memory streaming engine (paper §4).
+//
+// Processes graphs whose vertices, edges and updates fit in memory. The
+// design goals from the paper, and where they land here:
+//
+//  * Partition count: chosen so the vertex *footprint* (state + edge +
+//    update bytes) of each partition fits the per-core CPU cache (§4).
+//  * Exactly three stream buffers: one holding the (partitioned) edges, one
+//    collecting generated updates, one as shuffle scratch (§4).
+//  * Parallel scatter-gather over partitions with work stealing (§4.1);
+//    update appends go through thread-private 8 KB staging buffers flushed
+//    by atomic reservation (ConcurrentAppender).
+//  * Parallel multi-stage shuffler over per-thread slices with a fanout
+//    bounded by the cacheline budget (§4.2, Fig 7).
+//
+// The engine consumes an *unordered* edge list; its own setup shuffle (timed
+// as setup_seconds) is the only pre-processing — there is no sort.
+#ifndef XSTREAM_CORE_INMEM_ENGINE_H_
+#define XSTREAM_CORE_INMEM_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "buffers/shuffler.h"
+#include "buffers/stream_buffer.h"
+#include "core/algorithm.h"
+#include "core/partition.h"
+#include "core/sizing.h"
+#include "core/stats.h"
+#include "graph/types.h"
+#include "storage/device.h"
+#include "threads/concurrent_appender.h"
+#include "threads/thread_pool.h"
+#include "threads/work_stealing.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+struct InMemoryConfig {
+  int threads = 0;            // 0 = all cores
+  size_t cache_bytes = 0;     // 0 = probe the host (per-core L2)
+  uint32_t num_partitions = 0;  // 0 = auto (§4); otherwise forced (Fig 24)
+  uint32_t shuffle_fanout = 0;  // 0 = auto from cachelines (§4.2); Fig 25
+  // Ablation: false = static round-robin partition assignment (paper §4.1
+  // argues stealing is needed because partitions have skewed edge counts).
+  bool enable_work_stealing = true;
+  bool keep_iteration_log = true;
+};
+
+template <EdgeCentricAlgorithm Algo>
+class InMemoryEngine {
+ public:
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+
+  InMemoryEngine(const InMemoryConfig& config, const EdgeList& edges, uint64_t num_vertices)
+      : config_(config),
+        pool_(config.threads > 0 ? config.threads : NumCores()),
+        num_vertices_(num_vertices),
+        num_edges_(edges.size()),
+        queues_(pool_.num_threads()) {
+    WallTimer setup_timer;
+
+    size_t cache = config.cache_bytes > 0 ? config.cache_bytes : PerCoreCacheBytes();
+    uint32_t k = config.num_partitions > 0
+                     ? RoundUpPow2(config.num_partitions)
+                     : ChooseInMemoryPartitions(num_vertices_, sizeof(VertexState),
+                                                sizeof(Edge), sizeof(Update), cache);
+    layout_ = PartitionLayout(num_vertices_, k);
+    fanout_ = config.shuffle_fanout > 0 ? RoundUpPow2(config.shuffle_fanout)
+                                        : ChooseShuffleFanout(k, cache, CachelineBytes());
+
+    // Three stream buffers (§4), each big enough for the edge list or the
+    // worst-case update list (one update per edge).
+    size_t record = std::max(sizeof(Edge), sizeof(Update));
+    size_t capacity = std::max<size_t>(1, num_edges_) * record;
+    for (auto& buf : buffers_) {
+      buf = StreamBuffer(capacity);
+    }
+
+    // Load the unordered edges into buffer 0 and shuffle them into
+    // per-partition chunks; this replaces the sort+index pre-processing of
+    // traditional engines and is charged to setup time.
+    std::memcpy(buffers_[0].data(), edges.data(), edges.size() * sizeof(Edge));
+    edge_chunks_ = ShuffleRecords(pool_, buffers_[0].template records<Edge>(),
+                                  buffers_[1].template records<Edge>(), num_edges_, k, fanout_,
+                                  [this](const Edge& e) { return layout_.PartitionOf(e.src); });
+    // Whichever buffer the edges landed in becomes the stable edge buffer;
+    // the other two serve as the update and shuffle buffers.
+    if (edge_chunks_.data == buffers_[0].template records<Edge>()) {
+      update_buf_ = &buffers_[1];
+      scratch_buf_ = &buffers_[2];
+    } else {
+      update_buf_ = &buffers_[0];
+      scratch_buf_ = &buffers_[2];
+    }
+
+    states_.resize(num_vertices_);
+    stats_.setup_seconds = setup_timer.Seconds();
+    stats_.streaming_seconds += stats_.setup_seconds;  // the setup is itself a stream+shuffle
+  }
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint32_t num_partitions() const { return layout_.num_partitions(); }
+  uint32_t shuffle_fanout() const { return fanout_; }
+  const PartitionLayout& layout() const { return layout_; }
+  ThreadPool& pool() { return pool_; }
+
+  const VertexState& State(VertexId v) const { return states_[v]; }
+  VertexState& MutableState(VertexId v) { return states_[v]; }
+  const std::vector<VertexState>& states() const { return states_; }
+
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+
+  // Vertex iteration (§2.5): applies f(v, state) to every vertex, in
+  // parallel over partition-aligned ranges.
+  template <typename F>
+  void VertexMap(F&& f) {
+    pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t v = lo; v < hi; ++v) {
+        f(static_cast<VertexId>(v), states_[v]);
+      }
+    });
+  }
+
+  // Sequential fold over vertex states (aggregations, result extraction).
+  template <typename T, typename F>
+  T VertexFold(T init, F&& f) const {
+    T acc = init;
+    for (uint64_t v = 0; v < num_vertices_; ++v) {
+      acc = f(acc, static_cast<VertexId>(v), states_[v]);
+    }
+    return acc;
+  }
+
+  void InitVertices(Algo& algo) {
+    VertexMap([&algo](VertexId v, VertexState& s) { algo.Init(v, s); });
+  }
+
+  // One synchronous scatter -> shuffle -> gather round (Fig 4).
+  IterationStats RunIteration(Algo& algo) {
+    IterationStats iter;
+    iter.iteration = stats_.iterations;
+    WallTimer iter_timer;
+    IntervalAccumulator streaming;
+
+    if constexpr (HasBeforeIteration<Algo>) {
+      algo.BeforeIteration(stats_.iterations);
+    }
+
+    // --- Scatter phase: stream every partition's edge chunk, appending
+    // updates to the shared update buffer.
+    std::span<std::byte> update_bytes(update_buf_->data(), update_buf_->capacity_bytes());
+    ConcurrentAppender appender(update_bytes, sizeof(Update), pool_.num_threads());
+    std::atomic<uint64_t> edges_streamed{0};
+    std::atomic<uint64_t> wasted{0};
+    queues_.Distribute(layout_.num_partitions());
+    {
+      ScopedInterval si(streaming);
+      pool_.RunOnAll([&](int tid) {
+        uint64_t local_edges = 0;
+        uint64_t local_wasted = 0;
+        uint32_t p = 0;
+        while (queues_.Pop(tid, p, config_.enable_work_stealing)) {
+          for (const auto& slice : edge_chunks_.slices) {
+            const ChunkRef& c = slice[p];
+            const Edge* es = edge_chunks_.data + c.begin;
+            for (uint64_t i = 0; i < c.count; ++i) {
+              Update out;
+              if (algo.Scatter(states_[es[i].src], es[i], out)) {
+                appender.Append(tid, &out);
+              } else {
+                ++local_wasted;
+              }
+            }
+            local_edges += c.count;
+          }
+        }
+        edges_streamed.fetch_add(local_edges, std::memory_order_relaxed);
+        wasted.fetch_add(local_wasted, std::memory_order_relaxed);
+      });
+      appender.FlushAll();
+    }
+    iter.edges_streamed = edges_streamed.load();
+    iter.wasted_edges = wasted.load();
+    iter.updates_generated = appender.records();
+
+    // --- Shuffle phase: group updates by destination partition (multi-stage
+    // when the partition count warrants it, §4.2).
+    ShuffleOutput<Update> shuffled;
+    if (iter.updates_generated > 0) {
+      ScopedInterval si(streaming);
+      shuffled = ShuffleRecords(
+          pool_, update_buf_->template records<Update>(),
+          scratch_buf_->template records<Update>(), iter.updates_generated,
+          layout_.num_partitions(), fanout_,
+          [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+      // Keep roles consistent: the buffer the updates ended in is consumed by
+      // gather, then becomes scratch; the other is the next append target.
+      if (shuffled.data == scratch_buf_->template records<Update>()) {
+        std::swap(update_buf_, scratch_buf_);
+      }
+    }
+
+    // --- Gather phase: stream each partition's update chunk into its vertex
+    // states; EndVertex runs per partition right after its gather (legal
+    // because gather only touches the partition's own vertices).
+    std::atomic<uint64_t> changed{0};
+    queues_.Distribute(layout_.num_partitions());
+    {
+      ScopedInterval si(streaming);
+      pool_.RunOnAll([&](int tid) {
+        uint64_t local_changed = 0;
+        uint32_t p = 0;
+        while (queues_.Pop(tid, p, config_.enable_work_stealing)) {
+          if (iter.updates_generated > 0) {
+            for (const auto& slice : shuffled.slices) {
+              const ChunkRef& c = slice[p];
+              const Update* us = shuffled.data + c.begin;
+              for (uint64_t i = 0; i < c.count; ++i) {
+                if (algo.Gather(states_[us[i].dst], us[i])) {
+                  ++local_changed;
+                }
+              }
+            }
+          }
+          if constexpr (HasEndVertex<Algo>) {
+            for (VertexId v = layout_.Begin(p); v < layout_.End(p); ++v) {
+              algo.EndVertex(v, states_[v]);
+            }
+          }
+        }
+        changed.fetch_add(local_changed, std::memory_order_relaxed);
+      });
+    }
+    iter.vertices_changed = changed.load();
+    iter.seconds = iter_timer.Seconds();
+
+    stats_.streaming_seconds += streaming.TotalSeconds();
+    stats_.edges_streamed += iter.edges_streamed;
+    stats_.updates_generated += iter.updates_generated;
+    stats_.wasted_edges += iter.wasted_edges;
+    ++stats_.iterations;
+    if (config_.keep_iteration_log) {
+      stats_.per_iteration.push_back(iter);
+    }
+    return iter;
+  }
+
+  // Runs Init + iterations until a scatter emits no updates, the algorithm
+  // reports Done, or max_iterations is reached.
+  RunStats Run(Algo& algo, uint64_t max_iterations = UINT64_MAX) {
+    WallTimer timer;
+    InitVertices(algo);
+    while (stats_.iterations < max_iterations) {
+      IterationStats iter = RunIteration(algo);
+      if (iter.updates_generated == 0) {
+        break;
+      }
+      if constexpr (HasDone<Algo>) {
+        if (algo.Done(iter)) {
+          break;
+        }
+      }
+    }
+    stats_.compute_seconds += timer.Seconds();
+    FinalizeStats();
+    return stats_;
+  }
+
+  // Folds scheduler counters into stats(). Run() calls this automatically;
+  // manual RunIteration drivers should call it before reading stats().
+  void FinalizeStats() { stats_.steals = queues_.steal_count(); }
+
+  // Checkpointing: persists the vertex state array so a long computation can
+  // resume in a fresh engine (graph runs in the paper last up to 26 hours).
+  void SaveVertexStates(StorageDevice& dev, const std::string& file) const {
+    FileId f = dev.Create(file);
+    dev.Write(f, 0,
+              std::span<const std::byte>(reinterpret_cast<const std::byte*>(states_.data()),
+                                         states_.size() * sizeof(VertexState)));
+  }
+
+  // Restores states saved by SaveVertexStates. The graph (vertex count and
+  // state type) must match; aborts otherwise.
+  void LoadVertexStates(StorageDevice& dev, const std::string& file) {
+    FileId f = dev.Open(file);
+    XS_CHECK_EQ(dev.FileSize(f), states_.size() * sizeof(VertexState))
+        << "checkpoint does not match this graph/algorithm";
+    dev.Read(f, 0,
+             std::span<std::byte>(reinterpret_cast<std::byte*>(states_.data()),
+                                  states_.size() * sizeof(VertexState)));
+  }
+
+  // Clears run statistics (multi-computation reuse of one engine).
+  void ResetStats() {
+    stats_ = RunStats{};
+    queues_.reset_steal_count();
+  }
+
+ private:
+  InMemoryConfig config_;
+  ThreadPool pool_;
+  uint64_t num_vertices_;
+  uint64_t num_edges_;
+  PartitionLayout layout_;
+  uint32_t fanout_ = 2;
+
+  StreamBuffer buffers_[3];
+  StreamBuffer* update_buf_ = nullptr;
+  StreamBuffer* scratch_buf_ = nullptr;
+  ShuffleOutput<Edge> edge_chunks_;
+
+  std::vector<VertexState> states_;
+  WorkStealingQueues queues_;
+  RunStats stats_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_INMEM_ENGINE_H_

@@ -1,0 +1,734 @@
+// The out-of-core streaming engine (paper §3).
+//
+// The graph lives on storage devices as one edge file, one update file and
+// one vertex file per streaming partition. Properties carried over from the
+// paper:
+//
+//  * Input is a flat *unordered* edge-list file; the only pre-processing is
+//    one streaming pass that shuffles edges into per-partition files using
+//    the in-memory shuffle (§3.2). No sorting.
+//  * The shuffle phase is folded into scatter: updates accumulate in an
+//    in-memory stream buffer; when it fills, an in-memory shuffle splits it
+//    into per-partition chunks which are appended to the partitions' update
+//    files (§3, Fig 6).
+//  * Prefetch distance 1 on input (StreamReader double-buffering) and on
+//    output: the chunk writes of one output buffer (issued on the update
+//    device's I/O thread) overlap scatter compute into the other (§3.3).
+//  * Partition count from the §3.4 inequality N/K + 5·S·K ≤ M. The five
+//    buffers of that inequality map to: 2 StreamReader input buffers, the 2
+//    alternating output buffers, and the shuffle scratch buffer.
+//  * Optimizations (§3.2): when the whole vertex set fits in the memory
+//    budget, vertex files are skipped; when a full scatter phase's updates
+//    fit in one stream buffer, they are gathered straight from memory and
+//    never touch storage.
+//  * Update files are truncated as soon as their stream is consumed,
+//    modelling TRIM (§3.3).
+//  * Within a loaded chunk, work spreads over cores in the spirit of §4.3
+//    (the in-memory engine layered above the disk engine): scatter
+//    parallelizes over the chunk's edges; gather sub-partitions the chunk's
+//    updates by destination and runs sub-partitions in parallel.
+#ifndef XSTREAM_CORE_OOC_ENGINE_H_
+#define XSTREAM_CORE_OOC_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "buffers/shuffler.h"
+#include "buffers/stream_buffer.h"
+#include "core/algorithm.h"
+#include "core/partition.h"
+#include "core/sizing.h"
+#include "core/stats.h"
+#include "graph/types.h"
+#include "storage/device.h"
+#include "storage/io_executor.h"
+#include "storage/stream_io.h"
+#include "threads/concurrent_appender.h"
+#include "threads/thread_pool.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+struct OutOfCoreConfig {
+  int threads = 0;  // 0 = all cores
+  // Memory budget M for vertex state + the five stream buffers (§3.4).
+  uint64_t memory_budget_bytes = 64ull << 20;
+  // I/O unit S needed to reach streaming bandwidth (16 MB on the paper's
+  // testbed, Fig 9). Benches/tests shrink it along with their graphs.
+  size_t io_unit_bytes = 1 << 20;
+  uint32_t num_partitions = 0;  // 0 = auto from §3.4
+  bool allow_vertex_memory_opt = true;  // §3.2 optimization 1
+  bool allow_update_memory_opt = true;  // §3.2 optimization 2
+  // Ablation of the §3.3 TRIM discipline: true truncates each partition's
+  // update file the moment its stream is consumed; false defers all
+  // truncation to the end of the gather phase, so consumed update streams
+  // occupy the device until the phase completes (higher peak occupancy,
+  // more SSD GC pressure).
+  bool eager_update_truncate = true;
+  bool keep_iteration_log = true;
+  std::string file_prefix = "xs";
+};
+
+template <EdgeCentricAlgorithm Algo>
+class OutOfCoreEngine {
+ public:
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+
+  // Devices may all be the same object (single disk), split between edges
+  // and updates (the Fig 15 "independent disks" configuration), or RAID-0
+  // wrappers. `input_edge_file` must exist on `edge_dev`; `info` comes from
+  // ScanEdgeFile or the generator.
+  OutOfCoreEngine(const OutOfCoreConfig& config, StorageDevice& edge_dev,
+                  StorageDevice& update_dev, StorageDevice& vertex_dev,
+                  const std::string& input_edge_file, GraphInfo info)
+      : config_(config),
+        pool_(config.threads > 0 ? config.threads : NumCores()),
+        edge_dev_(edge_dev),
+        update_dev_(update_dev),
+        vertex_dev_(vertex_dev),
+        num_vertices_(info.num_vertices),
+        num_edges_(info.num_edges) {
+    WallTimer setup_timer;
+
+    uint64_t vertex_bytes = num_vertices_ * sizeof(VertexState);
+    uint32_t k = config.num_partitions > 0
+                     ? config.num_partitions
+                     : ChooseOutOfCorePartitions(vertex_bytes, config.memory_budget_bytes,
+                                                 config.io_unit_bytes);
+    layout_ = PartitionLayout(num_vertices_, k);
+
+    // §3.2 optimization 1: memory-resident vertex array when it fits in half
+    // the budget (the other half belongs to the stream buffers).
+    vertices_in_memory_ =
+        config.allow_vertex_memory_opt && vertex_bytes <= config.memory_budget_bytes / 2;
+
+    // Stream buffer capacity: S bytes per partition chunk (§3.4), with a
+    // floor of twice the worst-case updates of one loaded edge chunk so a
+    // single chunk's scatter output always fits.
+    size_t record = std::max(sizeof(Edge), sizeof(Update));
+    uint64_t chunk_edges = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Edge));
+    uint64_t floor_bytes = 2 * chunk_edges * sizeof(Update);
+    buffer_bytes_ =
+        std::max<uint64_t>(static_cast<uint64_t>(config.io_unit_bytes) * k, floor_bytes);
+    buffer_bytes_ = std::max<uint64_t>(buffer_bytes_, record * 1024);
+    out_[0] = StreamBuffer(buffer_bytes_);
+    out_[1] = StreamBuffer(buffer_bytes_);
+    scratch_ = StreamBuffer(buffer_bytes_);
+
+    // Create the per-partition files.
+    edge_files_.resize(k);
+    update_files_.resize(k);
+    vertex_files_.resize(k);
+    edge_counts_.assign(k, 0);
+    for (uint32_t p = 0; p < k; ++p) {
+      edge_files_[p] = edge_dev_.Create(PartFile("edges", p));
+      update_files_[p] = update_dev_.Create(PartFile("updates", p));
+      if (!vertices_in_memory_) {
+        vertex_files_[p] = vertex_dev_.Create(PartFile("vertices", p));
+      }
+    }
+    if (vertices_in_memory_) {
+      mem_states_.resize(num_vertices_);
+    } else {
+      part_states_.resize(layout_.vertices_per_partition());
+      // Materialize zero-initialized vertex files so the first VertexMap /
+      // scatter can load them before any algorithm Init ran.
+      std::fill(part_states_.begin(), part_states_.end(), VertexState{});
+      for (uint32_t p = 0; p < k; ++p) {
+        if (layout_.Size(p) > 0) {
+          StoreVertices(p);
+        }
+      }
+    }
+
+    // Device baselines: sim_io_seconds reports busy time accrued since
+    // construction (i.e. including the partitioning pass — X-Stream charges
+    // its own pre-processing to the run).
+    CaptureDeviceBaselines();
+    PartitionInputEdges(input_edge_file);
+    stats_.setup_seconds = setup_timer.Seconds();
+  }
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint32_t num_partitions() const { return layout_.num_partitions(); }
+  bool vertices_in_memory() const { return vertices_in_memory_; }
+  const PartitionLayout& layout() const { return layout_; }
+  uint64_t buffer_bytes() const { return buffer_bytes_; }
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+
+  // Appends more raw edges to the partitioned store (the Fig 17 ingest
+  // path): each batch goes through the same in-memory shuffle and is
+  // appended to the per-partition edge files.
+  void IngestEdges(const EdgeList& batch) {
+    WallTimer timer;
+    for (const Edge& e : batch) {
+      XS_CHECK_LT(e.src, num_vertices_);
+      XS_CHECK_LT(e.dst, num_vertices_);
+    }
+    uint64_t capacity_edges = buffer_bytes_ / sizeof(Edge);
+    uint64_t done = 0;
+    while (done < batch.size()) {
+      uint64_t n = std::min<uint64_t>(capacity_edges, batch.size() - done);
+      std::memcpy(out_[0].data(), batch.data() + done, n * sizeof(Edge));
+      ShuffleAndAppendEdges(n);
+      done += n;
+    }
+    num_edges_ += batch.size();
+    stats_.setup_seconds += timer.Seconds();
+  }
+
+  // Vertex iteration (§2.5). With file-resident vertices this loads, maps
+  // and stores one partition at a time.
+  template <typename F>
+  void VertexMap(F&& f) {
+    if (vertices_in_memory_) {
+      pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t v = lo; v < hi; ++v) {
+          f(static_cast<VertexId>(v), mem_states_[v]);
+        }
+      });
+      return;
+    }
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (layout_.Size(p) == 0) {
+        continue;
+      }
+      LoadVertices(p);
+      VertexId base = layout_.Begin(p);
+      uint64_t n = layout_.Size(p);
+      pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          f(static_cast<VertexId>(base + i), part_states_[i]);
+        }
+      });
+      StoreVertices(p);
+    }
+  }
+
+  // Sequential fold over all vertex states.
+  template <typename T, typename F>
+  T VertexFold(T init, F&& f) {
+    T acc = init;
+    if (vertices_in_memory_) {
+      for (uint64_t v = 0; v < num_vertices_; ++v) {
+        acc = f(acc, static_cast<VertexId>(v), mem_states_[v]);
+      }
+      return acc;
+    }
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (layout_.Size(p) == 0) {
+        continue;
+      }
+      LoadVertices(p);
+      VertexId base = layout_.Begin(p);
+      for (uint64_t i = 0; i < layout_.Size(p); ++i) {
+        acc = f(acc, static_cast<VertexId>(base + i), part_states_[i]);
+      }
+    }
+    return acc;
+  }
+
+  void InitVertices(Algo& algo) {
+    if (vertices_in_memory_) {
+      VertexMap([&algo](VertexId v, VertexState& s) { algo.Init(v, s); });
+      return;
+    }
+    // Vertex files do not exist yet; write initial states partition-wise.
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (layout_.Size(p) == 0) {
+        continue;
+      }
+      VertexId base = layout_.Begin(p);
+      for (uint64_t i = 0; i < layout_.Size(p); ++i) {
+        algo.Init(static_cast<VertexId>(base + i), part_states_[i]);
+      }
+      StoreVertices(p);
+    }
+  }
+
+  // One scatter(+folded shuffle) -> gather round over storage (Fig 6).
+  IterationStats RunIteration(Algo& algo) {
+    IterationStats iter;
+    iter.iteration = stats_.iterations;
+    WallTimer iter_timer;
+
+    if constexpr (HasBeforeIteration<Algo>) {
+      algo.BeforeIteration(stats_.iterations);
+    }
+
+    // ---- Merged scatter/shuffle phase.
+    int fill = 0;  // output buffer currently accepting updates
+    auto appender = std::make_unique<ConcurrentAppender>(
+        std::span<std::byte>(out_[fill].data(), buffer_bytes_), sizeof(Update),
+        pool_.num_threads());
+    bool spilled = false;
+    uint64_t chunk_edge_capacity = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Edge));
+    size_t read_chunk = chunk_edge_capacity * sizeof(Edge);
+
+    for (uint32_t s = 0; s < layout_.num_partitions(); ++s) {
+      if (!vertices_in_memory_) {
+        if (layout_.Size(s) == 0) {
+          continue;
+        }
+        LoadVertices(s);
+      }
+      const VertexState* state_base =
+          vertices_in_memory_ ? mem_states_.data() : part_states_.data();
+      VertexId part_base = vertices_in_memory_ ? 0 : layout_.Begin(s);
+
+      StreamReader reader(edge_dev_, edge_files_[s], read_chunk);
+      for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+        uint64_t n = chunk.size() / sizeof(Edge);
+        // Spill (shuffle + async chunk writes) if this chunk's worst-case
+        // output may not fit the buffer.
+        if (appender->bytes() + n * sizeof(Update) > buffer_bytes_) {
+          SpillUpdates(*appender, fill);
+          spilled = true;
+          fill ^= 1;  // scatter continues into the other buffer (§3.3)
+          appender = std::make_unique<ConcurrentAppender>(
+              std::span<std::byte>(out_[fill].data(), buffer_bytes_), sizeof(Update),
+              pool_.num_threads());
+        }
+        const Edge* es = reinterpret_cast<const Edge*>(chunk.data());
+        std::atomic<uint64_t> local_wasted{0};
+        ConcurrentAppender* app = appender.get();
+        pool_.ParallelForTid(0, n, 2048, [&, app](int tid, uint64_t lo, uint64_t hi) {
+          uint64_t w = 0;
+          for (uint64_t i = lo; i < hi; ++i) {
+            Update out;
+            if (algo.Scatter(state_base[es[i].src - part_base], es[i], out)) {
+              app->Append(tid, &out);
+            } else {
+              ++w;
+            }
+          }
+          local_wasted.fetch_add(w, std::memory_order_relaxed);
+        });
+        appender->FlushAll();
+        iter.edges_streamed += n;
+        iter.wasted_edges += local_wasted.load();
+      }
+    }
+
+    // End of scatter: either keep the whole update set in memory (§3.2
+    // optimization 2: nothing was spilled and the optimization is allowed)
+    // or spill the tail like any other buffer.
+    uint64_t tail_records = appender->records();
+    iter.updates_generated = spilled_updates_ + tail_records;
+    bool memory_gather = !spilled && config_.allow_update_memory_opt;
+    ShuffleOutput<Update> resident;
+    if (memory_gather) {
+      if (tail_records > 0) {
+        resident = ShuffleRecords(pool_, out_[fill].template records<Update>(),
+                                  scratch_.template records<Update>(), tail_records,
+                                  layout_.num_partitions(), layout_.num_partitions(),
+                                  [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+      }
+    } else if (tail_records > 0) {
+      SpillUpdates(*appender, fill);
+      fill ^= 1;
+    }
+    WaitUpdateWrites();
+
+    // Scratch buffers for the gather sub-shuffle, chosen to never alias the
+    // resident updates. A single-stage shuffle with K > 1 always lands in
+    // its second buffer (scratch_); with K == 1 ShuffleRecords leaves the
+    // records in place (out_[fill]).
+    Update* tmp_a;
+    Update* tmp_b;
+    if (memory_gather && resident.data == scratch_.template records<Update>()) {
+      tmp_a = out_[0].template records<Update>();
+      tmp_b = out_[1].template records<Update>();
+    } else if (memory_gather && tail_records > 0) {
+      tmp_a = out_[fill ^ 1].template records<Update>();
+      tmp_b = scratch_.template records<Update>();
+    } else {
+      tmp_a = out_[0].template records<Update>();
+      tmp_b = out_[1].template records<Update>();
+    }
+
+    // ---- Gather phase.
+    std::atomic<uint64_t> changed{0};
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (layout_.Size(p) == 0) {
+        continue;
+      }
+      if (!vertices_in_memory_) {
+        LoadVertices(p);
+      }
+      VertexState* state_base = vertices_in_memory_ ? mem_states_.data() : part_states_.data();
+      VertexId part_base = vertices_in_memory_ ? 0 : layout_.Begin(p);
+
+      if (memory_gather) {
+        if (tail_records > 0) {
+          for (const auto& slice : resident.slices) {
+            const ChunkRef& c = slice[p];
+            if (c.count > 0) {
+              GatherChunk(algo, resident.data + c.begin, c.count, state_base, part_base, p,
+                          tmp_a, tmp_b, changed);
+            }
+          }
+        }
+      } else {
+        uint64_t chunk_updates = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Update));
+        StreamReader reader(update_dev_, update_files_[p], chunk_updates * sizeof(Update));
+        for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+          GatherChunk(algo, reinterpret_cast<const Update*>(chunk.data()),
+                      chunk.size() / sizeof(Update), state_base, part_base, p, tmp_a, tmp_b,
+                      changed);
+        }
+      }
+
+      if constexpr (HasEndVertex<Algo>) {
+        VertexId base = layout_.Begin(p);
+        uint64_t n = layout_.Size(p);
+        pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) {
+            algo.EndVertex(static_cast<VertexId>(base + i), state_base[base + i - part_base]);
+          }
+        });
+      }
+      if (!vertices_in_memory_) {
+        StoreVertices(p);
+      }
+      // The update stream is consumed: destroy it (truncation = TRIM, §3.3).
+      if (!memory_gather && config_.eager_update_truncate) {
+        update_dev_.Truncate(update_files_[p], 0);
+      }
+      // Track peak update-file occupancy for the TRIM ablation.
+      uint64_t occupancy = 0;
+      for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
+        occupancy += update_dev_.FileSize(update_files_[q]);
+      }
+      stats_.peak_update_bytes = std::max(stats_.peak_update_bytes, occupancy);
+    }
+    if (!memory_gather && !config_.eager_update_truncate) {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        update_dev_.Truncate(update_files_[p], 0);
+      }
+    }
+    iter.vertices_changed = changed.load();
+    spilled_updates_ = 0;
+
+    iter.seconds = iter_timer.Seconds();
+    stats_.edges_streamed += iter.edges_streamed;
+    stats_.updates_generated += iter.updates_generated;
+    stats_.wasted_edges += iter.wasted_edges;
+    ++stats_.iterations;
+    if (config_.keep_iteration_log) {
+      stats_.per_iteration.push_back(iter);
+    }
+    return iter;
+  }
+
+  RunStats Run(Algo& algo, uint64_t max_iterations = UINT64_MAX) {
+    WallTimer timer;
+    InitVertices(algo);
+    while (stats_.iterations < max_iterations) {
+      IterationStats iter = RunIteration(algo);
+      if (iter.updates_generated == 0) {
+        break;
+      }
+      if constexpr (HasDone<Algo>) {
+        if (algo.Done(iter)) {
+          break;
+        }
+      }
+    }
+    stats_.compute_seconds += timer.Seconds();
+    FinalizeStats();
+    return stats_;
+  }
+
+  // Folds device counters into stats() (sim_io_seconds, bytes moved).
+  // Run() calls this automatically; manual RunIteration drivers (SCC, MCST,
+  // ALS, HyperANF) should call it before reading stats().
+  void FinalizeStats() { CollectDeviceStats(); }
+
+  // Clears run statistics and re-baselines the devices; lets one engine
+  // time several consecutive computations (the Fig 17 ingest loop).
+  void ResetStats() {
+    stats_ = RunStats{};
+    CaptureDeviceBaselines();
+  }
+
+  // Checkpointing: persists all vertex state (one sequential write) so a
+  // multi-hour out-of-core run can resume after a restart.
+  void SaveVertexStates(StorageDevice& dev, const std::string& file) {
+    FileId f = dev.Create(file);
+    if (vertices_in_memory_) {
+      dev.Write(f, 0,
+                std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(mem_states_.data()),
+                    mem_states_.size() * sizeof(VertexState)));
+      return;
+    }
+    uint64_t offset = 0;
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t n = layout_.Size(p);
+      if (n == 0) {
+        continue;
+      }
+      LoadVertices(p);
+      dev.Write(f, offset,
+                std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(part_states_.data()),
+                    n * sizeof(VertexState)));
+      offset += n * sizeof(VertexState);
+    }
+  }
+
+  void LoadVertexStates(StorageDevice& dev, const std::string& file) {
+    FileId f = dev.Open(file);
+    XS_CHECK_EQ(dev.FileSize(f), num_vertices_ * sizeof(VertexState))
+        << "checkpoint does not match this graph/algorithm";
+    if (vertices_in_memory_) {
+      dev.Read(f, 0,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(mem_states_.data()),
+                                    mem_states_.size() * sizeof(VertexState)));
+      return;
+    }
+    uint64_t offset = 0;
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t n = layout_.Size(p);
+      if (n == 0) {
+        continue;
+      }
+      dev.Read(f, offset,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(part_states_.data()),
+                                    n * sizeof(VertexState)));
+      StoreVertices(p);
+      offset += n * sizeof(VertexState);
+    }
+  }
+
+ private:
+  std::string PartFile(const char* kind, uint32_t p) const {
+    return config_.file_prefix + "." + kind + "." + std::to_string(p);
+  }
+
+  // Setup: stream the unordered input file, shuffle each loaded stretch by
+  // source partition, append chunks to the per-partition edge files (§3.2).
+  void PartitionInputEdges(const std::string& input_edge_file) {
+    FileId input = edge_dev_.Open(input_edge_file);
+    size_t read_chunk = std::max<size_t>(
+        sizeof(Edge), config_.io_unit_bytes / sizeof(Edge) * sizeof(Edge));
+    StreamReader reader(edge_dev_, input, read_chunk);
+    uint64_t buffered = 0;
+    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+      XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
+      uint64_t n = chunk.size() / sizeof(Edge);
+      if ((buffered + n) * sizeof(Edge) > buffer_bytes_) {
+        ShuffleAndAppendEdges(buffered);
+        buffered = 0;
+      }
+      std::memcpy(out_[0].data() + buffered * sizeof(Edge), chunk.data(), chunk.size());
+      buffered += n;
+    }
+    if (buffered > 0) {
+      ShuffleAndAppendEdges(buffered);
+    }
+  }
+
+  // Shuffles `count` edges sitting at the start of out_[0] by source
+  // partition and appends each partition's spans to its edge file.
+  void ShuffleAndAppendEdges(uint64_t count) {
+    if (count == 0) {
+      return;
+    }
+    auto shuffled = ShuffleRecords(pool_, out_[0].template records<Edge>(),
+                                   scratch_.template records<Edge>(), count,
+                                   layout_.num_partitions(), layout_.num_partitions(),
+                                   [this](const Edge& e) { return layout_.PartitionOf(e.src); });
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      for (const auto& slice : shuffled.slices) {
+        const ChunkRef& c = slice[p];
+        if (c.count > 0) {
+          edge_dev_.Append(edge_files_[p],
+                           std::span<const std::byte>(
+                               reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
+                               c.count * sizeof(Edge)));
+          edge_counts_[p] += c.count;
+        }
+      }
+    }
+  }
+
+  // In-memory shuffle of the filled output buffer + asynchronous appends of
+  // the per-partition chunks to the update files (the folded shuffle phase).
+  // The previous spill's writes are drained first because they read from
+  // scratch_, which the new shuffle overwrites. After this returns, the
+  // shuffled records live in scratch_ (single-stage shuffle, K > 1) or stay
+  // in out_[fill] (K == 1); either way the async write owns that memory
+  // until the next WaitUpdateWrites().
+  void SpillUpdates(ConcurrentAppender& appender, int fill) {
+    appender.FlushAll();
+    uint64_t n = appender.records();
+    if (n == 0) {
+      return;
+    }
+    WaitUpdateWrites();
+    auto shuffled = ShuffleRecords(pool_, out_[fill].template records<Update>(),
+                                   scratch_.template records<Update>(), n,
+                                   layout_.num_partitions(), layout_.num_partitions(),
+                                   [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+    spilled_updates_ += n;
+    const Update* data = shuffled.data;
+    auto slices = std::make_shared<std::vector<std::vector<ChunkRef>>>(
+        std::move(shuffled.slices));
+    pending_update_write_ = update_dev_.executor().Submit([this, data, slices] {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        for (const auto& slice : *slices) {
+          const ChunkRef& c = slice[p];
+          if (c.count > 0) {
+            update_dev_.Append(update_files_[p],
+                               std::span<const std::byte>(
+                                   reinterpret_cast<const std::byte*>(data + c.begin),
+                                   c.count * sizeof(Update)));
+          }
+        }
+      }
+    });
+  }
+
+  void WaitUpdateWrites() {
+    if (pending_update_write_.valid()) {
+      pending_update_write_.wait();
+    }
+  }
+
+  // Gathers one loaded chunk of updates. With multiple threads the chunk is
+  // first sub-partitioned by destination (the §4.3 layering) so threads
+  // gather disjoint vertex ranges without synchronization. tmp_a/tmp_b must
+  // not alias `us`.
+  void GatherChunk(Algo& algo, const Update* us, uint64_t count, VertexState* state_base,
+                   VertexId part_base, uint32_t p, Update* tmp_a, Update* tmp_b,
+                   std::atomic<uint64_t>& changed) {
+    if (pool_.num_threads() == 1 || count < 4096) {
+      uint64_t local = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        if (algo.Gather(state_base[us[i].dst - part_base], us[i])) {
+          ++local;
+        }
+      }
+      changed.fetch_add(local, std::memory_order_relaxed);
+      return;
+    }
+    uint32_t sub_k = RoundUpPow2(static_cast<uint64_t>(pool_.num_threads()) * 4);
+    uint64_t part_size = std::max<uint64_t>(1, layout_.Size(p));
+    uint64_t sub_span = (part_size + sub_k - 1) / sub_k;
+    VertexId begin = layout_.Begin(p);
+    std::memcpy(tmp_a, us, count * sizeof(Update));
+    auto sub = ShuffleRecords(pool_, tmp_a, tmp_b, count, sub_k, sub_k, [&](const Update& u) {
+      return static_cast<uint32_t>((u.dst - begin) / sub_span);
+    });
+    std::atomic<uint32_t> next{0};
+    pool_.RunOnAll([&](int) {
+      uint64_t local = 0;
+      for (;;) {
+        uint32_t sp = next.fetch_add(1, std::memory_order_relaxed);
+        if (sp >= sub_k) {
+          break;
+        }
+        for (const auto& slice : sub.slices) {
+          const ChunkRef& c = slice[sp];
+          const Update* rec = sub.data + c.begin;
+          for (uint64_t i = 0; i < c.count; ++i) {
+            if (algo.Gather(state_base[rec[i].dst - part_base], rec[i])) {
+              ++local;
+            }
+          }
+        }
+      }
+      changed.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  void LoadVertices(uint32_t p) {
+    uint64_t n = layout_.Size(p);
+    vertex_dev_.Read(vertex_files_[p], 0,
+                     std::span<std::byte>(reinterpret_cast<std::byte*>(part_states_.data()),
+                                          n * sizeof(VertexState)));
+  }
+
+  void StoreVertices(uint32_t p) {
+    uint64_t n = layout_.Size(p);
+    vertex_dev_.Write(vertex_files_[p], 0,
+                      std::span<const std::byte>(
+                          reinterpret_cast<const std::byte*>(part_states_.data()),
+                          n * sizeof(VertexState)));
+  }
+
+  void CaptureDeviceBaselines() {
+    baselines_.clear();
+    for (StorageDevice* dev : UniqueDevices()) {
+      baselines_[dev] = dev->stats();
+    }
+  }
+
+  void CollectDeviceStats() {
+    stats_.sim_io_seconds = 0;
+    stats_.bytes_read = 0;
+    stats_.bytes_written = 0;
+    for (StorageDevice* dev : UniqueDevices()) {
+      DeviceStats s = dev->stats();
+      DeviceStats base;  // zero if the device was attached after baselining
+      auto it = baselines_.find(dev);
+      if (it != baselines_.end()) {
+        base = it->second;
+      }
+      stats_.sim_io_seconds =
+          std::max(stats_.sim_io_seconds, s.busy_seconds - base.busy_seconds);
+      stats_.bytes_read += s.bytes_read - base.bytes_read;
+      stats_.bytes_written += s.bytes_written - base.bytes_written;
+    }
+  }
+
+  std::vector<StorageDevice*> UniqueDevices() {
+    std::set<StorageDevice*> unique{&edge_dev_, &update_dev_, &vertex_dev_};
+    return {unique.begin(), unique.end()};
+  }
+
+  OutOfCoreConfig config_;
+  ThreadPool pool_;
+  StorageDevice& edge_dev_;
+  StorageDevice& update_dev_;
+  StorageDevice& vertex_dev_;
+  uint64_t num_vertices_;
+  uint64_t num_edges_;
+  PartitionLayout layout_;
+
+  uint64_t buffer_bytes_ = 0;
+  StreamBuffer out_[2];
+  StreamBuffer scratch_;
+
+  bool vertices_in_memory_ = false;
+  std::vector<VertexState> mem_states_;   // when vertices_in_memory_
+  std::vector<VertexState> part_states_;  // one-partition scratch otherwise
+
+  std::vector<FileId> edge_files_;
+  std::vector<FileId> update_files_;
+  std::vector<FileId> vertex_files_;
+  std::vector<uint64_t> edge_counts_;
+
+  std::future<void> pending_update_write_;
+  uint64_t spilled_updates_ = 0;
+  std::map<StorageDevice*, DeviceStats> baselines_;
+  RunStats stats_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_OOC_ENGINE_H_

@@ -1,0 +1,61 @@
+// Streaming-partition layout (paper §2.2).
+//
+// "The vertex sets of different streaming partitions are mutually disjoint,
+// and their union equals the vertex set of the entire graph. ... We restrict
+// the vertex sets of streaming partitions to be of equal size." Vertices are
+// assigned to partitions by contiguous equal ranges, so partition membership
+// is one integer division and vertex state arrays can be sliced per
+// partition without indirection.
+#ifndef XSTREAM_CORE_PARTITION_H_
+#define XSTREAM_CORE_PARTITION_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+class PartitionLayout {
+ public:
+  PartitionLayout() = default;
+
+  PartitionLayout(uint64_t num_vertices, uint32_t num_partitions)
+      : num_vertices_(num_vertices),
+        num_partitions_(num_partitions),
+        per_partition_((num_vertices + num_partitions - 1) / std::max(1u, num_partitions)) {
+    XS_CHECK_GT(num_partitions, 0u);
+    if (per_partition_ == 0) {
+      per_partition_ = 1;  // more partitions than vertices: trailing ones empty
+    }
+  }
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+  uint64_t vertices_per_partition() const { return per_partition_; }
+
+  uint32_t PartitionOf(VertexId v) const {
+    return static_cast<uint32_t>(v / per_partition_);
+  }
+
+  VertexId Begin(uint32_t p) const {
+    return static_cast<VertexId>(std::min<uint64_t>(p * per_partition_, num_vertices_));
+  }
+
+  VertexId End(uint32_t p) const {
+    return static_cast<VertexId>(std::min<uint64_t>((p + uint64_t{1}) * per_partition_,
+                                                    num_vertices_));
+  }
+
+  uint64_t Size(uint32_t p) const { return End(p) - Begin(p); }
+
+ private:
+  uint64_t num_vertices_ = 0;
+  uint32_t num_partitions_ = 1;
+  uint64_t per_partition_ = 1;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_PARTITION_H_

@@ -1,0 +1,52 @@
+// Partition-count and fanout selection (paper §2.4, §3.4, §4, §5.6).
+//
+// X-Stream "automatically picks the number of streaming partitions for
+// in-memory and out-of-core graphs, using the amount of main memory and the
+// cache size as inputs. It also automatically picks the shuffler fanout for
+// in-memory graphs, using the number of cache lines as input."
+#ifndef XSTREAM_CORE_SIZING_H_
+#define XSTREAM_CORE_SIZING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xstream {
+
+// In-memory engine (§4): the number of partitions is a power of two chosen
+// so that each partition's vertex *footprint* fits the per-core cache. The
+// footprint counts vertex state plus one edge and one update per vertex-ish
+// unit ("the sum of vertex data size, edge size and update size"), because
+// streamed records must pass through the cache without evicting the states.
+//
+//   footprint = num_vertices * (state_bytes + edge_bytes + update_bytes)
+//   partitions = round_pow2_up(footprint / cache_bytes), clamped to
+//   [1, max_partitions].
+uint32_t ChooseInMemoryPartitions(uint64_t num_vertices, size_t state_bytes, size_t edge_bytes,
+                                  size_t update_bytes, size_t cache_bytes,
+                                  uint32_t max_partitions = 1u << 20);
+
+// Out-of-core engine (§3.4): with N = total vertex state bytes, M = memory
+// budget and S = the I/O unit needed to reach streaming bandwidth, the
+// partition count K must satisfy  N/K + 5*S*K <= M  (the vertex array of one
+// partition plus 5 stream buffers of S*K bytes each). Returns the smallest
+// viable K; aborts if none exists (memory budget too small — the minimum is
+// 2*sqrt(5*N*S) at K = sqrt(N/(5S))).
+uint32_t ChooseOutOfCorePartitions(uint64_t vertex_state_bytes, uint64_t memory_budget_bytes,
+                                   size_t io_unit_bytes);
+
+// True when some K in [1, 2^20] satisfies the §3.4 inequality.
+bool OutOfCorePartitionsViable(uint64_t vertex_state_bytes, uint64_t memory_budget_bytes,
+                               size_t io_unit_bytes);
+
+// Multi-stage shuffler fanout (§4.2): the largest power of two not exceeding
+// the number of cachelines in the cache (each output chunk needs a resident
+// cacheline-sized cursor), capped at the partition count.
+uint32_t ChooseShuffleFanout(uint32_t num_partitions, size_t cache_bytes,
+                             size_t cacheline_bytes = 64);
+
+// Rounds up to a power of two (minimum 1).
+uint32_t RoundUpPow2(uint64_t x);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_SIZING_H_

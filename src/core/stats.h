@@ -1,0 +1,68 @@
+// Run statistics reported by both engines.
+//
+// These feed the evaluation directly: iteration counts, the wasted-edge
+// percentage and the runtime/streaming ratio reproduce Fig 12b; device busy
+// time yields the simulated runtimes of the out-of-core experiments.
+#ifndef XSTREAM_CORE_STATS_H_
+#define XSTREAM_CORE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace xstream {
+
+struct IterationStats {
+  uint64_t iteration = 0;
+  uint64_t edges_streamed = 0;
+  uint64_t updates_generated = 0;
+  uint64_t wasted_edges = 0;  // streamed edges that produced no update
+  uint64_t vertices_changed = 0;  // gathers that mutated state
+  double seconds = 0.0;
+};
+
+struct RunStats {
+  uint64_t iterations = 0;
+  uint64_t edges_streamed = 0;
+  uint64_t updates_generated = 0;
+  uint64_t wasted_edges = 0;
+  uint64_t steals = 0;  // partitions obtained by work stealing
+
+  double setup_seconds = 0.0;      // partitioning the unordered edge list
+  double compute_seconds = 0.0;    // wall time of the iteration loop
+  double streaming_seconds = 0.0;  // time inside scatter/shuffle/gather
+
+  // Out-of-core runs on SimDevices: max busy time across devices. The
+  // modelled runtime is the max of compute wall time and device busy time
+  // (prefetch keeps devices and CPU overlapped, §3.3).
+  double sim_io_seconds = 0.0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  // Peak bytes held in update files (out-of-core engine; TRIM ablation).
+  uint64_t peak_update_bytes = 0;
+
+  std::vector<IterationStats> per_iteration;
+
+  double WallSeconds() const { return setup_seconds + compute_seconds; }
+
+  // Modelled end-to-end runtime (equals wall time for in-memory runs).
+  double RuntimeSeconds() const { return std::max(WallSeconds(), sim_io_seconds); }
+
+  // Fig 12b: "ratio of total execution time to streaming time".
+  double StreamingRatio() const {
+    double stream = std::max(streaming_seconds, sim_io_seconds);
+    return stream > 0 ? RuntimeSeconds() / stream : 0.0;
+  }
+
+  // Fig 12b: "percentage of edges that were streamed and along which no
+  // updates were sent".
+  double WastedEdgePercent() const {
+    return edges_streamed > 0
+               ? 100.0 * static_cast<double>(wasted_edges) / static_cast<double>(edges_streamed)
+               : 0.0;
+  }
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_STATS_H_

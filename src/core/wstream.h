@@ -1,0 +1,217 @@
+// W-Stream model support (paper §2.5).
+//
+// "...or graph algorithms that are built on top of the W-Stream model [14]."
+//
+// In the W-Stream model (Aggarwal, Datar, Rajagopalan & Ruhl; Demetrescu et
+// al.) each pass reads an input stream and *writes an output stream* that
+// becomes the next pass's input, with memory bounded well below the stream
+// size. The engine below runs such algorithms over the storage substrate:
+// pass i streams `stream.i` sequentially and appends records to
+// `stream.(i+1)`; consumed streams are truncated (the TRIM discipline of
+// §3.3).
+//
+// An algorithm provides a Record type plus:
+//   * BeginPass(pass)
+//   * Item(const Record&, Emitter&)  — may emit any number of records
+//   * EndPass(pass, emitted) -> bool — true when done
+#ifndef XSTREAM_CORE_WSTREAM_H_
+#define XSTREAM_CORE_WSTREAM_H_
+
+#include <algorithm>
+#include <concepts>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "storage/device.h"
+#include "storage/stream_io.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+// Append-side handle given to the algorithm.
+template <typename Record>
+class WStreamEmitter {
+ public:
+  explicit WStreamEmitter(StreamWriter& writer) : writer_(writer) {}
+
+  void Emit(const Record& r) {
+    writer_.AppendRecord(r);
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  StreamWriter& writer_;
+  uint64_t count_ = 0;
+};
+
+template <typename A, typename Record>
+concept WStreamAlgorithm = requires(A a, const Record& r, WStreamEmitter<Record>& out,
+                                    uint32_t pass, uint64_t emitted) {
+  requires std::is_trivially_copyable_v<Record>;
+  { a.BeginPass(pass) } -> std::same_as<void>;
+  { a.Item(r, out) } -> std::same_as<void>;
+  { a.EndPass(pass, emitted) } -> std::convertible_to<bool>;
+};
+
+struct WStreamStats {
+  uint32_t passes = 0;
+  uint64_t records_read = 0;
+  uint64_t records_written = 0;
+  double seconds = 0.0;
+};
+
+// Runs the algorithm starting from the records in `input_file` on `dev`.
+// Intermediate streams are named `<prefix>.pass.<i>` and truncated once
+// consumed. The input file itself is preserved.
+template <typename Record, typename A>
+  requires WStreamAlgorithm<A, Record>
+WStreamStats RunWStream(A& algo, StorageDevice& dev, const std::string& input_file,
+                        const std::string& prefix = "wstream", uint32_t max_passes = 256,
+                        size_t io_unit_bytes = 1 << 20) {
+  WStreamStats stats;
+  WallTimer timer;
+  size_t chunk = std::max<size_t>(sizeof(Record),
+                                  io_unit_bytes / sizeof(Record) * sizeof(Record));
+  std::string current = input_file;
+  for (uint32_t pass = 0; pass < max_passes; ++pass) {
+    std::string next = prefix + ".pass." + std::to_string(pass);
+    FileId in = dev.Open(current);
+    FileId out = dev.Create(next);
+    algo.BeginPass(pass);
+    uint64_t emitted;
+    {
+      StreamReader reader(dev, in, chunk);
+      StreamWriter writer(dev, out, chunk);
+      WStreamEmitter<Record> emitter(writer);
+      for (auto bytes = reader.Next(); !bytes.empty(); bytes = reader.Next()) {
+        XS_CHECK_EQ(bytes.size() % sizeof(Record), 0u);
+        const Record* records = reinterpret_cast<const Record*>(bytes.data());
+        uint64_t n = bytes.size() / sizeof(Record);
+        for (uint64_t i = 0; i < n; ++i) {
+          algo.Item(records[i], emitter);
+        }
+        stats.records_read += n;
+      }
+      writer.Finish();
+      emitted = emitter.count();
+      stats.records_written += emitted;
+    }
+    // The consumed intermediate stream is destroyed (truncate = TRIM).
+    if (current != input_file) {
+      dev.Truncate(in, 0);
+      dev.Remove(current);
+    }
+    ++stats.passes;
+    if (algo.EndPass(pass, emitted)) {
+      dev.Remove(next);
+      break;
+    }
+    current = next;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+// ------------------------------------------------------------------------
+// Classic W-Stream algorithm: connected components by repeated contraction
+// (Demetrescu, Finocchi & Ribichini). Each pass builds an in-memory
+// dictionary of at most `memory_budget` vertices, greedily unions the edges
+// whose endpoints both sit in the dictionary, relabels the remaining edges
+// through the dictionary, and emits them for the next pass. Passes shrink
+// the stream until it is empty; total passes ~ O(V / memory_budget).
+class WStreamConnectedComponents {
+ public:
+  WStreamConnectedComponents(uint64_t num_vertices, uint64_t memory_budget)
+      : budget_(std::max<uint64_t>(2, memory_budget)), label_(num_vertices) {
+    for (uint64_t v = 0; v < num_vertices; ++v) {
+      label_[v] = static_cast<VertexId>(v);
+    }
+  }
+
+  void BeginPass(uint32_t) { dict_parent_.clear(); }
+
+  void Item(const Edge& e, WStreamEmitter<Edge>& out) {
+    // Endpoints are *labels* (supervertices) from previous contractions.
+    VertexId a = e.src;
+    VertexId b = e.dst;
+    if (a == b) {
+      return;  // contracted away
+    }
+    bool have_a = TryAdmit(a);
+    bool have_b = TryAdmit(b);
+    if (have_a && have_b) {
+      DictUnion(a, b);  // contract in memory; edge is consumed
+      return;
+    }
+    // At least one endpoint is outside the dictionary: forward the edge,
+    // relabelled through the current contraction where possible.
+    out.Emit(Edge{have_a ? DictFind(a) : a, have_b ? DictFind(b) : b, e.weight});
+  }
+
+  bool EndPass(uint32_t, uint64_t emitted) {
+    // Fold the pass's contractions into the global labels: every vertex
+    // whose label sits in the dictionary follows it to the dictionary root.
+    for (auto& l : label_) {
+      auto it = dict_parent_.find(l);
+      if (it != dict_parent_.end()) {
+        l = DictFind(l);
+      }
+    }
+    return emitted == 0;
+  }
+
+  // After completion: canonical min-id component labels.
+  std::vector<VertexId> Labels() {
+    // Labels may chain through several passes' supervertices; compress.
+    // (Supervertex ids are vertex ids, so label_[l] is meaningful.)
+    for (uint64_t v = 0; v < label_.size(); ++v) {
+      VertexId l = label_[v];
+      while (label_[l] != l) {
+        l = label_[l];
+      }
+      label_[v] = l;
+    }
+    return label_;
+  }
+
+ private:
+  bool TryAdmit(VertexId v) {
+    if (dict_parent_.count(v) > 0) {
+      return true;
+    }
+    if (dict_parent_.size() >= budget_) {
+      return false;
+    }
+    dict_parent_[v] = v;
+    return true;
+  }
+
+  VertexId DictFind(VertexId x) {
+    while (dict_parent_[x] != x) {
+      dict_parent_[x] = dict_parent_[dict_parent_[x]];
+      x = dict_parent_[x];
+    }
+    return x;
+  }
+
+  void DictUnion(VertexId a, VertexId b) {
+    a = DictFind(a);
+    b = DictFind(b);
+    if (a != b) {
+      dict_parent_[std::max(a, b)] = std::min(a, b);
+    }
+  }
+
+  uint64_t budget_;
+  std::vector<VertexId> label_;
+  std::unordered_map<VertexId, VertexId> dict_parent_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_WSTREAM_H_

@@ -1,0 +1,80 @@
+#include "graph/datasets.h"
+
+#include "graph/generators.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+std::vector<DatasetSpec> InMemoryDatasets() {
+  return {
+      // name, paper |V|/|E|, kind, directed, scale, edge_factor, seed
+      {"amazon0601*", "403,394 / 3,387,388", DatasetKind::kScaleFree, true, 13, 8, 101},
+      {"cit-Patents*", "3,774,768 / 16,518,948", DatasetKind::kScaleFree, true, 14, 4, 102},
+      {"soc-livejournal*", "4,847,571 / 68,993,773", DatasetKind::kScaleFree, true, 14, 14, 103},
+      // The grid stand-in already contains both directions of every edge, so
+      // it is flagged undirected (no further symmetrization needed).
+      {"dimacs-usa*", "23,947,347 / 58,333,344", DatasetKind::kHighDiameter, false, 14, 2, 104},
+  };
+}
+
+std::vector<DatasetSpec> OutOfCoreDatasets() {
+  return {
+      {"Twitter*", "41.7M / 1.4B", DatasetKind::kScaleFree, true, 15, 24, 201},
+      {"Friendster*", "65.6M / 1.8B", DatasetKind::kScaleFree, false, 15, 28, 202},
+      {"sk-2005*", "50.6M / 1.9B", DatasetKind::kScaleFree, true, 15, 38, 203},
+      {"yahoo-web*", "1.4B / 6.6B", DatasetKind::kChained, false, 16, 5, 204},
+      {"Netflix*", "0.5M / 0.1B", DatasetKind::kBipartite, false, 13, 25, 205},
+  };
+}
+
+std::optional<DatasetSpec> FindDataset(const std::string& name) {
+  for (const auto& spec : InMemoryDatasets()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  for (const auto& spec : OutOfCoreDatasets()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+EdgeList GenerateDataset(const DatasetSpec& spec, int scale_shift) {
+  uint32_t scale = spec.scale + static_cast<uint32_t>(scale_shift);
+  switch (spec.kind) {
+    case DatasetKind::kScaleFree: {
+      RmatParams params;
+      params.scale = scale;
+      params.edge_factor = spec.edge_factor;
+      params.undirected = !spec.directed;
+      params.seed = spec.seed;
+      return GenerateRmat(params);
+    }
+    case DatasetKind::kHighDiameter: {
+      // Square-ish grid with exactly 2^scale vertices: diameter ~
+      // 2 * 2^(scale/2), matching the dimacs-usa pathology (Fig 13: 8122
+      // steps). Odd scales get a 1:2 aspect ratio.
+      uint32_t rows = uint32_t{1} << (scale / 2);
+      uint32_t cols = uint32_t{1} << (scale - scale / 2);
+      return GenerateGrid(rows, cols, spec.seed);
+    }
+    case DatasetKind::kChained: {
+      // 2^(scale-8) clusters of 256 vertices: long global chain.
+      uint32_t clusters = uint32_t{1} << (scale > 8 ? scale - 8 : 1);
+      return GenerateClusteredChain(clusters, 256, spec.edge_factor, spec.seed);
+    }
+    case DatasetKind::kBipartite: {
+      // Users dominate items 10:1 as in Netflix; ~edge_factor ratings/user.
+      uint32_t users = uint32_t{1} << scale;
+      uint32_t items = users / 10 + 1;
+      uint64_t ratings = static_cast<uint64_t>(users) * spec.edge_factor;
+      return GenerateBipartite(users, items, ratings, spec.seed);
+    }
+  }
+  XS_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace xstream

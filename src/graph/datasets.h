@@ -1,0 +1,56 @@
+// Registry of dataset stand-ins for the paper's evaluation graphs (Fig 10).
+//
+// The paper's real-world datasets (Twitter, Friendster, sk-2005, yahoo-web,
+// Netflix, SNAP graphs) are not redistributable and are far beyond a
+// development host, so each is mapped to a synthetic generator configuration
+// that preserves the structural property the evaluation leans on:
+// scale-free degree skew (RMAT), high diameter (grid / clustered chain), or
+// bipartite rating structure. A `scale_shift` knob grows every stand-in
+// toward paper scale on capable machines.
+#ifndef XSTREAM_GRAPH_DATASETS_H_
+#define XSTREAM_GRAPH_DATASETS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+enum class DatasetKind {
+  kScaleFree,     // RMAT
+  kHighDiameter,  // grid (road network stand-in)
+  kChained,       // clustered chain (yahoo-web stand-in)
+  kBipartite,     // rating graph (Netflix stand-in)
+};
+
+struct DatasetSpec {
+  std::string name;       // paper name with a trailing '*' marking a stand-in
+  std::string paper_size; // the original |V| / |E| for the docs tables
+  DatasetKind kind = DatasetKind::kScaleFree;
+  bool directed = true;
+  // Generator knobs (interpretation depends on kind; see datasets.cc).
+  uint32_t scale = 14;
+  uint32_t edge_factor = 16;
+  uint64_t seed = 42;
+};
+
+// In-memory table rows of Fig 10 (amazon0601, cit-Patents, soc-livejournal,
+// dimacs-usa) at reduced scale.
+std::vector<DatasetSpec> InMemoryDatasets();
+
+// Out-of-core table rows (Twitter, Friendster, sk-2005, yahoo-web, Netflix)
+// at reduced scale.
+std::vector<DatasetSpec> OutOfCoreDatasets();
+
+// Looks a spec up by (stand-in) name across both lists.
+std::optional<DatasetSpec> FindDataset(const std::string& name);
+
+// Materializes the stand-in. `scale_shift` adds to the size exponent
+// (0 = test-friendly defaults, +3 or more approaches paper scale).
+EdgeList GenerateDataset(const DatasetSpec& spec, int scale_shift = 0);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_DATASETS_H_

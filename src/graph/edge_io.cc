@@ -1,0 +1,69 @@
+#include "graph/edge_io.h"
+
+#include <cstring>
+
+#include "storage/stream_io.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+namespace {
+// Chunk size must be a whole number of 12-byte edge records so that streamed
+// chunks can be reinterpreted as record arrays.
+constexpr size_t kIoChunkBytes = 4 * 1024 * 1024 / sizeof(Edge) * sizeof(Edge);
+}
+
+void WriteEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& edges) {
+  FileId f = dev.Create(file);
+  StreamWriter writer(dev, f, kIoChunkBytes);
+  writer.Append(std::span<const std::byte>(reinterpret_cast<const std::byte*>(edges.data()),
+                                           edges.size() * sizeof(Edge)));
+  writer.Finish();
+}
+
+void AppendEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& edges) {
+  FileId f = dev.Exists(file) ? dev.Open(file) : dev.Create(file);
+  StreamWriter writer(dev, f, kIoChunkBytes);
+  writer.Append(std::span<const std::byte>(reinterpret_cast<const std::byte*>(edges.data()),
+                                           edges.size() * sizeof(Edge)));
+  writer.Finish();
+}
+
+EdgeList ReadEdgeFile(StorageDevice& dev, const std::string& file) {
+  FileId f = dev.Open(file);
+  uint64_t size = dev.FileSize(f);
+  XS_CHECK_EQ(size % sizeof(Edge), 0u) << file << " is not a whole number of edge records";
+  EdgeList edges(size / sizeof(Edge));
+  StreamReader reader(dev, f, kIoChunkBytes);
+  size_t written = 0;
+  for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+    std::memcpy(reinterpret_cast<std::byte*>(edges.data()) + written, chunk.data(), chunk.size());
+    written += chunk.size();
+  }
+  XS_CHECK_EQ(written, size);
+  return edges;
+}
+
+GraphInfo ScanEdgeFile(StorageDevice& dev, const std::string& file) {
+  FileId f = dev.Open(file);
+  uint64_t size = dev.FileSize(f);
+  XS_CHECK_EQ(size % sizeof(Edge), 0u) << file << " is not a whole number of edge records";
+  GraphInfo info;
+  info.num_edges = size / sizeof(Edge);
+  StreamReader reader(dev, f, kIoChunkBytes);
+  for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+    const Edge* records = reinterpret_cast<const Edge*>(chunk.data());
+    uint64_t n = chunk.size() / sizeof(Edge);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (records[i].src >= info.num_vertices) {
+        info.num_vertices = records[i].src + 1;
+      }
+      if (records[i].dst >= info.num_vertices) {
+        info.num_vertices = records[i].dst + 1;
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace xstream

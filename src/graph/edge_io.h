@@ -1,0 +1,32 @@
+// Raw unordered-edge-list files on storage devices.
+//
+// The out-of-core engine's input is "a file containing the unordered edge
+// list of the graph" (§3): flat packed Edge records, no header, no ordering.
+// Vertex count is recovered with a streaming scan, which costs one
+// sequential pass — the engine folds this into its partitioning pass when
+// the caller already knows the count.
+#ifndef XSTREAM_GRAPH_EDGE_IO_H_
+#define XSTREAM_GRAPH_EDGE_IO_H_
+
+#include <string>
+
+#include "graph/types.h"
+#include "storage/device.h"
+
+namespace xstream {
+
+// Writes `edges` to `file` on `dev` as packed records (creates/truncates).
+void WriteEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& edges);
+
+// Appends `edges` to an existing edge file (used by the Fig 17 ingest bench).
+void AppendEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& edges);
+
+// Reads the whole file back (test/bench helper; real runs stream instead).
+EdgeList ReadEdgeFile(StorageDevice& dev, const std::string& file);
+
+// One sequential pass to find edge count and max vertex id.
+GraphInfo ScanEdgeFile(StorageDevice& dev, const std::string& file);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_EDGE_IO_H_

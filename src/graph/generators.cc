@@ -1,0 +1,206 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace xstream {
+
+namespace {
+
+// One RMAT sample: descend `scale` levels of the adjacency-matrix quadtree.
+Edge SampleRmatEdge(Rng& rng, uint32_t scale, double a, double b, double c) {
+  VertexId src = 0;
+  VertexId dst = 0;
+  for (uint32_t level = 0; level < scale; ++level) {
+    double r = rng.NextDouble();
+    src <<= 1;
+    dst <<= 1;
+    if (r < a) {
+      // top-left: no bits set
+    } else if (r < a + b) {
+      dst |= 1;
+    } else if (r < a + b + c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return Edge{src, dst, rng.NextFloat()};
+}
+
+}  // namespace
+
+EdgeList GenerateRmat(const RmatParams& params) {
+  XS_CHECK_LT(params.scale, 31u);
+  uint64_t num_vertices = uint64_t{1} << params.scale;
+  uint64_t num_samples = num_vertices * params.edge_factor;
+  EdgeList edges;
+  edges.reserve(params.undirected ? 2 * num_samples : num_samples);
+  Rng rng(params.seed);
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    Edge e = SampleRmatEdge(rng, params.scale, params.a, params.b, params.c);
+    edges.push_back(e);
+    if (params.undirected) {
+      edges.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateErdosRenyi(uint64_t num_vertices, uint64_t num_edges, bool undirected,
+                            uint64_t seed) {
+  XS_CHECK_GE(num_vertices, 2u);
+  EdgeList edges;
+  edges.reserve(undirected ? 2 * num_edges : num_edges);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId src = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId dst = static_cast<VertexId>(rng.NextBounded(num_vertices - 1));
+    if (dst >= src) {
+      ++dst;  // skip self loop
+    }
+    float w = rng.NextFloat();
+    edges.push_back(Edge{src, dst, w});
+    if (undirected) {
+      edges.push_back(Edge{dst, src, w});
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateGrid(uint32_t rows, uint32_t cols, uint64_t seed) {
+  XS_CHECK_GE(rows, 1u);
+  XS_CHECK_GE(cols, 1u);
+  EdgeList edges;
+  Rng rng(seed);
+  auto id = [cols](uint32_t r, uint32_t c) { return static_cast<VertexId>(r * cols + c); };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        float w = rng.NextFloat();
+        edges.push_back(Edge{id(r, c), id(r, c + 1), w});
+        edges.push_back(Edge{id(r, c + 1), id(r, c), w});
+      }
+      if (r + 1 < rows) {
+        float w = rng.NextFloat();
+        edges.push_back(Edge{id(r, c), id(r + 1, c), w});
+        edges.push_back(Edge{id(r + 1, c), id(r, c), w});
+      }
+    }
+  }
+  return edges;
+}
+
+EdgeList GeneratePath(uint64_t num_vertices, uint64_t seed) {
+  XS_CHECK_GE(num_vertices, 2u);
+  EdgeList edges;
+  edges.reserve(2 * (num_vertices - 1));
+  Rng rng(seed);
+  for (uint64_t v = 0; v + 1 < num_vertices; ++v) {
+    float w = rng.NextFloat();
+    edges.push_back(Edge{static_cast<VertexId>(v), static_cast<VertexId>(v + 1), w});
+    edges.push_back(Edge{static_cast<VertexId>(v + 1), static_cast<VertexId>(v), w});
+  }
+  return edges;
+}
+
+EdgeList GenerateClusteredChain(uint32_t clusters, uint32_t verts_per_cluster,
+                                uint32_t intra_edge_factor, uint64_t seed) {
+  XS_CHECK_GE(clusters, 1u);
+  XS_CHECK_GE(verts_per_cluster, 2u);
+  EdgeList edges;
+  Rng rng(seed);
+  for (uint32_t k = 0; k < clusters; ++k) {
+    VertexId base = k * verts_per_cluster;
+    uint64_t intra = static_cast<uint64_t>(verts_per_cluster) * intra_edge_factor;
+    for (uint64_t i = 0; i < intra; ++i) {
+      VertexId src = base + static_cast<VertexId>(rng.NextBounded(verts_per_cluster));
+      VertexId dst = base + static_cast<VertexId>(rng.NextBounded(verts_per_cluster));
+      if (src == dst) {
+        continue;
+      }
+      float w = rng.NextFloat();
+      edges.push_back(Edge{src, dst, w});
+      edges.push_back(Edge{dst, src, w});
+    }
+    if (k + 1 < clusters) {
+      // One bridge edge to the next cluster: the chain dominates diameter.
+      VertexId u = base + static_cast<VertexId>(rng.NextBounded(verts_per_cluster));
+      VertexId v = base + verts_per_cluster +
+                   static_cast<VertexId>(rng.NextBounded(verts_per_cluster));
+      float w = rng.NextFloat();
+      edges.push_back(Edge{u, v, w});
+      edges.push_back(Edge{v, u, w});
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateBipartite(uint32_t num_users, uint32_t num_items, uint64_t num_ratings,
+                           uint64_t seed) {
+  XS_CHECK_GE(num_users, 1u);
+  XS_CHECK_GE(num_items, 1u);
+  EdgeList edges;
+  edges.reserve(2 * num_ratings);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < num_ratings; ++i) {
+    VertexId user = static_cast<VertexId>(rng.NextBounded(num_users));
+    VertexId item = num_users + static_cast<VertexId>(rng.NextBounded(num_items));
+    float rating = 1.0f + 4.0f * rng.NextFloat();
+    edges.push_back(Edge{user, item, rating});
+    edges.push_back(Edge{item, user, rating});
+  }
+  return edges;
+}
+
+EdgeList GenerateStar(uint64_t num_vertices) {
+  XS_CHECK_GE(num_vertices, 2u);
+  EdgeList edges;
+  edges.reserve(2 * (num_vertices - 1));
+  for (uint64_t v = 1; v < num_vertices; ++v) {
+    edges.push_back(Edge{0, static_cast<VertexId>(v), 1.0f});
+    edges.push_back(Edge{static_cast<VertexId>(v), 0, 1.0f});
+  }
+  return edges;
+}
+
+void PermuteEdges(EdgeList& edges, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = edges.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(edges[i - 1], edges[j]);
+  }
+}
+
+EdgeList Symmetrize(const EdgeList& edges) {
+  EdgeList out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.push_back(Edge{e.dst, e.src, e.weight});
+  }
+  return out;
+}
+
+EdgeList RandomOrientation(const EdgeList& undirected, uint64_t seed) {
+  EdgeList out;
+  out.reserve(undirected.size() / 2);
+  for (const Edge& e : undirected) {
+    VertexId lo = std::min(e.src, e.dst);
+    VertexId hi = std::max(e.src, e.dst);
+    if (lo == hi) {
+      continue;  // drop self loops: no orientation
+    }
+    // Keep exactly one record of the pair, oriented by the hash bit.
+    bool forward = (SplitMix64(seed ^ (uint64_t{lo} << 32 | hi)) & 1) != 0;
+    if ((e.src == lo) == forward) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace xstream

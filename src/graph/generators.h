@@ -1,0 +1,73 @@
+// Synthetic graph generators.
+//
+// RMAT follows the paper's setup (§5.2): Graph500 parameters, average degree
+// 16, "scale n" = 2^n vertices and 2^(n+4) undirected edges. The remaining
+// generators produce the structural stand-ins used for the real-world
+// datasets (see DESIGN.md §2.5): grids for high-diameter road networks,
+// bipartite graphs for Netflix/ALS, clustered chains for yahoo-web's
+// pathological diameter.
+#ifndef XSTREAM_GRAPH_GENERATORS_H_
+#define XSTREAM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+struct RmatParams {
+  uint32_t scale = 16;        // 2^scale vertices
+  uint32_t edge_factor = 16;  // edges per vertex (before direction doubling)
+  double a = 0.57, b = 0.19, c = 0.19;  // Graph500; d = 1-a-b-c
+  bool undirected = true;  // emit both directions per sampled edge
+  uint64_t seed = 1;
+};
+
+// RMAT edges, weights uniform in [0,1). Undirected graphs get both
+// directions (2 * 2^scale * edge_factor records).
+EdgeList GenerateRmat(const RmatParams& params);
+
+// Uniform G(n, m): m sampled (src,dst) pairs, no self loops.
+EdgeList GenerateErdosRenyi(uint64_t num_vertices, uint64_t num_edges, bool undirected,
+                            uint64_t seed);
+
+// 2D grid (rows x cols), 4-neighborhood, both directions. Diameter =
+// rows + cols - 2: the high-diameter stand-in for dimacs-usa.
+EdgeList GenerateGrid(uint32_t rows, uint32_t cols, uint64_t seed);
+
+// Simple path 0-1-...-n-1, both directions: maximal diameter per vertex.
+EdgeList GeneratePath(uint64_t num_vertices, uint64_t seed);
+
+// `clusters` RMAT-ish communities of `verts_per_cluster`, adjacent clusters
+// bridged by a single edge: scale-free locally, huge diameter globally
+// (yahoo-web stand-in).
+EdgeList GenerateClusteredChain(uint32_t clusters, uint32_t verts_per_cluster,
+                                uint32_t intra_edge_factor, uint64_t seed);
+
+// Bipartite rating graph: users [0, num_users), items [num_users,
+// num_users+num_items). Every rating appears as a pair of directed edges
+// (user->item and item->user) whose weight is the rating in [1, 5].
+EdgeList GenerateBipartite(uint32_t num_users, uint32_t num_items, uint64_t num_ratings,
+                           uint64_t seed);
+
+// Star: vertex 0 connected to all others, both directions (worst-case
+// partition skew for work-stealing tests).
+EdgeList GenerateStar(uint64_t num_vertices);
+
+// Deterministically shuffles edge order (the engine must not depend on any
+// input ordering: its input is an *unordered* edge list).
+void PermuteEdges(EdgeList& edges, uint64_t seed);
+
+// Undirected view of a directed list: every edge plus its reverse. Used for
+// WCC/MCST/MIS/HyperANF on directed datasets (the paper's "weakly"/GHS
+// semantics treat edges as undirected).
+EdgeList Symmetrize(const EdgeList& edges);
+
+// Picks one direction per undirected pair by hash (the paper "assigned a
+// random edge direction to the synthetic RMAT and Friendster graphs" for
+// SCC). Input must contain both directions of every edge.
+EdgeList RandomOrientation(const EdgeList& undirected, uint64_t seed);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_GENERATORS_H_

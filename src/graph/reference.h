@@ -1,0 +1,75 @@
+// Sequential reference implementations used as correctness oracles.
+//
+// Every X-Stream algorithm is validated against these straightforward
+// adjacency-list implementations in the test suite and (optionally) in the
+// benches. They are deliberately simple and unoptimized.
+#ifndef XSTREAM_GRAPH_REFERENCE_H_
+#define XSTREAM_GRAPH_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+// Adjacency-list view of an edge list (out-edges; in-edges on demand).
+class ReferenceGraph {
+ public:
+  ReferenceGraph(const EdgeList& edges, uint64_t num_vertices);
+
+  uint64_t num_vertices() const { return adj_.size(); }
+  const std::vector<std::pair<VertexId, float>>& OutEdges(VertexId v) const {
+    return adj_[v];
+  }
+
+ private:
+  std::vector<std::vector<std::pair<VertexId, float>>> adj_;
+};
+
+// BFS levels from `root`; unreachable = UINT32_MAX.
+std::vector<uint32_t> ReferenceBfsLevels(const ReferenceGraph& g, VertexId root);
+
+// Weakly connected component labels: min vertex id in each component,
+// treating every edge as undirected.
+std::vector<VertexId> ReferenceWcc(const EdgeList& edges, uint64_t num_vertices);
+
+// Bellman-Ford shortest path distances from `root` (weights >= 0 here);
+// unreachable = +inf.
+std::vector<double> ReferenceSssp(const ReferenceGraph& g, VertexId root);
+
+// PageRank with damping 0.85, `iterations` synchronous rounds, initial rank
+// 1/N, dangling mass dropped (matching the scatter-gather formulation).
+std::vector<double> ReferencePageRank(const ReferenceGraph& g, int iterations);
+
+// y = A * x where A is the weighted adjacency matrix (y[dst] += w * x[src]).
+std::vector<double> ReferenceSpmv(const ReferenceGraph& g, const std::vector<double>& x);
+
+// Total weight of a minimum spanning forest (Kruskal). Edge list must hold
+// both directions; each undirected edge is counted once by (src < dst).
+double ReferenceMstWeight(const EdgeList& edges, uint64_t num_vertices);
+
+// Strongly connected component labels (iterative Tarjan). Labels are
+// arbitrary but consistent: same label iff same SCC.
+std::vector<uint32_t> ReferenceScc(const ReferenceGraph& g);
+
+// Checks that `in_set` is a maximal independent set of the undirected graph.
+bool IsMaximalIndependentSet(const EdgeList& edges, uint64_t num_vertices,
+                             const std::vector<uint8_t>& in_set);
+
+// Conductance of the cut defined by `side` (volume = sum of degrees):
+// cross_edges / min(vol(S), vol(V\S)). Edge list holds both directions.
+double ReferenceConductance(const EdgeList& edges, uint64_t num_vertices,
+                            const std::vector<uint8_t>& side);
+
+// Exact neighborhood function N(t) (pairs reachable within t hops in the
+// undirected graph) for small graphs, and the number of steps to converge.
+uint32_t ReferenceDiameterSteps(const EdgeList& edges, uint64_t num_vertices);
+
+// k-core membership by iterative peeling (edge list holds both directions;
+// degree = incident record count at the vertex).
+std::vector<uint8_t> ReferenceKCore(const EdgeList& edges, uint64_t num_vertices, uint32_t k);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_REFERENCE_H_

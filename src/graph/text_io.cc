@@ -1,0 +1,86 @@
+#include "graph/text_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace xstream {
+
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    return c == '#' || c == '%' || (c == '/' && line.find("//") != std::string::npos);
+  }
+  return true;  // all whitespace
+}
+
+float MissingWeight(const TextReadOptions& options, VertexId src, VertexId dst) {
+  if (!options.random_weights_if_missing) {
+    return 1.0f;
+  }
+  uint64_t h = SplitMix64(options.weight_seed ^ (uint64_t{src} << 32 | dst));
+  return static_cast<float>(h >> 40) * (1.0f / static_cast<float>(1 << 24));
+}
+
+EdgeList ParseStream(std::istream& in, const TextReadOptions& options, const char* what) {
+  EdgeList edges;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    std::istringstream fields(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    XS_CHECK(static_cast<bool>(fields >> src >> dst))
+        << what << " line " << line_no << ": expected 'src dst [weight]', got: " << line;
+    XS_CHECK(src <= kNoVertex && dst <= kNoVertex)
+        << what << " line " << line_no << ": vertex id out of 32-bit range";
+    float weight;
+    if (!(fields >> weight)) {
+      weight = MissingWeight(options, static_cast<VertexId>(src), static_cast<VertexId>(dst));
+    }
+    Edge e{static_cast<VertexId>(src), static_cast<VertexId>(dst), weight};
+    edges.push_back(e);
+    if (options.symmetrize) {
+      edges.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+EdgeList ReadTextEdgeList(const std::string& path, const TextReadOptions& options) {
+  std::ifstream in(path);
+  XS_CHECK(in.is_open()) << "cannot open " << path;
+  return ParseStream(in, options, path.c_str());
+}
+
+EdgeList ParseTextEdges(const std::string& text, const TextReadOptions& options) {
+  std::istringstream in(text);
+  return ParseStream(in, options, "<string>");
+}
+
+void WriteTextEdgeList(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  XS_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  out << "# src dst weight (" << edges.size() << " edges)\n";
+  for (const Edge& e : edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+  XS_CHECK(static_cast<bool>(out)) << "write to " << path << " failed";
+}
+
+}  // namespace xstream

@@ -1,0 +1,39 @@
+// Text edge-list I/O (SNAP / Graph500 style).
+//
+// The paper's real-world datasets ship as whitespace-separated text edge
+// lists ("src dst" or "src dst weight" per line, '#'/'%' comments). These
+// helpers convert between that format and the packed binary edge files the
+// engines stream, so downstream users can feed published datasets directly.
+#ifndef XSTREAM_GRAPH_TEXT_IO_H_
+#define XSTREAM_GRAPH_TEXT_IO_H_
+
+#include <string>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+struct TextReadOptions {
+  // Assign SplitMix64-derived weights in [0,1) when the file has none
+  // (the paper: "For inputs without an edge weight, we added a random edge
+  // weight"). If false, weightless edges get weight 1.0.
+  bool random_weights_if_missing = true;
+  uint64_t weight_seed = 99;
+  // Treat every line as an undirected edge: emit both directions.
+  bool symmetrize = false;
+};
+
+// Parses a text edge list from a filesystem path. Lines: "src dst" or
+// "src dst weight"; blank lines and lines starting with '#', '%' or '//'
+// are skipped. Aborts with a line number on malformed input.
+EdgeList ReadTextEdgeList(const std::string& path, const TextReadOptions& options = {});
+
+// Writes "src dst weight" lines.
+void WriteTextEdgeList(const std::string& path, const EdgeList& edges);
+
+// Parses edges from an in-memory string (testing & embedding).
+EdgeList ParseTextEdges(const std::string& text, const TextReadOptions& options = {});
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_TEXT_IO_H_

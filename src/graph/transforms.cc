@@ -1,0 +1,95 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+EdgeList RemoveSelfLoops(const EdgeList& edges) {
+  EdgeList out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.src != e.dst) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+EdgeList DeduplicateEdges(const EdgeList& edges) {
+  // Sort indices by (src, dst) keeping input order within a pair, then keep
+  // the first record of each run.
+  std::vector<uint64_t> index(edges.size());
+  for (uint64_t i = 0; i < edges.size(); ++i) {
+    index[i] = i;
+  }
+  std::sort(index.begin(), index.end(), [&edges](uint64_t a, uint64_t b) {
+    if (edges[a].src != edges[b].src) {
+      return edges[a].src < edges[b].src;
+    }
+    if (edges[a].dst != edges[b].dst) {
+      return edges[a].dst < edges[b].dst;
+    }
+    return a < b;  // stable within a duplicate group: earliest wins
+  });
+  EdgeList out;
+  out.reserve(edges.size());
+  for (uint64_t i = 0; i < index.size(); ++i) {
+    const Edge& e = edges[index[i]];
+    if (i > 0) {
+      const Edge& prev = edges[index[i - 1]];
+      if (prev.src == e.src && prev.dst == e.dst) {
+        continue;
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+CompactedGraph CompactVertexIds(const EdgeList& edges) {
+  CompactedGraph result;
+  VertexId max_old = 0;
+  for (const Edge& e : edges) {
+    max_old = std::max({max_old, e.src, e.dst});
+  }
+  result.old_to_new.assign(edges.empty() ? 0 : static_cast<size_t>(max_old) + 1, kNoVertex);
+  result.edges.reserve(edges.size());
+  auto remap = [&result](VertexId old) {
+    VertexId& slot = result.old_to_new[old];
+    if (slot == kNoVertex) {
+      slot = static_cast<VertexId>(result.new_to_old.size());
+      result.new_to_old.push_back(old);
+    }
+    return slot;
+  };
+  for (const Edge& e : edges) {
+    result.edges.push_back(Edge{remap(e.src), remap(e.dst), e.weight});
+  }
+  result.num_vertices = result.new_to_old.size();
+  return result;
+}
+
+DegreeSummary ComputeDegrees(const EdgeList& edges, uint64_t num_vertices) {
+  DegreeSummary s;
+  s.out_degree.assign(num_vertices, 0);
+  s.in_degree.assign(num_vertices, 0);
+  for (const Edge& e : edges) {
+    XS_CHECK_LT(e.src, num_vertices);
+    XS_CHECK_LT(e.dst, num_vertices);
+    ++s.out_degree[e.src];
+    ++s.in_degree[e.dst];
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, s.out_degree[v]);
+    s.max_in_degree = std::max(s.max_in_degree, s.in_degree[v]);
+  }
+  s.average_degree = num_vertices > 0
+                         ? static_cast<double>(edges.size()) / static_cast<double>(num_vertices)
+                         : 0.0;
+  return s;
+}
+
+}  // namespace xstream

@@ -1,0 +1,48 @@
+// Edge-list transforms: cleanup utilities for real-world inputs.
+//
+// X-Stream consumes unordered edge lists verbatim, but published datasets
+// often need light preparation — duplicate edges, self loops, or sparse
+// vertex id spaces (which would waste partition space, since partitions
+// cover contiguous id ranges). Each transform is a single pass or sort,
+// deliberately outside the engines: they remain pure streaming consumers.
+#ifndef XSTREAM_GRAPH_TRANSFORMS_H_
+#define XSTREAM_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xstream {
+
+// Drops e.src == e.dst records.
+EdgeList RemoveSelfLoops(const EdgeList& edges);
+
+// Keeps the first record of each (src, dst) pair (weights of dropped
+// duplicates are discarded). O(E log E).
+EdgeList DeduplicateEdges(const EdgeList& edges);
+
+// Result of CompactVertexIds: the relabeled edges plus the old->new map.
+struct CompactedGraph {
+  EdgeList edges;
+  uint64_t num_vertices = 0;               // new id space: [0, num_vertices)
+  std::vector<VertexId> old_to_new;        // kNoVertex for unused old ids
+  std::vector<VertexId> new_to_old;
+};
+
+// Renumbers vertices densely in order of first appearance, eliminating
+// holes in the id space (partition ranges then carry no dead vertices).
+CompactedGraph CompactVertexIds(const EdgeList& edges);
+
+// Per-vertex out/in-degrees in one pass.
+struct DegreeSummary {
+  std::vector<uint32_t> out_degree;
+  std::vector<uint32_t> in_degree;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  double average_degree = 0.0;
+};
+DegreeSummary ComputeDegrees(const EdgeList& edges, uint64_t num_vertices);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_TRANSFORMS_H_

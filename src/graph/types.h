@@ -1,0 +1,57 @@
+// Core graph record types.
+//
+// X-Stream's input is "an unordered set of directed edges" (§2); undirected
+// graphs are represented as a pair of directed edges. Edges and updates are
+// fixed-size trivially-copyable records because they are moved with byte
+// copies by the shuffler and streamed through storage devices verbatim.
+#ifndef XSTREAM_GRAPH_TYPES_H_
+#define XSTREAM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace xstream {
+
+using VertexId = uint32_t;
+inline constexpr VertexId kNoVertex = UINT32_MAX;
+
+#pragma pack(push, 1)
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  // The paper adds "a pseudo-random floating point number in the range
+  // [0 1)" to inputs without weights. Algorithms that need a direction flag
+  // (SCC) or a rating (ALS) reuse this field.
+  float weight = 0.0f;
+};
+#pragma pack(pop)
+
+static_assert(std::is_trivially_copyable_v<Edge>);
+static_assert(sizeof(Edge) == 12, "edge records are streamed raw; keep them packed");
+
+using EdgeList = std::vector<Edge>;
+
+// Summary of an edge list: enough to configure an engine.
+struct GraphInfo {
+  uint64_t num_vertices = 0;  // max vertex id + 1
+  uint64_t num_edges = 0;     // directed edge records
+};
+
+inline GraphInfo ScanEdges(const EdgeList& edges) {
+  GraphInfo info;
+  info.num_edges = edges.size();
+  for (const Edge& e : edges) {
+    if (e.src >= info.num_vertices) {
+      info.num_vertices = e.src + 1;
+    }
+    if (e.dst >= info.num_vertices) {
+      info.num_vertices = e.dst + 1;
+    }
+  }
+  return info;
+}
+
+}  // namespace xstream
+
+#endif  // XSTREAM_GRAPH_TYPES_H_

@@ -1,0 +1,52 @@
+#include "iomodel/io_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+namespace {
+
+// log base (M/B) of x, clamped below at 1 to keep the bounds monotone for
+// degenerate tiny configurations (the paper's asymptotic forms assume
+// x > M/B > 2).
+double LogMB(const IoModelParams& p, double x) {
+  XS_CHECK_GT(p.m, p.b);
+  double base = p.m / p.b;
+  return std::max(1.0, std::log(std::max(2.0, x)) / std::log(base));
+}
+
+}  // namespace
+
+IoModelCosts XStreamIoModel(const IoModelParams& p) {
+  double u = p.u > 0 ? p.u : p.e;
+  IoModelCosts c;
+  c.partitions = std::max(1.0, p.v / p.m);
+  c.preprocessing = 0.0;
+  c.one_iteration = (p.v + p.e) / p.b + (u / p.b) * LogMB(p, c.partitions);
+  c.all_iterations = p.d * (p.v + p.e) / p.b + (p.e / p.b) * LogMB(p, c.partitions);
+  return c;
+}
+
+IoModelCosts GraphchiIoModel(const IoModelParams& p) {
+  IoModelCosts c;
+  c.partitions = std::max(1.0, p.e / p.m);
+  // Sorting the edges into shards.
+  c.preprocessing = (p.e / p.b) * LogMB(p, p.e / p.b);
+  c.one_iteration = p.e / p.b + c.partitions * c.partitions;
+  c.all_iterations = p.d * c.one_iteration;
+  return c;
+}
+
+IoModelCosts SortRandomIoModel(const IoModelParams& p) {
+  IoModelCosts c;
+  c.partitions = p.v;
+  c.preprocessing = (p.e / p.b) * LogMB(p, std::min(p.v, p.e / p.m));
+  c.one_iteration = 0.0;  // the paper leaves this row's per-iteration cost out
+  c.all_iterations = p.v + p.e;
+  return c;
+}
+
+}  // namespace xstream

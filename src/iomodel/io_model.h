@@ -1,0 +1,48 @@
+// Analytic I/O-model cost bounds (paper §5.7, Fig 26).
+//
+// The paper analyses label propagation from one source to all reachable
+// vertices in the Aggarwal-Vitter I/O model: memory of M words, transfers in
+// aligned units of B words, graph G = (V, E) with diameter D. Fig 26 lists,
+// for X-Stream, Graphchi and sort-plus-random-access, the number of
+// partitions, the pre-processing cost, and the per-iteration/total I/O.
+// These calculators evaluate those closed forms so the Fig 26 bench can
+// print the table for concrete configurations and the test suite can compare
+// the bound against bytes actually moved by the out-of-core engine.
+#ifndef XSTREAM_IOMODEL_IO_MODEL_H_
+#define XSTREAM_IOMODEL_IO_MODEL_H_
+
+#include <cstdint>
+
+namespace xstream {
+
+struct IoModelParams {
+  double v = 0;  // |V| in words
+  double e = 0;  // |E| in words
+  double u = 0;  // |U| (updates per iteration) in words; defaults to e
+  double m = 0;  // memory in words
+  double b = 0;  // transfer unit in words
+  double d = 1;  // diameter (number of scatter phases)
+};
+
+struct IoModelCosts {
+  double partitions = 0;     // K
+  double preprocessing = 0;  // I/Os before the first iteration
+  double one_iteration = 0;  // I/Os per scatter-gather iteration
+  double all_iterations = 0; // I/Os to complete label propagation
+};
+
+// X-Stream row: K = |V|/M, no pre-processing, per-iteration
+// (|V|+|E|)/B + (|U|/B) log_{M/B} K, total D(|V|+|E|)/B + (|E|/B) log_{M/B} K.
+IoModelCosts XStreamIoModel(const IoModelParams& p);
+
+// Graphchi row (as reported in the Graphchi paper): K = |E|/M, sorting
+// pre-processing, per-iteration |E|/B + K^2.
+IoModelCosts GraphchiIoModel(const IoModelParams& p);
+
+// Sort + random access row: K = |V|, pre-processing
+// (|E|/B) log_{M/B} min(|V|, |E|/M), total |V| + |E| (random accesses).
+IoModelCosts SortRandomIoModel(const IoModelParams& p);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_IOMODEL_IO_MODEL_H_

@@ -1,0 +1,18 @@
+#include "storage/device.h"
+
+#include "storage/io_executor.h"
+
+namespace xstream {
+
+StorageDevice::StorageDevice(std::string name) : name_(std::move(name)) {}
+
+StorageDevice::~StorageDevice() = default;
+
+IoExecutor& StorageDevice::executor() {
+  if (!executor_) {
+    executor_ = std::make_unique<IoExecutor>();
+  }
+  return *executor_;
+}
+
+}  // namespace xstream

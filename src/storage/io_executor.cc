@@ -1,0 +1,43 @@
+#include "storage/io_executor.h"
+
+namespace xstream {
+
+IoExecutor::IoExecutor() : thread_([this] { Loop(); }) {}
+
+IoExecutor::~IoExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::future<void> IoExecutor::Submit(std::function<void()> op) {
+  std::packaged_task<void()> task(std::move(op));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void IoExecutor::Loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace xstream

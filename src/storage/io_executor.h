@@ -1,0 +1,42 @@
+// Single dedicated I/O thread with a FIFO request queue.
+//
+// The paper (§3.3): "X-Stream does asynchronous I/O using dedicated I/O
+// threads and spawns one thread for each disk." StreamReader/StreamWriter
+// submit chunk-sized requests here and overlap them with computation.
+#ifndef XSTREAM_STORAGE_IO_EXECUTOR_H_
+#define XSTREAM_STORAGE_IO_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+namespace xstream {
+
+class IoExecutor {
+ public:
+  IoExecutor();
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  // Enqueues `op` and returns a future that completes when it has run on the
+  // I/O thread. Requests run strictly in FIFO order (one disk head).
+  std::future<void> Submit(std::function<void()> op);
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_STORAGE_IO_EXECUTOR_H_

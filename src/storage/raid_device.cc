@@ -1,0 +1,182 @@
+#include "storage/raid_device.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+RaidDevice::RaidDevice(std::string name, std::vector<StorageDevice*> children,
+                       uint64_t stripe_bytes)
+    : StorageDevice(std::move(name)), children_(std::move(children)), stripe_bytes_(stripe_bytes) {
+  XS_CHECK_GE(children_.size(), 1u);
+  XS_CHECK_GT(stripe_bytes_, 0u);
+}
+
+RaidDevice::~RaidDevice() = default;
+
+RaidDevice::File& RaidDevice::GetFile(FileId f) {
+  XS_CHECK(f >= 0 && static_cast<size_t>(f) < files_.size()) << "bad file id " << f;
+  File& file = files_[static_cast<size_t>(f)];
+  XS_CHECK(file.live) << "file " << file.name << " was removed";
+  return file;
+}
+
+const RaidDevice::File& RaidDevice::GetFile(FileId f) const {
+  XS_CHECK(f >= 0 && static_cast<size_t>(f) < files_.size()) << "bad file id " << f;
+  const File& file = files_[static_cast<size_t>(f)];
+  XS_CHECK(file.live) << "file " << file.name << " was removed";
+  return file;
+}
+
+template <typename Op>
+void RaidDevice::ForEachStripe(const File& file, uint64_t offset, uint64_t len, Op&& op) const {
+  uint64_t consumed = 0;
+  size_t n = children_.size();
+  while (consumed < len) {
+    uint64_t pos = offset + consumed;
+    uint64_t stripe = pos / stripe_bytes_;
+    uint64_t within = pos % stripe_bytes_;
+    size_t child = static_cast<size_t>(stripe % n);
+    uint64_t child_offset = (stripe / n) * stripe_bytes_ + within;
+    uint64_t run = std::min(len - consumed, stripe_bytes_ - within);
+    op(child, file.child_ids[child], child_offset, consumed, run);
+    consumed += run;
+  }
+}
+
+FileId RaidDevice::Create(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(file);
+  if (it != by_name_.end()) {
+    File& existing = files_[static_cast<size_t>(it->second)];
+    for (size_t c = 0; c < children_.size(); ++c) {
+      existing.child_ids[c] = children_[c]->Create(file);
+    }
+    existing.size = 0;
+    existing.live = true;
+    return it->second;
+  }
+  File f;
+  f.name = file;
+  for (auto* child : children_) {
+    f.child_ids.push_back(child->Create(file));
+  }
+  FileId id = static_cast<FileId>(files_.size());
+  files_.push_back(std::move(f));
+  by_name_[file] = id;
+  return id;
+}
+
+FileId RaidDevice::Open(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(file);
+  XS_CHECK(it != by_name_.end()) << "open of missing file " << file << " on " << name();
+  return it->second;
+}
+
+bool RaidDevice::Exists(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_name_.count(file) > 0;
+}
+
+uint64_t RaidDevice::FileSize(FileId f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetFile(f).size;
+}
+
+void RaidDevice::Read(FileId f, uint64_t offset, std::span<std::byte> out) {
+  File* file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    file = &GetFile(f);
+    XS_CHECK_LE(offset + out.size(), file->size) << "read past EOF of " << file->name;
+  }
+  ForEachStripe(*file, offset, out.size(),
+                [&](size_t child, FileId cf, uint64_t child_offset, uint64_t begin, uint64_t run) {
+                  children_[child]->Read(cf, child_offset, out.subspan(begin, run));
+                });
+}
+
+void RaidDevice::Write(FileId f, uint64_t offset, std::span<const std::byte> data) {
+  File* file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    file = &GetFile(f);
+    file->size = std::max(file->size, offset + data.size());
+  }
+  ForEachStripe(*file, offset, data.size(),
+                [&](size_t child, FileId cf, uint64_t child_offset, uint64_t begin, uint64_t run) {
+                  children_[child]->Write(cf, child_offset, data.subspan(begin, run));
+                });
+}
+
+uint64_t RaidDevice::Append(FileId f, std::span<const std::byte> data) {
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    offset = GetFile(f).size;
+  }
+  Write(f, offset, data);
+  return offset;
+}
+
+void RaidDevice::Truncate(FileId f, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  File& file = GetFile(f);
+  if (new_size >= file.size) {
+    return;
+  }
+  file.size = new_size;
+  // Per-child size: count whole stripes plus the tail landing on each child.
+  size_t n = children_.size();
+  for (size_t c = 0; c < n; ++c) {
+    uint64_t child_size = 0;
+    uint64_t full_stripes = new_size / stripe_bytes_;
+    uint64_t tail = new_size % stripe_bytes_;
+    // Child c owns stripes с, c+n, c+2n, ...: it has ceil((full_stripes - c)/n)
+    // complete stripes, plus the partial stripe if it lands on c.
+    if (full_stripes > c) {
+      child_size = ((full_stripes - c - 1) / n + 1) * stripe_bytes_;
+    }
+    if (tail > 0 && full_stripes % n == c) {
+      child_size = (full_stripes / n) * stripe_bytes_ + tail;
+    }
+    children_[c]->Truncate(file.child_ids[c], child_size);
+  }
+}
+
+void RaidDevice::Remove(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(file);
+  if (it == by_name_.end()) {
+    return;
+  }
+  files_[static_cast<size_t>(it->second)].live = false;
+  by_name_.erase(it);
+  for (auto* child : children_) {
+    child->Remove(file);
+  }
+}
+
+DeviceStats RaidDevice::stats() const {
+  DeviceStats agg;
+  for (auto* child : children_) {
+    DeviceStats s = child->stats();
+    agg.bytes_read += s.bytes_read;
+    agg.bytes_written += s.bytes_written;
+    agg.read_requests += s.read_requests;
+    agg.write_requests += s.write_requests;
+    agg.seeks += s.seeks;
+    agg.busy_seconds = std::max(agg.busy_seconds, s.busy_seconds);
+  }
+  return agg;
+}
+
+void RaidDevice::ResetStats() {
+  for (auto* child : children_) {
+    child->ResetStats();
+  }
+}
+
+}  // namespace xstream

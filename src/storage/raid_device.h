@@ -1,0 +1,72 @@
+// RaidDevice: software RAID-0 over child devices.
+//
+// The paper's testbed arranges SSD and HDD pairs "into a software RAID-0
+// configuration" with a 512 KB stripe unit (§5.1): requests larger than the
+// stripe unit are split across the pair, which is why the Fig 9 bandwidth
+// curves jump past 1 MB request sizes and why RAID-0 halves X-Stream's
+// runtime in Fig 15. Children advance their own (virtual) clocks, so striped
+// halves are serviced in parallel.
+#ifndef XSTREAM_STORAGE_RAID_DEVICE_H_
+#define XSTREAM_STORAGE_RAID_DEVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/device.h"
+
+namespace xstream {
+
+class RaidDevice : public StorageDevice {
+ public:
+  // `children` are non-owning and must outlive the RaidDevice.
+  RaidDevice(std::string name, std::vector<StorageDevice*> children,
+             uint64_t stripe_bytes = kRaidStripeBytes);
+  ~RaidDevice() override;
+
+  FileId Create(const std::string& file) override;
+  FileId Open(const std::string& file) override;
+  bool Exists(const std::string& file) const override;
+  uint64_t FileSize(FileId f) const override;
+  void Read(FileId f, uint64_t offset, std::span<std::byte> out) override;
+  void Write(FileId f, uint64_t offset, std::span<const std::byte> data) override;
+  uint64_t Append(FileId f, std::span<const std::byte> data) override;
+  void Truncate(FileId f, uint64_t new_size) override;
+  void Remove(const std::string& file) override;
+
+  // Aggregates children: bytes/requests are summed; busy_seconds is the max
+  // over children (they run in parallel).
+  DeviceStats stats() const override;
+  void ResetStats() override;
+
+  const std::vector<StorageDevice*>& children() const { return children_; }
+  uint64_t stripe_bytes() const { return stripe_bytes_; }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<FileId> child_ids;
+    uint64_t size = 0;
+    bool live = true;
+  };
+
+  // Walks the stripes overlapping [offset, offset+len) and invokes
+  // op(child_index, child_file, child_offset, span_begin, span_len).
+  template <typename Op>
+  void ForEachStripe(const File& file, uint64_t offset, uint64_t len, Op&& op) const;
+
+  File& GetFile(FileId f);
+  const File& GetFile(FileId f) const;
+
+  std::vector<StorageDevice*> children_;
+  uint64_t stripe_bytes_;
+
+  mutable std::mutex mu_;
+  std::vector<File> files_;
+  std::map<std::string, FileId> by_name_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_STORAGE_RAID_DEVICE_H_

@@ -1,0 +1,100 @@
+#include "threads/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    XS_CHECK(job_ == nullptr) << "RunOnAll is not reentrant";
+    job_ = &fn;
+    outstanding_ = num_threads_ - 1;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+
+  fn(0);  // The caller participates as thread 0.
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int thread_id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock,
+                      [&] { return shutdown_ || (job_ != nullptr && generation_ != seen_generation); });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(thread_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        job_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                             const std::function<void(uint64_t, uint64_t)>& body) {
+  ParallelForTid(begin, end, grain,
+                 [&body](int, uint64_t lo, uint64_t hi) { body(lo, hi); });
+}
+
+void ThreadPool::ParallelForTid(uint64_t begin, uint64_t end, uint64_t grain,
+                                const std::function<void(int, uint64_t, uint64_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  XS_CHECK_GT(grain, 0u);
+  if (num_threads_ == 1 || end - begin <= grain) {
+    body(0, begin, end);
+    return;
+  }
+  std::atomic<uint64_t> next{begin};
+  RunOnAll([&](int tid) {
+    for (;;) {
+      uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) {
+        return;
+      }
+      body(tid, lo, std::min(end, lo + grain));
+    }
+  });
+}
+
+}  // namespace xstream

@@ -1,0 +1,43 @@
+#include "util/env.h"
+
+#include <unistd.h>
+
+#include <thread>
+
+namespace xstream {
+
+int NumCores() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+size_t PerCoreCacheBytes() {
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) {
+    return static_cast<size_t>(l2);
+  }
+#endif
+  return 2 * 1024 * 1024;  // Paper testbed: 2MB shared L2 per core pair.
+}
+
+size_t CachelineBytes() {
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  long line = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (line > 0) {
+    return static_cast<size_t>(line);
+  }
+#endif
+  return 64;
+}
+
+uint64_t PhysicalMemoryBytes() {
+  long pages = sysconf(_SC_PHYS_PAGES);
+  long page_size = sysconf(_SC_PAGE_SIZE);
+  if (pages <= 0 || page_size <= 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(pages) * static_cast<uint64_t>(page_size);
+}
+
+}  // namespace xstream

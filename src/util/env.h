@@ -1,0 +1,31 @@
+// Host environment probes: core count, cache sizes, page size.
+//
+// The engines auto-size streaming partitions from "Fast Storage" capacity
+// (paper §2.4): the CPU cache for the in-memory engine and main memory for
+// the out-of-core engine. These probes supply defaults; every value can be
+// overridden through EngineConfig for experiments like Fig 24.
+#ifndef XSTREAM_UTIL_ENV_H_
+#define XSTREAM_UTIL_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xstream {
+
+// Number of online cores.
+int NumCores();
+
+// Per-core private cache budget in bytes. Mirrors the paper's assumption that
+// each core has exclusive use of a 2 MB L2 slice (§5.1); falls back to 2 MB
+// when sysfs probing fails.
+size_t PerCoreCacheBytes();
+
+// Cacheline size (64 on every x86 we care about).
+size_t CachelineBytes();
+
+// Total physical memory in bytes (0 when unknown).
+uint64_t PhysicalMemoryBytes();
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_ENV_H_

@@ -1,0 +1,75 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xstream {
+
+std::string HumanDuration(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "-";
+  }
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    return buf;
+  }
+  uint64_t total = static_cast<uint64_t>(std::llround(seconds));
+  uint64_t h = total / 3600;
+  uint64_t m = (total % 3600) / 60;
+  uint64_t s = total % 60;
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluh %llum %llus", static_cast<unsigned long long>(h),
+                  static_cast<unsigned long long>(m), static_cast<unsigned long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llum %llus", static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  }
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  constexpr uint64_t kK = 1024;
+  if (bytes < kK) {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  } else if (bytes < kK * kK) {
+    std::snprintf(buf, sizeof(buf), "%.4gK", static_cast<double>(bytes) / kK);
+  } else if (bytes < kK * kK * kK) {
+    std::snprintf(buf, sizeof(buf), "%.4gM", static_cast<double>(bytes) / (kK * kK));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gG", static_cast<double>(bytes) / (kK * kK * kK));
+  }
+  return buf;
+}
+
+std::string HumanCount(uint64_t count) {
+  char buf[64];
+  if (count >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1f billion", static_cast<double>(count) / 1e9);
+    return buf;
+  }
+  if (count >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1f million", static_cast<double>(count) / 1e6);
+    return buf;
+  }
+  // Thousands separators for smaller counts.
+  std::string digits = std::to_string(count);
+  std::string out;
+  int pos = 0;
+  for (int i = static_cast<int>(digits.size()) - 1; i >= 0; --i) {
+    out.insert(out.begin(), digits[static_cast<size_t>(i)]);
+    if (++pos % 3 == 0 && i != 0) {
+      out.insert(out.begin(), ',');
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace xstream

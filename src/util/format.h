@@ -1,0 +1,25 @@
+// Human-readable formatting helpers for bench output, matching the styles the
+// paper uses ("1h 17m 18s", "16MB", "25658 MB/s").
+#ifndef XSTREAM_UTIL_FORMAT_H_
+#define XSTREAM_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xstream {
+
+// "38m 38s", "1h 8m 12s", "0.61s" — the paper's Fig 12a duration style.
+std::string HumanDuration(double seconds);
+
+// "512K", "16M", "3.2G" with binary units.
+std::string HumanBytes(uint64_t bytes);
+
+// "1.4 billion", "68,993,773" style counts.
+std::string HumanCount(uint64_t count);
+
+// Fixed-precision double, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_FORMAT_H_

@@ -1,0 +1,81 @@
+// Minimal logging and invariant-checking support.
+//
+// The library is exception-free in its hot paths; programmer errors and
+// unrecoverable environment failures abort via XS_CHECK, mirroring the
+// assertion style common in systems code.
+#ifndef XSTREAM_UTIL_LOGGING_H_
+#define XSTREAM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xstream {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global threshold below which messages are suppressed. Defaults to kInfo;
+// set to kDebug for verbose engine tracing.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+// Stream-style log sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define XS_LOG(level)                                                                  \
+  ::xstream::internal::LogMessage(::xstream::LogLevel::k##level, __FILE__, __LINE__)   \
+      .stream()
+
+// Aborts with a message when `cond` is false. Enabled in all build modes:
+// the costs are negligible next to streaming I/O, and silent corruption in a
+// storage engine is far worse than an abort.
+#define XS_CHECK(cond)                                                    \
+  if (!(cond))                                                            \
+  ::xstream::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define XS_CHECK_EQ(a, b) XS_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XS_CHECK_NE(a, b) XS_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XS_CHECK_LT(a, b) XS_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XS_CHECK_LE(a, b) XS_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XS_CHECK_GT(a, b) XS_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XS_CHECK_GE(a, b) XS_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_LOGGING_H_

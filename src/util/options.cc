@@ -1,0 +1,55 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    XS_CHECK(arg.rfind("--", 0) == 0) << "malformed option (expected --key=value): " << arg;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Options::GetString(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Options::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+uint64_t Options::GetUint(const std::string& key, uint64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Options::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+bool Options::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+void Options::Set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+}  // namespace xstream

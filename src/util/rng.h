@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (graph generation, edge weights, MIS
+// priorities, conductance side assignment) flows through these generators so
+// that every run is reproducible from a single seed.
+#ifndef XSTREAM_UTIL_RNG_H_
+#define XSTREAM_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xstream {
+
+// SplitMix64: used to expand a single seed into independent stream seeds and
+// as a stateless hash of (seed, index) pairs.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256**: fast, high-quality generator for bulk random streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // Seed the state via SplitMix64 as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = SplitMix64(x);
+      s = x;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform float in [0, 1), matching the paper's random edge weights.
+  float NextFloat() {
+    return static_cast<float>(Next() >> 40) * (1.0f / static_cast<float>(1ULL << 24));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / static_cast<double>(1ULL << 53));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_RNG_H_

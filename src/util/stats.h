@@ -1,0 +1,54 @@
+// Small statistics accumulators for benches (mean, stddev, confidence
+// intervals — the paper reports 99% CIs in Figs 19/20/22).
+#ifndef XSTREAM_UTIL_STATS_H_
+#define XSTREAM_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace xstream {
+
+class RunningStat {
+ public:
+  void Add(double x) {
+    // Welford's online algorithm.
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) {
+      min_ = x;
+    }
+    if (n_ == 1 || x > max_) {
+      max_ = x;
+    }
+  }
+
+  uint64_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  double Variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  // Half-width of the 99% confidence interval, using the normal
+  // approximation (z = 2.576). Adequate for the >= 3 repetitions benches use.
+  double Ci99() const {
+    if (n_ < 2) {
+      return 0.0;
+    }
+    return 2.576 * StdDev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_STATS_H_

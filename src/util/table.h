@@ -1,0 +1,31 @@
+// Column-aligned ASCII table printer used by every bench binary to emit
+// paper-style result tables.
+#ifndef XSTREAM_UTIL_TABLE_H_
+#define XSTREAM_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace xstream {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; missing cells render empty, extra cells are a bug.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header underline and two-space column gaps.
+  std::string ToString() const;
+
+  // Convenience: renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_TABLE_H_

@@ -1,0 +1,61 @@
+// Wall-clock timers used for all runtime measurements in benches and engines.
+#ifndef XSTREAM_UTIL_TIMER_H_
+#define XSTREAM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xstream {
+
+// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t Nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across several disjoint intervals, e.g. the total time a
+// run spends inside streaming phases (used for the Fig 12b ratio).
+class IntervalAccumulator {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_; }
+  void Clear() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+// RAII guard that adds the lifetime of the scope to an IntervalAccumulator.
+class ScopedInterval {
+ public:
+  explicit ScopedInterval(IntervalAccumulator& acc) : acc_(acc) { acc_.Start(); }
+  ~ScopedInterval() { acc_.Stop(); }
+
+  ScopedInterval(const ScopedInterval&) = delete;
+  ScopedInterval& operator=(const ScopedInterval&) = delete;
+
+ private:
+  IntervalAccumulator& acc_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_TIMER_H_

@@ -1,0 +1,280 @@
+// Tests for the competitor implementations (Figs 18-22 baselines): CSR
+// builders, sorting kernels, the two specialized BFS variants, the
+// Ligra-like engine, and the GraphChi-like PSW engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/bfs_hybrid.h"
+#include "baselines/bfs_local_queue.h"
+#include "baselines/csr.h"
+#include "baselines/graphchi_like.h"
+#include "baselines/ligra_like.h"
+#include "baselines/psw_programs.h"
+#include "baselines/sorters.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "storage/sim_device.h"
+
+namespace xstream {
+namespace {
+
+EdgeList TestGraph(uint64_t seed = 5, uint32_t scale = 10) {
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = seed;
+  EdgeList edges = GenerateRmat(params);
+  PermuteEdges(edges, seed + 1);
+  return edges;
+}
+
+// ---------------------------------------------------------------- CSR
+
+TEST(CsrTest, BuildersAgree) {
+  EdgeList edges = TestGraph(3);
+  GraphInfo info = ScanEdges(edges);
+  Csr quick = Csr::BuildQuickSort(edges, info.num_vertices);
+  Csr counting = Csr::BuildCountingSort(edges, info.num_vertices);
+  ASSERT_EQ(quick.num_vertices(), counting.num_vertices());
+  ASSERT_EQ(quick.num_edges(), counting.num_edges());
+  for (uint64_t v = 0; v < quick.num_vertices(); ++v) {
+    ASSERT_EQ(quick.OutDegree(static_cast<VertexId>(v)),
+              counting.OutDegree(static_cast<VertexId>(v)))
+        << v;
+    // Neighbor multisets must agree (orders may differ within a vertex).
+    std::multiset<VertexId> a(quick.Neighbors(static_cast<VertexId>(v)),
+                              quick.Neighbors(static_cast<VertexId>(v)) +
+                                  quick.OutDegree(static_cast<VertexId>(v)));
+    std::multiset<VertexId> b(counting.Neighbors(static_cast<VertexId>(v)),
+                              counting.Neighbors(static_cast<VertexId>(v)) +
+                                  counting.OutDegree(static_cast<VertexId>(v)));
+    ASSERT_EQ(a, b) << v;
+  }
+}
+
+TEST(CsrTest, DegreesMatchEdgeList) {
+  EdgeList edges = TestGraph(7);
+  GraphInfo info = ScanEdges(edges);
+  Csr csr = Csr::BuildCountingSort(edges, info.num_vertices);
+  std::vector<uint64_t> degree(info.num_vertices, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.src];
+  }
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(csr.OutDegree(static_cast<VertexId>(v)), degree[v]);
+  }
+}
+
+TEST(CsrTest, TransposeReversesEdges) {
+  EdgeList edges{{0, 1, 1.0f}, {0, 2, 1.0f}, {2, 1, 1.0f}};
+  Csr t = Csr::BuildTranspose(edges, 3);
+  EXPECT_EQ(t.OutDegree(0), 0u);
+  EXPECT_EQ(t.OutDegree(1), 2u);  // in-edges of 1: from 0 and 2
+  EXPECT_EQ(t.OutDegree(2), 1u);
+}
+
+TEST(SortersTest, BothSortsProduceSortedOutput) {
+  EdgeList edges = TestGraph(11);
+  GraphInfo info = ScanEdges(edges);
+  EXPECT_TRUE(TimeQuickSort(edges).sorted);
+  EXPECT_TRUE(TimeCountingSort(edges, info.num_vertices).sorted);
+}
+
+// ---------------------------------------------------------------- BFS baselines
+
+TEST(LocalQueueBfsTest, MatchesReference) {
+  EdgeList edges = TestGraph(13);
+  GraphInfo info = ScanEdges(edges);
+  Csr csr = Csr::BuildCountingSort(edges, info.num_vertices);
+  ThreadPool pool(2);
+  LocalQueueBfsResult result = RunLocalQueueBfs(csr, 0, pool);
+  ReferenceGraph g(edges, info.num_vertices);
+  EXPECT_EQ(result.levels, ReferenceBfsLevels(g, 0));
+}
+
+TEST(LocalQueueBfsTest, SingleThreadMatches) {
+  EdgeList edges = TestGraph(17);
+  GraphInfo info = ScanEdges(edges);
+  Csr csr = Csr::BuildCountingSort(edges, info.num_vertices);
+  ThreadPool pool(1);
+  LocalQueueBfsResult result = RunLocalQueueBfs(csr, 0, pool);
+  ReferenceGraph g(edges, info.num_vertices);
+  EXPECT_EQ(result.levels, ReferenceBfsLevels(g, 0));
+}
+
+TEST(HybridBfsTest, MatchesReference) {
+  EdgeList edges = TestGraph(19);
+  GraphInfo info = ScanEdges(edges);
+  Csr out = Csr::BuildCountingSort(edges, info.num_vertices);
+  Csr in = Csr::BuildTranspose(edges, info.num_vertices);
+  ThreadPool pool(2);
+  HybridBfsResult result = RunHybridBfs(out, in, 0, pool);
+  ReferenceGraph g(edges, info.num_vertices);
+  EXPECT_EQ(result.levels, ReferenceBfsLevels(g, 0));
+}
+
+TEST(HybridBfsTest, UsesBottomUpOnScaleFreeGraph) {
+  EdgeList edges = TestGraph(23, 12);
+  GraphInfo info = ScanEdges(edges);
+  Csr out = Csr::BuildCountingSort(edges, info.num_vertices);
+  Csr in = Csr::BuildTranspose(edges, info.num_vertices);
+  ThreadPool pool(2);
+  HybridBfsResult result = RunHybridBfs(out, in, 0, pool);
+  // On a dense scale-free graph the middle levels must trip the switch.
+  EXPECT_GT(result.bottom_up_steps, 0u);
+  ReferenceGraph g(edges, info.num_vertices);
+  EXPECT_EQ(result.levels, ReferenceBfsLevels(g, 0));
+}
+
+TEST(HybridBfsTest, StaysTopDownOnPath) {
+  EdgeList edges = GeneratePath(512, 1);
+  Csr out = Csr::BuildCountingSort(edges, 512);
+  Csr in = Csr::BuildTranspose(edges, 512);
+  ThreadPool pool(2);
+  HybridBfsResult result = RunHybridBfs(out, in, 0, pool);
+  EXPECT_EQ(result.bottom_up_steps, 0u);
+  EXPECT_EQ(result.depth, 511u);
+}
+
+// ---------------------------------------------------------------- Ligra-like
+
+TEST(LigraLikeTest, BfsMatchesReference) {
+  EdgeList edges = TestGraph(29);
+  GraphInfo info = ScanEdges(edges);
+  LigraGraph graph = LigraGraph::Build(edges, info.num_vertices);
+  EXPECT_GT(graph.preprocess_seconds, 0.0);
+  ThreadPool pool(2);
+  LigraBfsResult result = RunLigraBfs(graph, 0, pool);
+  ReferenceGraph g(edges, info.num_vertices);
+  EXPECT_EQ(result.levels, ReferenceBfsLevels(g, 0));
+}
+
+TEST(LigraLikeTest, BfsSwitchesToPullOnDenseFrontier) {
+  EdgeList edges = TestGraph(31, 12);
+  GraphInfo info = ScanEdges(edges);
+  LigraGraph graph = LigraGraph::Build(edges, info.num_vertices);
+  ThreadPool pool(2);
+  LigraBfsResult result = RunLigraBfs(graph, 0, pool);
+  EXPECT_GT(result.pull_steps, 0u);
+}
+
+TEST(LigraLikeTest, PageRankMatchesReference) {
+  EdgeList edges = TestGraph(37);
+  GraphInfo info = ScanEdges(edges);
+  LigraGraph graph = LigraGraph::Build(edges, info.num_vertices);
+  ThreadPool pool(2);
+  LigraPageRankResult result = RunLigraPageRank(graph, 5, pool);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<double> expected = ReferencePageRank(g, 5);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_NEAR(result.ranks[v], expected[v], 1e-6) << v;
+  }
+}
+
+// ---------------------------------------------------------------- PSW (GraphChi-like)
+
+TEST(PswEngineTest, WccConvergesToReference) {
+  EdgeList edges = TestGraph(41);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 2;
+  config.memory_budget_bytes = 1 << 18;  // force several shards
+  PswWcc program;
+  PswEngine<PswWcc> engine(config, dev, edges, info.num_vertices, program);
+  EXPECT_GT(engine.num_shards(), 1u);
+  engine.RunUntilConverged(program);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(engine.values()[v], expected[v]) << v;
+  }
+}
+
+TEST(PswEngineTest, WccSingleShard) {
+  EdgeList edges = TestGraph(43);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 1;
+  config.num_shards = 1;
+  PswWcc program;
+  PswEngine<PswWcc> engine(config, dev, edges, info.num_vertices, program);
+  engine.RunUntilConverged(program);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(engine.values()[v], expected[v]) << v;
+  }
+}
+
+TEST(PswEngineTest, PageRankApproximatesReference) {
+  EdgeList edges = TestGraph(47);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 2;
+  config.memory_budget_bytes = 1 << 18;
+  PswPageRank program(info.num_vertices);
+  PswEngine<PswPageRank> engine(config, dev, edges, info.num_vertices, program);
+  engine.RunIterations(program, 10);
+  // Asynchronous sweeps converge to the same fixpoint as synchronous PR;
+  // after 10 sweeps the ordering of top vertices should agree loosely.
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<double> expected = ReferencePageRank(g, 30);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_NEAR(engine.values()[v], expected[v], 0.02 + 0.25 * expected[v]) << v;
+  }
+}
+
+TEST(PswEngineTest, ReportsPreSortAndReSortCosts) {
+  EdgeList edges = TestGraph(53);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 2;
+  config.memory_budget_bytes = 1 << 18;
+  PswWcc program;
+  PswEngine<PswWcc> engine(config, dev, edges, info.num_vertices, program);
+  engine.RunIterations(program, 2);
+  EXPECT_GT(engine.stats().pre_sort_seconds, 0.0);
+  EXPECT_GT(engine.stats().re_sort_seconds, 0.0);
+  EXPECT_EQ(engine.stats().iterations, 2u);
+  // The engine must actually touch the device.
+  DeviceStats s = dev.stats();
+  EXPECT_GT(s.bytes_read, 0u);
+  EXPECT_GT(s.bytes_written, 0u);
+}
+
+TEST(PswEngineTest, AlsProducesFiniteFactors) {
+  EdgeList ratings = GenerateBipartite(100, 20, 800, 59);
+  GraphInfo info = ScanEdges(ratings);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 2;
+  PswAls program;
+  PswEngine<PswAls> engine(config, dev, ratings, info.num_vertices, program);
+  engine.RunIterations(program, 4);
+  for (const auto& value : engine.values()) {
+    for (float f : value.f) {
+      EXPECT_TRUE(std::isfinite(f));
+    }
+  }
+}
+
+TEST(PswEngineTest, BpBeliefsNormalized) {
+  EdgeList edges = TestGraph(61);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("psw", DeviceProfile::Instant());
+  PswConfig config;
+  config.threads = 2;
+  PswBp program;
+  PswEngine<PswBp> engine(config, dev, edges, info.num_vertices, program);
+  engine.RunIterations(program, 3);
+  for (const auto& value : engine.values()) {
+    EXPECT_NEAR(value.m0 + value.m1, 1.0f, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace xstream

@@ -1,0 +1,147 @@
+// Checkpoint/restore of vertex state on both engines.
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/wcc.h"
+#include "core/inmem_engine.h"
+#include "core/ooc_engine.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "storage/sim_device.h"
+
+namespace xstream {
+namespace {
+
+EdgeList TestGraph(uint64_t seed) {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = seed;
+  return GenerateRmat(params);
+}
+
+TEST(CheckpointTest, InMemorySaveRestoreRoundtrip) {
+  EdgeList edges = TestGraph(3);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+
+  InMemoryConfig config;
+  config.threads = 2;
+  InMemoryEngine<WccAlgorithm> engine(config, edges, info.num_vertices);
+  WccResult done = RunWcc(engine);
+  engine.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  // A fresh engine restores the converged labels without recomputation.
+  InMemoryEngine<WccAlgorithm> fresh(config, edges, info.num_vertices);
+  fresh.LoadVertexStates(ckpt, "wcc.ckpt");
+  std::vector<VertexId> restored(info.num_vertices);
+  fresh.VertexFold(0, [&restored](int acc, VertexId v, const WccAlgorithm::VertexState& s) {
+    restored[v] = s.label;
+    return acc;
+  });
+  EXPECT_EQ(restored, done.labels);
+}
+
+TEST(CheckpointTest, ResumedRunReachesSameFixpoint) {
+  EdgeList edges = TestGraph(5);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  InMemoryConfig config;
+  config.threads = 2;
+
+  // Interrupted run: only 2 iterations, then checkpoint.
+  WccAlgorithm algo;
+  InMemoryEngine<WccAlgorithm> first(config, edges, info.num_vertices);
+  first.InitVertices(algo);
+  first.RunIteration(algo);
+  first.RunIteration(algo);
+  first.SaveVertexStates(ckpt, "partial.ckpt");
+
+  // Resume in a new engine and run to convergence.
+  InMemoryEngine<WccAlgorithm> resumed(config, edges, info.num_vertices);
+  resumed.LoadVertexStates(ckpt, "partial.ckpt");
+  WccAlgorithm algo2;
+  while (resumed.RunIteration(algo2).updates_generated > 0) {
+  }
+  std::vector<VertexId> labels(info.num_vertices);
+  resumed.VertexFold(0, [&labels](int acc, VertexId v, const WccAlgorithm::VertexState& s) {
+    labels[v] = s.label;
+    return acc;
+  });
+
+  // Reference: uninterrupted run.
+  InMemoryEngine<WccAlgorithm> straight(config, edges, info.num_vertices);
+  EXPECT_EQ(labels, RunWcc(straight).labels);
+}
+
+TEST(CheckpointTest, OutOfCoreMemoryResidentVertices) {
+  EdgeList edges = TestGraph(7);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("d", DeviceProfile::Instant());
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+
+  OutOfCoreConfig config;
+  config.threads = 2;
+  config.io_unit_bytes = 8 << 10;
+  OutOfCoreEngine<PageRankAlgorithm> engine(config, dev, dev, dev, "input", info);
+  ASSERT_TRUE(engine.vertices_in_memory());
+  PageRankResult done = RunPageRank(engine, 3);
+  engine.SaveVertexStates(ckpt, "pr.ckpt");
+
+  OutOfCoreEngine<PageRankAlgorithm> fresh(config, dev, dev, dev, "input", info);
+  fresh.LoadVertexStates(ckpt, "pr.ckpt");
+  std::vector<float> restored(info.num_vertices);
+  fresh.VertexFold(0, [&restored](int acc, VertexId v,
+                                  const PageRankAlgorithm::VertexState& s) {
+    restored[v] = s.rank;
+    return acc;
+  });
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_FLOAT_EQ(restored[v], done.ranks[v]) << v;
+  }
+}
+
+TEST(CheckpointTest, OutOfCoreFileResidentVertices) {
+  EdgeList edges = TestGraph(9);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("d", DeviceProfile::Instant());
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+
+  OutOfCoreConfig config;
+  config.threads = 2;
+  config.io_unit_bytes = 8 << 10;
+  config.num_partitions = 8;
+  config.allow_vertex_memory_opt = false;
+  OutOfCoreEngine<WccAlgorithm> engine(config, dev, dev, dev, "input", info);
+  ASSERT_FALSE(engine.vertices_in_memory());
+  WccResult done = RunWcc(engine);
+  engine.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  OutOfCoreEngine<WccAlgorithm> fresh(config, dev, dev, dev, "input", info);
+  fresh.LoadVertexStates(ckpt, "wcc.ckpt");
+  std::vector<VertexId> restored(info.num_vertices);
+  fresh.VertexFold(0, [&restored](int acc, VertexId v, const WccAlgorithm::VertexState& s) {
+    restored[v] = s.label;
+    return acc;
+  });
+  EXPECT_EQ(restored, done.labels);
+}
+
+TEST(CheckpointTest, MismatchedCheckpointAborts) {
+  EdgeList edges = TestGraph(11);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  FileId f = ckpt.Create("bad.ckpt");
+  std::vector<std::byte> junk(13);
+  ckpt.Write(f, 0, junk);
+  InMemoryConfig config;
+  config.threads = 1;
+  InMemoryEngine<WccAlgorithm> engine(config, edges, info.num_vertices);
+  EXPECT_DEATH(engine.LoadVertexStates(ckpt, "bad.ckpt"), "checkpoint does not match");
+}
+
+}  // namespace
+}  // namespace xstream

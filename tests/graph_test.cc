@@ -1,0 +1,269 @@
+// Tests for the graph substrate: generators, transforms, edge file I/O, and
+// the dataset registry.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/datasets.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "storage/sim_device.h"
+
+namespace xstream {
+namespace {
+
+// ---------------------------------------------------------------- generators
+
+TEST(RmatTest, EdgeCountAndVertexRange) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  params.undirected = false;
+  EdgeList edges = GenerateRmat(params);
+  EXPECT_EQ(edges.size(), (1u << 10) * 8u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, 1u << 10);
+    EXPECT_LT(e.dst, 1u << 10);
+    EXPECT_GE(e.weight, 0.0f);
+    EXPECT_LT(e.weight, 1.0f);
+  }
+}
+
+TEST(RmatTest, UndirectedEmitsBothDirections) {
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 4;
+  params.undirected = true;
+  EdgeList edges = GenerateRmat(params);
+  ASSERT_EQ(edges.size() % 2, 0u);
+  for (size_t i = 0; i < edges.size(); i += 2) {
+    EXPECT_EQ(edges[i].src, edges[i + 1].dst);
+    EXPECT_EQ(edges[i].dst, edges[i + 1].src);
+    EXPECT_EQ(edges[i].weight, edges[i + 1].weight);
+  }
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  RmatParams params;
+  params.scale = 8;
+  params.seed = 5;
+  EdgeList a = GenerateRmat(params);
+  EdgeList b = GenerateRmat(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+  params.seed = 6;
+  EdgeList c = GenerateRmat(params);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].src != c[i].src || a[i].dst != c[i].dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 16;
+  params.undirected = false;
+  EdgeList edges = GenerateRmat(params);
+  std::vector<uint64_t> degree(1u << 12, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.src];
+  }
+  uint64_t max_degree = *std::max_element(degree.begin(), degree.end());
+  // Scale-free: the hub degree dwarfs the average (16).
+  EXPECT_GT(max_degree, 200u);
+}
+
+TEST(GridTest, StructureAndDiameter) {
+  EdgeList edges = GenerateGrid(4, 5, 1);
+  // 4x5 grid: horizontal 4*4=16, vertical 3*5=15 undirected edges, doubled.
+  EXPECT_EQ(edges.size(), 2u * (16 + 15));
+  EXPECT_EQ(ReferenceDiameterSteps(edges, 20), 4u + 5 - 2);
+}
+
+TEST(PathTest, DiameterIsLength) {
+  EdgeList edges = GeneratePath(50, 2);
+  EXPECT_EQ(edges.size(), 2u * 49);
+  EXPECT_EQ(ReferenceDiameterSteps(edges, 50), 49u);
+}
+
+TEST(ClusteredChainTest, SingleComponentHighDiameter) {
+  EdgeList edges = GenerateClusteredChain(8, 32, 4, 3);
+  GraphInfo info = ScanEdges(edges);
+  EXPECT_LE(info.num_vertices, 8u * 32);
+  auto labels = ReferenceWcc(edges, 8 * 32);
+  std::set<VertexId> components(labels.begin(), labels.end());
+  EXPECT_EQ(components.size(), 1u) << "bridges must connect all clusters";
+  // Diameter at least the cluster-chain length.
+  EXPECT_GE(ReferenceDiameterSteps(edges, 8 * 32), 7u);
+}
+
+TEST(BipartiteTest, EdgesRespectSides) {
+  EdgeList edges = GenerateBipartite(100, 20, 500, 4);
+  EXPECT_EQ(edges.size(), 1000u);  // both directions
+  for (size_t i = 0; i < edges.size(); i += 2) {
+    const Edge& fwd = edges[i];
+    EXPECT_LT(fwd.src, 100u);                        // user
+    EXPECT_GE(fwd.dst, 100u);                        // item
+    EXPECT_LT(fwd.dst, 120u);
+    EXPECT_GE(fwd.weight, 1.0f);
+    EXPECT_LE(fwd.weight, 5.0f);
+    EXPECT_EQ(edges[i + 1].src, fwd.dst);            // reverse record
+  }
+}
+
+TEST(StarTest, CenterConnectsAll) {
+  EdgeList edges = GenerateStar(10);
+  EXPECT_EQ(edges.size(), 18u);
+  auto labels = ReferenceWcc(edges, 10);
+  for (VertexId l : labels) {
+    EXPECT_EQ(l, 0u);
+  }
+}
+
+// ---------------------------------------------------------------- transforms
+
+TEST(PermuteTest, PreservesMultiset) {
+  EdgeList edges = GeneratePath(100, 5);
+  EdgeList shuffled = edges;
+  PermuteEdges(shuffled, 9);
+  auto key = [](const Edge& e) {
+    return std::tuple(e.src, e.dst, e.weight);
+  };
+  std::multiset<std::tuple<VertexId, VertexId, float>> a, b;
+  for (const Edge& e : edges) {
+    a.insert(key(e));
+  }
+  for (const Edge& e : shuffled) {
+    b.insert(key(e));
+  }
+  EXPECT_EQ(a, b);
+  // And actually permutes.
+  bool moved = false;
+  for (size_t i = 0; i < edges.size() && !moved; ++i) {
+    moved = edges[i].src != shuffled[i].src || edges[i].dst != shuffled[i].dst;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SymmetrizeTest, DoublesAndMirrors) {
+  EdgeList edges{{0, 1, 0.5f}, {2, 3, 0.25f}};
+  EdgeList sym = Symmetrize(edges);
+  ASSERT_EQ(sym.size(), 4u);
+  EXPECT_EQ(sym[1].src, 1u);
+  EXPECT_EQ(sym[1].dst, 0u);
+  EXPECT_EQ(sym[1].weight, 0.5f);
+}
+
+TEST(RandomOrientationTest, KeepsExactlyOneDirectionPerPair) {
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 4;
+  params.undirected = true;
+  EdgeList undirected = GenerateRmat(params);
+  EdgeList oriented = RandomOrientation(undirected, 7);
+  // Each undirected pair (2 records) becomes 1 record; self loops dropped.
+  uint64_t self_loops = 0;
+  for (const Edge& e : undirected) {
+    self_loops += e.src == e.dst ? 1 : 0;
+  }
+  EXPECT_EQ(oriented.size(), (undirected.size() - self_loops) / 2);
+  // The unordered endpoint multiset must be preserved.
+  std::multiset<std::pair<VertexId, VertexId>> before, after;
+  for (const Edge& e : undirected) {
+    if (e.src < e.dst) {
+      before.insert({e.src, e.dst});
+    }
+  }
+  for (const Edge& e : oriented) {
+    after.insert({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+  }
+  EXPECT_EQ(before, after);
+}
+
+// ---------------------------------------------------------------- edge I/O
+
+TEST(EdgeIoTest, WriteReadRoundtrip) {
+  SimDevice dev("d", DeviceProfile::Instant());
+  EdgeList edges = GeneratePath(200, 6);
+  WriteEdgeFile(dev, "edges", edges);
+  EdgeList back = ReadEdgeFile(dev, "edges");
+  ASSERT_EQ(back.size(), edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(back[i].src, edges[i].src);
+    EXPECT_EQ(back[i].dst, edges[i].dst);
+    EXPECT_EQ(back[i].weight, edges[i].weight);
+  }
+}
+
+TEST(EdgeIoTest, ScanFindsCountsAndMaxVertex) {
+  SimDevice dev("d", DeviceProfile::Instant());
+  EdgeList edges{{5, 900, 1.0f}, {2, 3, 1.0f}};
+  WriteEdgeFile(dev, "edges", edges);
+  GraphInfo info = ScanEdgeFile(dev, "edges");
+  EXPECT_EQ(info.num_edges, 2u);
+  EXPECT_EQ(info.num_vertices, 901u);
+}
+
+TEST(EdgeIoTest, AppendAccumulates) {
+  SimDevice dev("d", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "edges", {{0, 1, 1.0f}});
+  AppendEdgeFile(dev, "edges", {{1, 2, 2.0f}});
+  EdgeList back = ReadEdgeFile(dev, "edges");
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[1].dst, 2u);
+}
+
+TEST(EdgeIoTest, EmptyFile) {
+  SimDevice dev("d", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "empty", {});
+  EXPECT_EQ(ReadEdgeFile(dev, "empty").size(), 0u);
+  EXPECT_EQ(ScanEdgeFile(dev, "empty").num_edges, 0u);
+}
+
+// ---------------------------------------------------------------- datasets
+
+TEST(DatasetsTest, RegistryContainsPaperGraphs) {
+  EXPECT_EQ(InMemoryDatasets().size(), 4u);
+  EXPECT_EQ(OutOfCoreDatasets().size(), 5u);
+  EXPECT_TRUE(FindDataset("Twitter*").has_value());
+  EXPECT_TRUE(FindDataset("dimacs-usa*").has_value());
+  EXPECT_FALSE(FindDataset("nonexistent").has_value());
+}
+
+TEST(DatasetsTest, StandInsGenerateAndScaleShiftGrows) {
+  for (const DatasetSpec& spec : InMemoryDatasets()) {
+    EdgeList base = GenerateDataset(spec, 0);
+    EdgeList grown = GenerateDataset(spec, 1);
+    EXPECT_GT(base.size(), 0u) << spec.name;
+    EXPECT_GT(grown.size(), base.size()) << spec.name;
+  }
+}
+
+TEST(DatasetsTest, HighDiameterStandInHasHighDiameter) {
+  DatasetSpec dimacs = *FindDataset("dimacs-usa*");
+  EdgeList edges = GenerateDataset(dimacs, -4);  // small for the exact check
+  GraphInfo info = ScanEdges(edges);
+  DatasetSpec amazon = *FindDataset("amazon0601*");
+  EdgeList sf = GenerateDataset(amazon, -4);
+  GraphInfo sf_info = ScanEdges(sf);
+  uint32_t grid_diam = ReferenceDiameterSteps(edges, info.num_vertices);
+  uint32_t sf_diam = ReferenceDiameterSteps(Symmetrize(sf), sf_info.num_vertices);
+  EXPECT_GT(grid_diam, 4 * sf_diam);
+}
+
+TEST(GraphInfoTest, ScanEdgesFindsBounds) {
+  EdgeList edges{{0, 7, 1.0f}, {3, 2, 1.0f}};
+  GraphInfo info = ScanEdges(edges);
+  EXPECT_EQ(info.num_vertices, 8u);
+  EXPECT_EQ(info.num_edges, 2u);
+}
+
+}  // namespace
+}  // namespace xstream

@@ -1,0 +1,77 @@
+// Tests for the Fig 26 I/O-model calculators and their qualitative claims.
+#include <gtest/gtest.h>
+
+#include "iomodel/io_model.h"
+
+namespace xstream {
+namespace {
+
+IoModelParams TwitterLike() {
+  IoModelParams p;
+  p.v = 41.7e6;
+  p.e = 4.2e9;
+  p.m = 2e9;
+  p.b = 4e6;
+  p.d = 16;
+  return p;
+}
+
+TEST(IoModelTest, XStreamHasNoPreprocessing) {
+  EXPECT_EQ(XStreamIoModel(TwitterLike()).preprocessing, 0.0);
+  EXPECT_GT(GraphchiIoModel(TwitterLike()).preprocessing, 0.0);
+  EXPECT_GT(SortRandomIoModel(TwitterLike()).preprocessing, 0.0);
+}
+
+TEST(IoModelTest, XStreamPartitionsScaleWithVerticesGraphchiWithEdges) {
+  IoModelParams p = TwitterLike();
+  IoModelCosts xs1 = XStreamIoModel(p);
+  IoModelCosts gc1 = GraphchiIoModel(p);
+  p.e *= 4;  // denser graph
+  IoModelCosts xs2 = XStreamIoModel(p);
+  IoModelCosts gc2 = GraphchiIoModel(p);
+  EXPECT_EQ(xs1.partitions, xs2.partitions) << "X-Stream K depends on |V| only";
+  EXPECT_GT(gc2.partitions, gc1.partitions) << "Graphchi shards grow with |E|";
+}
+
+TEST(IoModelTest, XStreamUsesFewerPartitionsOnDenseGraphs) {
+  IoModelParams p = TwitterLike();
+  p.e = p.v * 100;  // dense
+  EXPECT_LT(XStreamIoModel(p).partitions, GraphchiIoModel(p).partitions);
+}
+
+TEST(IoModelTest, SortRandomTotalDominatedByRandomAccess) {
+  IoModelCosts sr = SortRandomIoModel(TwitterLike());
+  EXPECT_DOUBLE_EQ(sr.all_iterations, TwitterLike().v + TwitterLike().e);
+  // Random access pays per-item, not per-block: orders of magnitude above
+  // the streaming approaches.
+  EXPECT_GT(sr.all_iterations, 100 * XStreamIoModel(TwitterLike()).all_iterations);
+}
+
+TEST(IoModelTest, IterationCostScalesWithDiameter) {
+  IoModelParams p = TwitterLike();
+  IoModelCosts low = XStreamIoModel(p);
+  p.d = 160;
+  IoModelCosts high = XStreamIoModel(p);
+  EXPECT_GT(high.all_iterations, 9 * low.all_iterations);
+  EXPECT_LT(high.all_iterations, 11 * low.all_iterations);
+}
+
+TEST(IoModelTest, MoreMemoryNeverHurtsXStream) {
+  IoModelParams p = TwitterLike();
+  IoModelCosts small = XStreamIoModel(p);
+  p.m *= 8;
+  IoModelCosts big = XStreamIoModel(p);
+  EXPECT_LE(big.all_iterations, small.all_iterations);
+  EXPECT_LE(big.partitions, small.partitions);
+}
+
+TEST(IoModelTest, UpdateVolumeDefaultsToEdges) {
+  IoModelParams p = TwitterLike();
+  IoModelCosts def = XStreamIoModel(p);
+  p.u = p.e;
+  IoModelCosts expl = XStreamIoModel(p);
+  EXPECT_DOUBLE_EQ(def.one_iteration, expl.one_iteration);
+}
+
+}  // namespace
+}  // namespace xstream

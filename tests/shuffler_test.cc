@@ -1,0 +1,133 @@
+// Property tests for the stream-buffer shuffler (paper §3.1, §4.2): every
+// shuffle — any stage count, slice count, partition count — must preserve
+// the exact multiset of records and group them contiguously by partition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "buffers/shuffler.h"
+#include "threads/thread_pool.h"
+#include "util/rng.h"
+
+namespace xstream {
+namespace {
+
+struct Rec {
+  uint32_t key;
+  uint32_t payload;
+  bool operator==(const Rec&) const = default;
+};
+
+std::vector<Rec> MakeRecords(uint64_t count, uint32_t num_partitions, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rec> recs(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    recs[i] = Rec{static_cast<uint32_t>(rng.NextBounded(num_partitions)),
+                  static_cast<uint32_t>(i)};
+  }
+  return recs;
+}
+
+// Runs a shuffle and checks (a) multiset preservation, (b) correct grouping.
+void CheckShuffle(int threads, uint64_t count, uint32_t partitions, uint32_t fanout,
+                  uint64_t seed) {
+  SCOPED_TRACE("threads=" + std::to_string(threads) + " count=" + std::to_string(count) +
+               " partitions=" + std::to_string(partitions) + " fanout=" + std::to_string(fanout));
+  ThreadPool pool(threads);
+  std::vector<Rec> input = MakeRecords(count, partitions, seed);
+  std::vector<Rec> a = input;
+  a.resize(count + 1);  // shuffler only touches [0, count)
+  std::vector<Rec> b(count + 1);
+
+  auto out = ShuffleRecords(pool, a.data(), b.data(), count, partitions, fanout,
+                            [](const Rec& r) { return r.key; });
+
+  ASSERT_EQ(out.slices.size(), static_cast<size_t>(threads));
+  EXPECT_EQ(out.TotalRecords(), count);
+
+  // Grouping: within each slice, chunk p contains only key == p.
+  std::multiset<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& slice : out.slices) {
+    ASSERT_EQ(slice.size(), partitions);
+    for (uint32_t p = 0; p < partitions; ++p) {
+      const ChunkRef& c = slice[p];
+      for (uint64_t i = 0; i < c.count; ++i) {
+        const Rec& r = out.data[c.begin + i];
+        EXPECT_EQ(r.key, p);
+        seen.insert({r.key, r.payload});
+      }
+    }
+  }
+  // Multiset preservation.
+  std::multiset<std::pair<uint32_t, uint32_t>> expected;
+  for (const Rec& r : input) {
+    expected.insert({r.key, r.payload});
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ShufflerTest, SingleThreadSingleStage) { CheckShuffle(1, 1000, 7, 16, 1); }
+
+TEST(ShufflerTest, SingleThreadMultiStage) { CheckShuffle(1, 1000, 64, 4, 2); }
+
+TEST(ShufflerTest, MultiThreadSingleStage) { CheckShuffle(4, 10000, 13, 16, 3); }
+
+TEST(ShufflerTest, MultiThreadMultiStage) { CheckShuffle(4, 10000, 256, 8, 4); }
+
+TEST(ShufflerTest, OnePartitionIsIdentityGrouping) { CheckShuffle(3, 500, 1, 2, 5); }
+
+TEST(ShufflerTest, EmptyInput) { CheckShuffle(2, 0, 8, 4, 6); }
+
+TEST(ShufflerTest, FewerRecordsThanSlices) { CheckShuffle(8, 3, 4, 4, 7); }
+
+TEST(ShufflerTest, PartitionCountLargerThanRecords) { CheckShuffle(2, 10, 64, 8, 8); }
+
+TEST(ShufflerTest, DeepTreeManyStages) {
+  // fanout 2 over 256 partitions = 8 stages.
+  CheckShuffle(2, 5000, 256, 2, 9);
+}
+
+// Parameterized sweep: the invariant must hold across the cross product of
+// thread counts, partition counts and fanouts.
+class ShuffleSweep : public ::testing::TestWithParam<std::tuple<int, uint32_t, uint32_t>> {};
+
+TEST_P(ShuffleSweep, PreservesMultisetAndGroups) {
+  auto [threads, partitions, fanout] = GetParam();
+  CheckShuffle(threads, 4096, partitions, fanout, 1234 + partitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShuffleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1u, 2u, 8u, 32u, 128u),
+                       ::testing::Values(2u, 4u, 16u, 1024u)),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_f" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ShufflerTest, StageCountMatchesCeilLogFanout) {
+  ThreadPool pool(2);
+  std::vector<Rec> recs = MakeRecords(1000, 64, 11);
+  std::vector<Rec> b(1000);
+  auto out = ShuffleRecords(pool, recs.data(), b.data(), 1000, 64u, 4u,
+                            [](const Rec& r) { return r.key; });
+  EXPECT_EQ(out.stages_run, 3);  // log_4(64) = 3
+  auto out1 = ShuffleRecords(pool, recs.data(), b.data(), 1000, 64u, 64u,
+                             [](const Rec& r) { return r.key; });
+  EXPECT_EQ(out1.stages_run, 1);
+}
+
+TEST(CeilLog2Test, Values) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+}  // namespace
+}  // namespace xstream

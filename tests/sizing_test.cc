@@ -1,0 +1,116 @@
+// Tests for partition-count and fanout selection (paper §2.4, §3.4, §4.2).
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/sizing.h"
+
+namespace xstream {
+namespace {
+
+TEST(RoundUpPow2Test, Values) {
+  EXPECT_EQ(RoundUpPow2(0), 1u);
+  EXPECT_EQ(RoundUpPow2(1), 1u);
+  EXPECT_EQ(RoundUpPow2(2), 2u);
+  EXPECT_EQ(RoundUpPow2(3), 4u);
+  EXPECT_EQ(RoundUpPow2(1000), 1024u);
+}
+
+TEST(InMemorySizingTest, PartitionFootprintFitsCache) {
+  // 1M vertices, 8B state, 12B edge, 8B update => 28MB footprint.
+  uint32_t k = ChooseInMemoryPartitions(1 << 20, 8, 12, 8, 2 << 20);
+  // 28MB / 2MB = 14 -> 16 partitions.
+  EXPECT_EQ(k, 16u);
+  // Each partition's footprint now fits the cache.
+  uint64_t per_partition = ((1 << 20) / k) * (8 + 12 + 8);
+  EXPECT_LE(per_partition, 2u << 20);
+}
+
+TEST(InMemorySizingTest, SmallGraphGetsOnePartition) {
+  EXPECT_EQ(ChooseInMemoryPartitions(1000, 8, 12, 8, 2 << 20), 1u);
+}
+
+TEST(InMemorySizingTest, RespectsMaxPartitions) {
+  uint32_t k = ChooseInMemoryPartitions(1ull << 30, 256, 12, 256, 1 << 10, 1 << 12);
+  EXPECT_LE(k, 1u << 12);
+}
+
+TEST(OutOfCoreSizingTest, InequalityHolds) {
+  // Paper's example (§3.4): N = 1TB vertex data, S = 16MB => M_min = 17GB
+  // with under 120 partitions.
+  uint64_t n = 1ull << 40;
+  size_t s = 16 << 20;
+  uint64_t m = 20ull << 30;
+  uint32_t k = ChooseOutOfCorePartitions(n, m, s);
+  EXPECT_LE(n / k + 5ull * s * k, m);
+  EXPECT_LT(k, 200u);
+  EXPECT_GT(k, 50u);
+}
+
+TEST(OutOfCoreSizingTest, PrefersFewestPartitions) {
+  // Plenty of memory: one partition wins (maximum sequentiality, §2.4).
+  EXPECT_EQ(ChooseOutOfCorePartitions(1 << 20, 1ull << 30, 1 << 20), 1u);
+}
+
+TEST(OutOfCoreSizingTest, ViabilityMatchesChooser) {
+  EXPECT_TRUE(OutOfCorePartitionsViable(1 << 20, 1 << 30, 1 << 20));
+  // Budget below 2*sqrt(5NS): impossible.
+  EXPECT_FALSE(OutOfCorePartitionsViable(1ull << 40, 1 << 20, 16 << 20));
+}
+
+TEST(OutOfCoreSizingTest, InfeasibleBudgetAborts) {
+  EXPECT_DEATH(ChooseOutOfCorePartitions(1ull << 40, 1 << 20, 16 << 20),
+               "no viable out-of-core partition count");
+}
+
+TEST(FanoutTest, BoundedByCachelines) {
+  // 2MB cache / 64B lines = 32768 lines -> fanout <= 32768.
+  uint32_t f = ChooseShuffleFanout(1u << 20, 2 << 20, 64);
+  EXPECT_LE(f, 32768u);
+  EXPECT_GE(f, 2u);
+  // Tiny cache: fanout collapses but stays a usable power of two.
+  uint32_t tiny = ChooseShuffleFanout(1u << 20, 256, 64);
+  EXPECT_GE(tiny, 2u);
+  EXPECT_LE(tiny, 4u);
+}
+
+TEST(FanoutTest, NeverExceedsPartitionCount) {
+  EXPECT_LE(ChooseShuffleFanout(8, 2 << 20, 64), 8u);
+}
+
+TEST(PartitionLayoutTest, EqualRangesCoverAllVertices) {
+  PartitionLayout layout(1000, 8);
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < 8; ++p) {
+    total += layout.Size(p);
+    if (p > 0) {
+      EXPECT_EQ(layout.Begin(p), layout.End(p - 1));
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(PartitionLayoutTest, PartitionOfIsConsistentWithRanges) {
+  PartitionLayout layout(1000, 8);
+  for (VertexId v = 0; v < 1000; ++v) {
+    uint32_t p = layout.PartitionOf(v);
+    EXPECT_GE(v, layout.Begin(p));
+    EXPECT_LT(v, layout.End(p));
+  }
+}
+
+TEST(PartitionLayoutTest, MorePartitionsThanVertices) {
+  PartitionLayout layout(3, 8);
+  EXPECT_EQ(layout.Size(0), 1u);
+  EXPECT_EQ(layout.Size(3), 0u);
+  EXPECT_EQ(layout.PartitionOf(2), 2u);
+}
+
+TEST(PartitionLayoutTest, SinglePartitionTakesAll) {
+  PartitionLayout layout(12345, 1);
+  EXPECT_EQ(layout.Begin(0), 0u);
+  EXPECT_EQ(layout.End(0), 12345u);
+  EXPECT_EQ(layout.PartitionOf(12344), 0u);
+}
+
+}  // namespace
+}  // namespace xstream
