@@ -9,14 +9,18 @@
 // records if the name ends in .bin) or --generate=rmat|grid|er|bipartite.
 // Engines: in-memory by default; --out-of-core streams from real files
 // under --workdir. Prints the result summary and run statistics.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "algorithms/algorithms.h"
 #include "algorithms/kcores.h"
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
+#include "partitioning/partitioner.h"
+#include "partitioning/quality.h"
 #include "graph/generators.h"
 #include "graph/text_io.h"
 #include "graph/transforms.h"
@@ -37,6 +41,11 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
   --symmetrize              add reverse edges (traversals on directed input)
   --dedupe --drop-self-loops --compact               input cleanup passes
   --threads=N               0 = all cores
+  --partitioner=range|hash|greedy|2ps   vertex->partition strategy
+                            (default range: the paper's contiguous ranges)
+    --partitions=N          force the partition count (0 = engine auto)
+    --partitioner-seed=N    seed for seeded partitioners (default 1)
+    --partition-stats       print edge cut / replication / balance
   --root=V                  bfs/sssp source (default 0)
   --iterations=N            pagerank/bp rounds (default 5)
   --k=N                     kcore threshold (default 8)
@@ -99,16 +108,51 @@ void PrintStats(const RunStats& stats) {
               HumanDuration(stats.setup_seconds).c_str());
 }
 
+// Builds the partitioner requested by --partitioner (null = the engine's
+// native range mode). The CLI validates the name against the known set so a
+// typo prints usage instead of aborting deep in the factory.
+std::unique_ptr<Partitioner> PartitionerFromFlags(const Options& opts) {
+  std::string name = opts.GetString("partitioner", "range");
+  if (name == "range") {
+    return nullptr;
+  }
+  const auto& known = KnownPartitioners();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    std::fprintf(stderr, "unknown --partitioner=%s\n%s", name.c_str(), kUsage);
+    std::exit(2);
+  }
+  PartitionerOptions poptions;
+  poptions.seed = opts.GetUint("partitioner-seed", 1);
+  return MakePartitioner(name, poptions);
+}
+
+void MaybePrintPartitionStats(const Options& opts, const PartitionLayout& layout,
+                              const EdgeList& edges) {
+  if (!opts.GetBool("partition-stats", false)) {
+    return;
+  }
+  PartitionQuality q = EvaluatePartitionQuality(layout, edges);
+  std::printf("partitioning: %.1f%% edge cut, replication %.2f, balance %.2fx vertices / "
+              "%.2fx edges\n",
+              100.0 * q.CutFraction(), q.replication_factor, q.vertex_balance,
+              q.edge_balance);
+}
+
 // Dispatches `run` with a constructed engine of either flavour.
 template <typename Algo, typename Run>
 void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertices, Run&& run) {
   int threads = static_cast<int>(opts.GetInt("threads", 0));
+  std::unique_ptr<Partitioner> partitioner = PartitionerFromFlags(opts);
+  uint32_t partitions = static_cast<uint32_t>(opts.GetUint("partitions", 0));
   if (!opts.GetBool("out-of-core", false)) {
     InMemoryConfig config;
     config.threads = threads;
+    config.num_partitions = partitions;
+    config.partitioner = partitioner.get();
     InMemoryEngine<Algo> engine(config, edges, num_vertices);
-    std::printf("engine: in-memory, %u partitions, fanout %u\n", engine.num_partitions(),
-                engine.shuffle_fanout());
+    std::printf("engine: in-memory, %u partitions (%s), fanout %u\n", engine.num_partitions(),
+                partitioner ? partitioner->name() : "range", engine.shuffle_fanout());
+    MaybePrintPartitionStats(opts, engine.layout(), edges);
     run(engine);
     return;
   }
@@ -126,9 +170,13 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   config.threads = threads;
   config.memory_budget_bytes = opts.GetUint("budget-mb", 256) << 20;
   config.io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
+  config.num_partitions = partitions;
+  config.partitioner = partitioner.get();
   OutOfCoreEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
-  std::printf("engine: out-of-core in %s, %u partitions, vertices %s\n", workdir.c_str(),
-              engine.num_partitions(), engine.vertices_in_memory() ? "in memory" : "on disk");
+  std::printf("engine: out-of-core in %s, %u partitions (%s), vertices %s\n", workdir.c_str(),
+              engine.num_partitions(), partitioner ? partitioner->name() : "range",
+              engine.vertices_in_memory() ? "in memory" : "on disk");
+  MaybePrintPartitionStats(opts, engine.layout(), edges);
   run(engine);
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Fast verification gate for every PR:
+#   1. tier-1: configure, build everything, run the full test suite
+#   2. partition-quality smoke: fig27 at smoke scale, so partitioner and
+#      update-traffic regressions show up as diffable numbers
+#
+# Usage: scripts/check.sh [build-dir]   (default: ./build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo
+echo "== partition-quality smoke benchmark =="
+"./$BUILD_DIR/fig27_partitioners" --smoke

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "buffers/shuffler.h"
@@ -30,6 +31,7 @@
 #include "core/sizing.h"
 #include "core/stats.h"
 #include "graph/types.h"
+#include "partitioning/partitioner.h"
 #include "storage/device.h"
 #include "threads/concurrent_appender.h"
 #include "threads/thread_pool.h"
@@ -49,6 +51,11 @@ struct InMemoryConfig {
   // argues stealing is needed because partitions have skewed edge counts).
   bool enable_work_stealing = true;
   bool keep_iteration_log = true;
+  // Optional streaming partitioner (src/partitioning/). Null keeps the
+  // paper's equal contiguous ranges. When set, the engine runs the
+  // partitioner's passes over the input during setup and slices vertex
+  // state in the mapping's dense order (not owned; must outlive the engine).
+  Partitioner* partitioner = nullptr;
 };
 
 template <EdgeCentricAlgorithm Algo>
@@ -70,7 +77,13 @@ class InMemoryEngine {
                      ? RoundUpPow2(config.num_partitions)
                      : ChooseInMemoryPartitions(num_vertices_, sizeof(VertexState),
                                                 sizeof(Edge), sizeof(Update), cache);
-    layout_ = PartitionLayout(num_vertices_, k);
+    if (config.partitioner != nullptr) {
+      auto mapping = std::make_shared<VertexMapping>(
+          config.partitioner->Partition(MakeEdgeStream(edges), num_vertices_, k));
+      layout_ = PartitionLayout(std::move(mapping));
+    } else {
+      layout_ = PartitionLayout(num_vertices_, k);
+    }
     fanout_ = config.shuffle_fanout > 0 ? RoundUpPow2(config.shuffle_fanout)
                                         : ChooseShuffleFanout(k, cache, CachelineBytes());
 
@@ -111,30 +124,34 @@ class InMemoryEngine {
   const PartitionLayout& layout() const { return layout_; }
   ThreadPool& pool() { return pool_; }
 
-  const VertexState& State(VertexId v) const { return states_[v]; }
-  VertexState& MutableState(VertexId v) { return states_[v]; }
-  const std::vector<VertexState>& states() const { return states_; }
+  // Vertex state is stored in the layout's dense order so each partition's
+  // states stay contiguous (the cache-locality point of partitioning); these
+  // accessors translate from original vertex ids.
+  const VertexState& State(VertexId v) const { return states_[layout_.DenseId(v)]; }
+  VertexState& MutableState(VertexId v) { return states_[layout_.DenseId(v)]; }
+  const std::vector<VertexState>& states() const { return states_; }  // dense order
 
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }
 
   // Vertex iteration (§2.5): applies f(v, state) to every vertex, in
-  // parallel over partition-aligned ranges.
+  // parallel over partition-aligned (dense) ranges.
   template <typename F>
   void VertexMap(F&& f) {
     pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
-      for (uint64_t v = lo; v < hi; ++v) {
-        f(static_cast<VertexId>(v), states_[v]);
+      for (uint64_t i = lo; i < hi; ++i) {
+        f(layout_.OriginalId(i), states_[i]);
       }
     });
   }
 
-  // Sequential fold over vertex states (aggregations, result extraction).
+  // Sequential fold over vertex states (aggregations, result extraction),
+  // always in original vertex-id order regardless of the mapping.
   template <typename T, typename F>
   T VertexFold(T init, F&& f) const {
     T acc = init;
     for (uint64_t v = 0; v < num_vertices_; ++v) {
-      acc = f(acc, static_cast<VertexId>(v), states_[v]);
+      acc = f(acc, static_cast<VertexId>(v), states_[layout_.DenseId(static_cast<VertexId>(v))]);
     }
     return acc;
   }
@@ -173,7 +190,7 @@ class InMemoryEngine {
             const Edge* es = edge_chunks_.data + c.begin;
             for (uint64_t i = 0; i < c.count; ++i) {
               Update out;
-              if (algo.Scatter(states_[es[i].src], es[i], out)) {
+              if (algo.Scatter(states_[layout_.DenseId(es[i].src)], es[i], out)) {
                 appender.Append(tid, &out);
               } else {
                 ++local_wasted;
@@ -224,15 +241,15 @@ class InMemoryEngine {
               const ChunkRef& c = slice[p];
               const Update* us = shuffled.data + c.begin;
               for (uint64_t i = 0; i < c.count; ++i) {
-                if (algo.Gather(states_[us[i].dst], us[i])) {
+                if (algo.Gather(states_[layout_.DenseId(us[i].dst)], us[i])) {
                   ++local_changed;
                 }
               }
             }
           }
           if constexpr (HasEndVertex<Algo>) {
-            for (VertexId v = layout_.Begin(p); v < layout_.End(p); ++v) {
-              algo.EndVertex(v, states_[v]);
+            for (VertexId i = layout_.Begin(p); i < layout_.End(p); ++i) {
+              algo.EndVertex(layout_.OriginalId(i), states_[i]);
             }
           }
         }
@@ -280,6 +297,8 @@ class InMemoryEngine {
 
   // Checkpointing: persists the vertex state array so a long computation can
   // resume in a fresh engine (graph runs in the paper last up to 26 hours).
+  // States are written in the layout's dense order, so a checkpoint is only
+  // portable to an engine configured with the same partitioner and count.
   void SaveVertexStates(StorageDevice& dev, const std::string& file) const {
     FileId f = dev.Create(file);
     dev.Write(f, 0,

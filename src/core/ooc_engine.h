@@ -23,6 +23,11 @@
 //    never touch storage.
 //  * Update files are truncated as soon as their stream is consumed,
 //    modelling TRIM (§3.3).
+//  * Beyond the paper: an optional streaming partitioner (src/partitioning/)
+//    replaces the §2.2 range assignment, and local-update absorption
+//    gathers updates destined to the partition currently being scattered
+//    straight into a shadow of its loaded states — high-locality mappings
+//    thereby shrink the update files (see fig27).
 //  * Within a loaded chunk, work spreads over cores in the spirit of §4.3
 //    (the in-memory engine layered above the disk engine): scatter
 //    parallelizes over the chunk's edges; gather sub-partitions the chunk's
@@ -47,6 +52,7 @@
 #include "core/sizing.h"
 #include "core/stats.h"
 #include "graph/types.h"
+#include "partitioning/partitioner.h"
 #include "storage/device.h"
 #include "storage/io_executor.h"
 #include "storage/stream_io.h"
@@ -75,6 +81,22 @@ struct OutOfCoreConfig {
   // more SSD GC pressure).
   bool eager_update_truncate = true;
   bool keep_iteration_log = true;
+  // Locality optimization enabled by the streaming-partitioner subsystem:
+  // when a spill happens while partition s is being scattered, updates
+  // destined to s itself are gathered immediately into a shadow copy of s's
+  // (already loaded) vertex states instead of being written to — and later
+  // read back from — s's update file. Legal because X-Stream updates are
+  // unordered within an iteration (the shuffle never sorts), so gathers may
+  // be applied in any order; the shadow keeps scatter reading pre-iteration
+  // state. Costs one extra partition-sized vertex array on top of the §3.4
+  // budget. Only active with file-resident vertices; the better the
+  // vertex->partition mapping, the more traffic it removes.
+  bool absorb_local_updates = true;
+  // Optional streaming partitioner (src/partitioning/). Null keeps the
+  // paper's equal contiguous ranges. When set, its passes stream the input
+  // edge file during setup and vertex state is sliced in the mapping's
+  // dense order (not owned; must outlive the engine).
+  Partitioner* partitioner = nullptr;
   std::string file_prefix = "xs";
 };
 
@@ -105,7 +127,16 @@ class OutOfCoreEngine {
                      ? config.num_partitions
                      : ChooseOutOfCorePartitions(vertex_bytes, config.memory_budget_bytes,
                                                  config.io_unit_bytes);
-    layout_ = PartitionLayout(num_vertices_, k);
+    if (config.partitioner != nullptr) {
+      // The partitioner's passes stream the raw input file; like the shuffle
+      // pass below they are part of setup (X-Stream charges pre-processing
+      // to the run).
+      auto mapping = std::make_shared<VertexMapping>(config.partitioner->Partition(
+          MakeEdgeStream(edge_dev_, input_edge_file, config.io_unit_bytes), num_vertices_, k));
+      layout_ = PartitionLayout(std::move(mapping));
+    } else {
+      layout_ = PartitionLayout(num_vertices_, k);
+    }
 
     // §3.2 optimization 1: memory-resident vertex array when it fits in half
     // the budget (the other half belongs to the stream buffers).
@@ -138,9 +169,14 @@ class OutOfCoreEngine {
       }
     }
     if (vertices_in_memory_) {
+      // Indexed in the layout's dense order (== original ids in range mode)
+      // so each partition's states stay contiguous.
       mem_states_.resize(num_vertices_);
     } else {
-      part_states_.resize(layout_.vertices_per_partition());
+      part_states_.resize(layout_.MaxPartitionSize());
+      if (config_.absorb_local_updates) {
+        shadow_states_.resize(layout_.MaxPartitionSize());
+      }
       // Materialize zero-initialized vertex files so the first VertexMap /
       // scatter can load them before any algorithm Init ran.
       std::fill(part_states_.begin(), part_states_.end(), VertexState{});
@@ -165,6 +201,18 @@ class OutOfCoreEngine {
   bool vertices_in_memory() const { return vertices_in_memory_; }
   const PartitionLayout& layout() const { return layout_; }
   uint64_t buffer_bytes() const { return buffer_bytes_; }
+
+  // Names of the per-partition edge files, for partitioned semi-streaming
+  // runs (RunSemiStreamingPartitioned) over this engine's store.
+  std::vector<std::string> EdgeFileNames() const {
+    std::vector<std::string> names;
+    names.reserve(layout_.num_partitions());
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      names.push_back(PartFile("edges", p));
+    }
+    return names;
+  }
+
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }
 
@@ -195,8 +243,8 @@ class OutOfCoreEngine {
   void VertexMap(F&& f) {
     if (vertices_in_memory_) {
       pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
-        for (uint64_t v = lo; v < hi; ++v) {
-          f(static_cast<VertexId>(v), mem_states_[v]);
+        for (uint64_t i = lo; i < hi; ++i) {
+          f(layout_.OriginalId(i), mem_states_[i]);
         }
       });
       return;
@@ -210,7 +258,7 @@ class OutOfCoreEngine {
       uint64_t n = layout_.Size(p);
       pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
         for (uint64_t i = lo; i < hi; ++i) {
-          f(static_cast<VertexId>(base + i), part_states_[i]);
+          f(layout_.OriginalId(base + i), part_states_[i]);
         }
       });
       StoreVertices(p);
@@ -222,8 +270,8 @@ class OutOfCoreEngine {
   T VertexFold(T init, F&& f) {
     T acc = init;
     if (vertices_in_memory_) {
-      for (uint64_t v = 0; v < num_vertices_; ++v) {
-        acc = f(acc, static_cast<VertexId>(v), mem_states_[v]);
+      for (uint64_t i = 0; i < num_vertices_; ++i) {
+        acc = f(acc, layout_.OriginalId(i), mem_states_[i]);
       }
       return acc;
     }
@@ -234,7 +282,7 @@ class OutOfCoreEngine {
       LoadVertices(p);
       VertexId base = layout_.Begin(p);
       for (uint64_t i = 0; i < layout_.Size(p); ++i) {
-        acc = f(acc, static_cast<VertexId>(base + i), part_states_[i]);
+        acc = f(acc, layout_.OriginalId(base + i), part_states_[i]);
       }
     }
     return acc;
@@ -252,7 +300,7 @@ class OutOfCoreEngine {
       }
       VertexId base = layout_.Begin(p);
       for (uint64_t i = 0; i < layout_.Size(p); ++i) {
-        algo.Init(static_cast<VertexId>(base + i), part_states_[i]);
+        algo.Init(layout_.OriginalId(base + i), part_states_[i]);
       }
       StoreVertices(p);
     }
@@ -277,12 +325,24 @@ class OutOfCoreEngine {
     uint64_t chunk_edge_capacity = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Edge));
     size_t read_chunk = chunk_edge_capacity * sizeof(Edge);
 
+    absorbed_updates_ = 0;
+    absorbed_changed_ = 0;
+    drained_updates_ = 0;
+    drain_watermark_ = 0;
     for (uint32_t s = 0; s < layout_.num_partitions(); ++s) {
       if (!vertices_in_memory_) {
         if (layout_.Size(s) == 0) {
           continue;
         }
         LoadVertices(s);
+        if (config_.absorb_local_updates) {
+          // Shadow next-state for s: spills gather s-destined updates here
+          // while scatter keeps reading the pre-iteration part_states_.
+          std::memcpy(shadow_states_.data(), part_states_.data(),
+                      layout_.Size(s) * sizeof(VertexState));
+          shadow_dirty_ = false;
+          absorb_partition_ = s;
+        }
       }
       const VertexState* state_base =
           vertices_in_memory_ ? mem_states_.data() : part_states_.data();
@@ -294,12 +354,13 @@ class OutOfCoreEngine {
         // Spill (shuffle + async chunk writes) if this chunk's worst-case
         // output may not fit the buffer.
         if (appender->bytes() + n * sizeof(Update) > buffer_bytes_) {
-          SpillUpdates(*appender, fill);
+          SpillUpdates(algo, *appender, fill);
           spilled = true;
           fill ^= 1;  // scatter continues into the other buffer (§3.3)
           appender = std::make_unique<ConcurrentAppender>(
               std::span<std::byte>(out_[fill].data(), buffer_bytes_), sizeof(Update),
               pool_.num_threads());
+          drain_watermark_ = 0;  // fresh buffer: nothing drain-scanned yet
         }
         const Edge* es = reinterpret_cast<const Edge*>(chunk.data());
         std::atomic<uint64_t> local_wasted{0};
@@ -308,7 +369,8 @@ class OutOfCoreEngine {
           uint64_t w = 0;
           for (uint64_t i = lo; i < hi; ++i) {
             Update out;
-            if (algo.Scatter(state_base[es[i].src - part_base], es[i], out)) {
+            if (algo.Scatter(state_base[layout_.DenseId(es[i].src) - part_base], es[i],
+                             out)) {
               app->Append(tid, &out);
             } else {
               ++w;
@@ -320,13 +382,55 @@ class OutOfCoreEngine {
         iter.edges_streamed += n;
         iter.wasted_edges += local_wasted.load();
       }
+      if (absorb_partition_ != kNoAbsorbPartition) {
+        // Drain: s-destined updates still sitting in the append buffer are
+        // gathered now, while s's shadow is live — one compaction scan, no
+        // shuffle. Spill-time absorption alone misses them whenever a
+        // partition's scatter output fits the buffer (the common case for
+        // high-locality mappings, whose updates are mostly s->s). Only
+        // records appended since the last drain are scanned (survivors of
+        // an earlier drain targeted a partition != its s; rescanning them
+        // at every later partition would cost O(k x buffer) per iteration)
+        // — absorption is opportunistic, so skipping them is merely fewer
+        // absorbed updates, never a correctness issue.
+        appender->FlushAll();
+        uint64_t buffered = appender->records();
+        Update* buf = out_[fill].template records<Update>();
+        VertexId drain_base = layout_.Begin(s);
+        uint64_t kept = drain_watermark_;
+        for (uint64_t i = drain_watermark_; i < buffered; ++i) {
+          if (layout_.PartitionOf(buf[i].dst) == s) {
+            if (algo.Gather(shadow_states_[layout_.DenseId(buf[i].dst) - drain_base],
+                            buf[i])) {
+              ++absorbed_changed_;
+            }
+          } else {
+            buf[kept++] = buf[i];
+          }
+        }
+        if (kept < buffered) {
+          appender->Rewind(kept * sizeof(Update));
+          drained_updates_ += buffered - kept;
+          shadow_dirty_ = true;
+        }
+        drain_watermark_ = kept;
+        // Absorbed updates became part of s's next state: persist them so
+        // the gather phase reloads them along with the vertex file.
+        if (shadow_dirty_) {
+          StoreVertices(s, shadow_states_.data());
+        }
+        absorb_partition_ = kNoAbsorbPartition;
+      }
     }
 
     // End of scatter: either keep the whole update set in memory (§3.2
     // optimization 2: nothing was spilled and the optimization is allowed)
     // or spill the tail like any other buffer.
     uint64_t tail_records = appender->records();
-    iter.updates_generated = spilled_updates_ + tail_records;
+    // Drained updates were removed from the buffer before the tail count,
+    // but they were generated (and gathered) all the same.
+    iter.updates_generated = spilled_updates_ + drained_updates_ + tail_records;
+    iter.updates_absorbed = absorbed_updates_ + drained_updates_;
     bool memory_gather = !spilled && config_.allow_update_memory_opt;
     ShuffleOutput<Update> resident;
     if (memory_gather) {
@@ -337,7 +441,7 @@ class OutOfCoreEngine {
                                   [this](const Update& u) { return layout_.PartitionOf(u.dst); });
       }
     } else if (tail_records > 0) {
-      SpillUpdates(*appender, fill);
+      SpillUpdates(algo, *appender, fill);
       fill ^= 1;
     }
     WaitUpdateWrites();
@@ -359,8 +463,9 @@ class OutOfCoreEngine {
       tmp_b = out_[1].template records<Update>();
     }
 
-    // ---- Gather phase.
-    std::atomic<uint64_t> changed{0};
+    // ---- Gather phase. Absorbed updates already mutated their partition's
+    // stored state during scatter; count them with the file/memory gathers.
+    std::atomic<uint64_t> changed{absorbed_changed_};
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
       if (layout_.Size(p) == 0) {
         continue;
@@ -396,7 +501,7 @@ class OutOfCoreEngine {
         uint64_t n = layout_.Size(p);
         pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
           for (uint64_t i = lo; i < hi; ++i) {
-            algo.EndVertex(static_cast<VertexId>(base + i), state_base[base + i - part_base]);
+            algo.EndVertex(layout_.OriginalId(base + i), state_base[base + i - part_base]);
           }
         });
       }
@@ -426,6 +531,7 @@ class OutOfCoreEngine {
     stats_.edges_streamed += iter.edges_streamed;
     stats_.updates_generated += iter.updates_generated;
     stats_.wasted_edges += iter.wasted_edges;
+    stats_.updates_absorbed += iter.updates_absorbed;
     ++stats_.iterations;
     if (config_.keep_iteration_log) {
       stats_.per_iteration.push_back(iter);
@@ -465,7 +571,9 @@ class OutOfCoreEngine {
   }
 
   // Checkpointing: persists all vertex state (one sequential write) so a
-  // multi-hour out-of-core run can resume after a restart.
+  // multi-hour out-of-core run can resume after a restart. States are
+  // written in the layout's dense order, so a checkpoint is only portable to
+  // an engine configured with the same partitioner and partition count.
   void SaveVertexStates(StorageDevice& dev, const std::string& file) {
     FileId f = dev.Create(file);
     if (vertices_in_memory_) {
@@ -573,7 +681,13 @@ class OutOfCoreEngine {
   // shuffled records live in scratch_ (single-stage shuffle, K > 1) or stay
   // in out_[fill] (K == 1); either way the async write owns that memory
   // until the next WaitUpdateWrites().
-  void SpillUpdates(ConcurrentAppender& appender, int fill) {
+  //
+  // When a scatter partition is active (absorb_partition_), its own chunks
+  // are gathered straight into its shadow next-state here — synchronously,
+  // before the async write is submitted, so the writer thread and this
+  // thread only ever read the shuffled buffer — and never reach its update
+  // file.
+  void SpillUpdates(Algo& algo, ConcurrentAppender& appender, int fill) {
     appender.FlushAll();
     uint64_t n = appender.records();
     if (n == 0) {
@@ -585,11 +699,41 @@ class OutOfCoreEngine {
                                    layout_.num_partitions(), layout_.num_partitions(),
                                    [this](const Update& u) { return layout_.PartitionOf(u.dst); });
     spilled_updates_ += n;
+    const uint32_t absorb = absorb_partition_;
+    if (absorb != kNoAbsorbPartition) {
+      VertexId part_base = layout_.Begin(absorb);
+      uint64_t absorbed = 0;
+      for (const auto& slice : shuffled.slices) {
+        const ChunkRef& c = slice[absorb];
+        const Update* rec = shuffled.data + c.begin;
+        for (uint64_t i = 0; i < c.count; ++i) {
+          if (algo.Gather(shadow_states_[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
+            ++absorbed_changed_;
+          }
+        }
+        absorbed += c.count;
+      }
+      if (absorbed > 0) {
+        shadow_dirty_ = true;
+        absorbed_updates_ += absorbed;
+      }
+    }
     const Update* data = shuffled.data;
     auto slices = std::make_shared<std::vector<std::vector<ChunkRef>>>(
         std::move(shuffled.slices));
-    pending_update_write_ = update_dev_.executor().Submit([this, data, slices] {
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (p == absorb) {
+        continue;
+      }
+      for (const auto& slice : *slices) {
+        stats_.update_file_bytes += slice[p].count * sizeof(Update);
+      }
+    }
+    pending_update_write_ = update_dev_.executor().Submit([this, data, slices, absorb] {
       for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        if (p == absorb) {
+          continue;  // gathered into the shadow above
+        }
         for (const auto& slice : *slices) {
           const ChunkRef& c = slice[p];
           if (c.count > 0) {
@@ -619,7 +763,7 @@ class OutOfCoreEngine {
     if (pool_.num_threads() == 1 || count < 4096) {
       uint64_t local = 0;
       for (uint64_t i = 0; i < count; ++i) {
-        if (algo.Gather(state_base[us[i].dst - part_base], us[i])) {
+        if (algo.Gather(state_base[layout_.DenseId(us[i].dst) - part_base], us[i])) {
           ++local;
         }
       }
@@ -632,7 +776,7 @@ class OutOfCoreEngine {
     VertexId begin = layout_.Begin(p);
     std::memcpy(tmp_a, us, count * sizeof(Update));
     auto sub = ShuffleRecords(pool_, tmp_a, tmp_b, count, sub_k, sub_k, [&](const Update& u) {
-      return static_cast<uint32_t>((u.dst - begin) / sub_span);
+      return static_cast<uint32_t>((layout_.DenseId(u.dst) - begin) / sub_span);
     });
     std::atomic<uint32_t> next{0};
     pool_.RunOnAll([&](int) {
@@ -646,7 +790,7 @@ class OutOfCoreEngine {
           const ChunkRef& c = slice[sp];
           const Update* rec = sub.data + c.begin;
           for (uint64_t i = 0; i < c.count; ++i) {
-            if (algo.Gather(state_base[rec[i].dst - part_base], rec[i])) {
+            if (algo.Gather(state_base[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
               ++local;
             }
           }
@@ -663,11 +807,13 @@ class OutOfCoreEngine {
                                           n * sizeof(VertexState)));
   }
 
-  void StoreVertices(uint32_t p) {
+  void StoreVertices(uint32_t p) { StoreVertices(p, part_states_.data()); }
+
+  void StoreVertices(uint32_t p, const VertexState* states) {
     uint64_t n = layout_.Size(p);
     vertex_dev_.Write(vertex_files_[p], 0,
                       std::span<const std::byte>(
-                          reinterpret_cast<const std::byte*>(part_states_.data()),
+                          reinterpret_cast<const std::byte*>(states),
                           n * sizeof(VertexState)));
   }
 
@@ -715,8 +861,19 @@ class OutOfCoreEngine {
   StreamBuffer scratch_;
 
   bool vertices_in_memory_ = false;
-  std::vector<VertexState> mem_states_;   // when vertices_in_memory_
+  std::vector<VertexState> mem_states_;   // when vertices_in_memory_ (dense order)
   std::vector<VertexState> part_states_;  // one-partition scratch otherwise
+
+  // Local-update absorption (config_.absorb_local_updates, file-resident
+  // vertices only): shadow next-state of the partition being scattered.
+  static constexpr uint32_t kNoAbsorbPartition = UINT32_MAX;
+  std::vector<VertexState> shadow_states_;
+  uint32_t absorb_partition_ = kNoAbsorbPartition;
+  bool shadow_dirty_ = false;
+  uint64_t absorbed_updates_ = 0;  // this iteration, via spill-time chunks
+  uint64_t drained_updates_ = 0;   // this iteration, via end-of-partition drain
+  uint64_t absorbed_changed_ = 0;  // this iteration
+  uint64_t drain_watermark_ = 0;   // records of out_[fill] already drain-scanned
 
   std::vector<FileId> edge_files_;
   std::vector<FileId> update_files_;

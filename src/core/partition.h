@@ -1,26 +1,56 @@
-// Streaming-partition layout (paper §2.2).
+// Streaming-partition layout (paper §2.2) and vertex->partition mappings.
 //
 // "The vertex sets of different streaming partitions are mutually disjoint,
-// and their union equals the vertex set of the entire graph. ... We restrict
-// the vertex sets of streaming partitions to be of equal size." Vertices are
-// assigned to partitions by contiguous equal ranges, so partition membership
-// is one integer division and vertex state arrays can be sliced per
-// partition without indirection.
+// and their union equals the vertex set of the entire graph." The paper
+// fixes the assignment to equal contiguous ranges so partition membership is
+// one integer division and vertex state arrays can be sliced per partition
+// without indirection. This file keeps that fast path (range mode) and adds
+// a mapped mode: an arbitrary vertex->partition assignment produced by a
+// Partitioner (src/partitioning/), carried as a VertexMapping.
+//
+// The trick that keeps per-partition vertex-state slicing working under an
+// arbitrary assignment is a contiguous relabeling: every vertex also gets a
+// *dense* id such that partition p owns the dense range
+// [part_begin[p], part_begin[p+1]). Engines slice state arrays and vertex
+// files in dense space and translate at the edges (scatter/gather indexing,
+// EndVertex, VertexMap) via DenseId/OriginalId. In range mode both
+// translations are the identity, so the paper's zero-indirection behavior is
+// preserved exactly.
 #ifndef XSTREAM_CORE_PARTITION_H_
 #define XSTREAM_CORE_PARTITION_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "graph/types.h"
 #include "util/logging.h"
 
 namespace xstream {
 
+// An explicit vertex->partition assignment plus its contiguous relabeling.
+// Invariants (checked by ValidateMapping in src/partitioning/):
+//  * partition_of[v] < num_partitions for every original id v
+//  * dense_of and original_of are inverse permutations of [0, n)
+//  * part_begin has num_partitions + 1 entries, part_begin[0] == 0,
+//    part_begin[k] == n, and partition_of[original_of[i]] == p exactly for
+//    i in [part_begin[p], part_begin[p+1]).
+struct VertexMapping {
+  uint32_t num_partitions = 1;
+  std::vector<uint32_t> partition_of;  // original id -> partition
+  std::vector<VertexId> dense_of;      // original id -> dense slot
+  std::vector<VertexId> original_of;   // dense slot -> original id
+  std::vector<uint64_t> part_begin;    // dense-space boundaries, size k+1
+
+  uint64_t num_vertices() const { return partition_of.size(); }
+};
+
 class PartitionLayout {
  public:
   PartitionLayout() = default;
 
+  // Range mode: equal contiguous ranges (the paper's assignment).
   PartitionLayout(uint64_t num_vertices, uint32_t num_partitions)
       : num_vertices_(num_vertices),
         num_partitions_(num_partitions),
@@ -31,26 +61,84 @@ class PartitionLayout {
     }
   }
 
+  // Mapped mode: an explicit assignment from a streaming partitioner. The
+  // mapping is shared (several engine components hold the layout by value).
+  explicit PartitionLayout(std::shared_ptr<const VertexMapping> mapping)
+      : mapping_(std::move(mapping)) {
+    XS_CHECK(mapping_ != nullptr);
+    XS_CHECK_GT(mapping_->num_partitions, 0u);
+    XS_CHECK_EQ(mapping_->part_begin.size(), size_t{mapping_->num_partitions} + 1);
+    num_vertices_ = mapping_->num_vertices();
+    num_partitions_ = mapping_->num_partitions;
+    per_partition_ =
+        std::max<uint64_t>(1, (num_vertices_ + num_partitions_ - 1) / num_partitions_);
+  }
+
   uint64_t num_vertices() const { return num_vertices_; }
   uint32_t num_partitions() const { return num_partitions_; }
   uint64_t vertices_per_partition() const { return per_partition_; }
+  bool mapped() const { return mapping_ != nullptr; }
+  const VertexMapping* mapping() const { return mapping_.get(); }
 
+  // Clamp contract (both modes): with a non-divisible vertex count the last
+  // range is short, and ids at/above num_vertices (defensive callers, padded
+  // or corrupt streams) must still land in a real partition rather than
+  // indexing past the layout or the mapping vectors.
   uint32_t PartitionOf(VertexId v) const {
-    return static_cast<uint32_t>(v / per_partition_);
+    if (mapping_) {
+      return v < num_vertices_ ? mapping_->partition_of[v] : num_partitions_ - 1;
+    }
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(v / per_partition_, uint64_t{num_partitions_} - 1));
   }
 
+  // Original id -> dense slot. Identity in range mode; out-of-range ids
+  // clamp to the last slot in mapped mode (mirroring PartitionOf — garbage
+  // in, bounded garbage out, never an out-of-bounds vector read).
+  uint64_t DenseId(VertexId v) const {
+    if (mapping_) {
+      return v < num_vertices_ ? mapping_->dense_of[v] : num_vertices_ - 1;
+    }
+    return v;
+  }
+
+  // Dense slot -> original id. Identity in range mode.
+  VertexId OriginalId(uint64_t dense) const {
+    return mapping_ ? mapping_->original_of[dense] : static_cast<VertexId>(dense);
+  }
+
+  // Partition boundaries in dense space (== original-id space in range mode).
   VertexId Begin(uint32_t p) const {
+    if (mapping_) {
+      return static_cast<VertexId>(mapping_->part_begin[p]);
+    }
     return static_cast<VertexId>(std::min<uint64_t>(p * per_partition_, num_vertices_));
   }
 
   VertexId End(uint32_t p) const {
+    if (mapping_) {
+      return static_cast<VertexId>(mapping_->part_begin[p + 1]);
+    }
     return static_cast<VertexId>(std::min<uint64_t>((p + uint64_t{1}) * per_partition_,
                                                     num_vertices_));
   }
 
   uint64_t Size(uint32_t p) const { return End(p) - Begin(p); }
 
+  // Largest partition, for sizing one-partition state scratch buffers.
+  uint64_t MaxPartitionSize() const {
+    if (!mapping_) {
+      return std::min<uint64_t>(per_partition_, num_vertices_);
+    }
+    uint64_t max_size = 0;
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      max_size = std::max(max_size, Size(p));
+    }
+    return max_size;
+  }
+
  private:
+  std::shared_ptr<const VertexMapping> mapping_;
   uint64_t num_vertices_ = 0;
   uint32_t num_partitions_ = 1;
   uint64_t per_partition_ = 1;

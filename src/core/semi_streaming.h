@@ -20,9 +20,13 @@
 
 #include <concepts>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "core/partition.h"
 #include "core/stats.h"
 #include "graph/types.h"
+#include "partitioning/partitioner.h"
 #include "storage/device.h"
 #include "storage/stream_io.h"
 #include "util/logging.h"
@@ -69,6 +73,43 @@ SemiStreamStats RunSemiStreaming(A& algo, StorageDevice& dev, const std::string&
         algo.Edge(edges[i]);
       }
       stats.edges_streamed += n;
+    }
+    ++stats.passes;
+    if (algo.EndPass(pass)) {
+      break;
+    }
+  }
+  stats.seconds = timer.Seconds();
+  stats.sim_io_seconds = dev.stats().busy_seconds - busy0;
+  return stats;
+}
+
+// Streams a *partitioned* edge store — per-partition edge files as laid out
+// by the out-of-core engine or any PartitionLayout — through the algorithm,
+// partition by partition within each pass. Semi-streaming algorithms are
+// edge-order oblivious, so the partitioned order is just another stream; but
+// running over the partitioned store lets them share storage with a
+// scatter-gather engine (no separate flat copy of the graph), and
+// partition-aware algorithms (PartitionQualityPass in src/partitioning/)
+// see edges grouped exactly as the engine stores them.
+template <SemiStreamingAlgorithm A>
+SemiStreamStats RunSemiStreamingPartitioned(A& algo, StorageDevice& dev,
+                                            const PartitionLayout& layout,
+                                            const std::vector<std::string>& edge_files,
+                                            uint32_t max_passes = 64,
+                                            size_t io_unit_bytes = 1 << 20) {
+  XS_CHECK_EQ(edge_files.size(), size_t{layout.num_partitions()});
+  SemiStreamStats stats;
+  WallTimer timer;
+  double busy0 = dev.stats().busy_seconds;
+  algo.Init(layout.num_vertices());
+  for (uint32_t pass = 0; pass < max_passes; ++pass) {
+    algo.BeginPass(pass);
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      MakeEdgeStream(dev, edge_files[p], io_unit_bytes)([&](const Edge& e) {
+        algo.Edge(e);
+        ++stats.edges_streamed;
+      });
     }
     ++stats.passes;
     if (algo.EndPass(pass)) {

@@ -18,6 +18,10 @@ struct IterationStats {
   uint64_t updates_generated = 0;
   uint64_t wasted_edges = 0;  // streamed edges that produced no update
   uint64_t vertices_changed = 0;  // gathers that mutated state
+  // Updates gathered straight into the partition being scattered instead of
+  // being written to its update file (out-of-core locality optimization;
+  // counted inside updates_generated).
+  uint64_t updates_absorbed = 0;
   double seconds = 0.0;
 };
 
@@ -26,6 +30,7 @@ struct RunStats {
   uint64_t edges_streamed = 0;
   uint64_t updates_generated = 0;
   uint64_t wasted_edges = 0;
+  uint64_t updates_absorbed = 0;  // see IterationStats::updates_absorbed
   uint64_t steals = 0;  // partitions obtained by work stealing
 
   double setup_seconds = 0.0;      // partitioning the unordered edge list
@@ -40,6 +45,9 @@ struct RunStats {
   uint64_t bytes_written = 0;
   // Peak bytes held in update files (out-of-core engine; TRIM ablation).
   uint64_t peak_update_bytes = 0;
+  // Total bytes appended to update files over the run: the scatter->gather
+  // traffic the streaming partitioner is trying to shrink (fig 27).
+  uint64_t update_file_bytes = 0;
 
   std::vector<IterationStats> per_iteration;
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace xstream {
 
@@ -70,6 +71,25 @@ CompactedGraph CompactVertexIds(const EdgeList& edges) {
   }
   result.num_vertices = result.new_to_old.size();
   return result;
+}
+
+EdgeList PermuteVertexIds(const EdgeList& edges, uint64_t num_vertices, uint64_t seed) {
+  std::vector<VertexId> relabel(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    relabel[v] = static_cast<VertexId>(v);
+  }
+  Rng rng(seed);
+  for (uint64_t v = num_vertices; v > 1; --v) {  // Fisher-Yates
+    std::swap(relabel[v - 1], relabel[rng.NextBounded(v)]);
+  }
+  EdgeList out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    XS_CHECK_LT(e.src, num_vertices);
+    XS_CHECK_LT(e.dst, num_vertices);
+    out.push_back(Edge{relabel[e.src], relabel[e.dst], e.weight});
+  }
+  return out;
 }
 
 DegreeSummary ComputeDegrees(const EdgeList& edges, uint64_t num_vertices) {

@@ -33,6 +33,12 @@ struct CompactedGraph {
 // holes in the id space (partition ranges then carry no dead vertices).
 CompactedGraph CompactVertexIds(const EdgeList& edges);
 
+// Applies a seeded random permutation to the vertex id space (edges keep
+// their order and weights). Strips incidental locality from generator or
+// crawl numbering — the standard control when comparing partitioning
+// strategies, so none of them free-rides on how ids were handed out.
+EdgeList PermuteVertexIds(const EdgeList& edges, uint64_t num_vertices, uint64_t seed);
+
 // Per-vertex out/in-degrees in one pass.
 struct DegreeSummary {
   std::vector<uint32_t> out_degree;

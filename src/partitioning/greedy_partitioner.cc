@@ -1,0 +1,63 @@
+#include "partitioning/greedy_partitioner.h"
+
+#include "util/logging.h"
+
+namespace xstream {
+namespace {
+
+constexpr uint32_t kUnassigned = UINT32_MAX;
+
+}  // namespace
+
+VertexMapping GreedyStreamingPartitioner::Partition(const EdgeStream& stream,
+                                                    uint64_t num_vertices,
+                                                    uint32_t num_partitions) {
+  XS_CHECK_GT(num_partitions, 0u);
+  std::vector<uint32_t> assignment(num_vertices, kUnassigned);
+  std::vector<uint64_t> load(num_partitions, 0);
+  uint64_t cap = BalanceCap(num_vertices, num_partitions, options_.balance_slack);
+
+  auto place = [&](VertexId v, uint32_t preferred) {
+    uint32_t p = preferred;
+    if (p == kUnassigned || load[p] >= cap) {
+      p = LeastLoadedPartition(load);
+    }
+    assignment[v] = p;
+    ++load[p];
+  };
+
+  stream([&](const Edge& e) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return;  // defensive: partitioners must not trust raw inputs
+    }
+    uint32_t pu = assignment[e.src];
+    uint32_t pv = assignment[e.dst];
+    if (pu != kUnassigned && pv != kUnassigned) {
+      return;
+    }
+    if (e.src == e.dst) {
+      place(e.src, kUnassigned);
+      return;
+    }
+    if (pu == kUnassigned && pv == kUnassigned) {
+      // Seed a new cluster where there is room; the second endpoint follows
+      // the first unless the seed partition just filled up.
+      place(e.src, kUnassigned);
+      place(e.dst, assignment[e.src]);
+    } else if (pu == kUnassigned) {
+      place(e.src, pv);
+    } else {
+      place(e.dst, pu);
+    }
+  });
+
+  // Vertices never seen in an edge: pure balance filler.
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (assignment[v] == kUnassigned) {
+      place(static_cast<VertexId>(v), kUnassigned);
+    }
+  }
+  return FinalizeMapping(std::move(assignment), num_partitions);
+}
+
+}  // namespace xstream

@@ -1,0 +1,44 @@
+// One-pass greedy streaming partitioner (LDG/Fennel family).
+//
+// Classic LDG and Fennel stream *vertices with adjacency lists* and place
+// each vertex where it has the most neighbors, discounted by partition load.
+// X-Stream's input is an unordered *edge* stream, so this is the edge-stream
+// adaptation with the same two ingredients — follow your neighbors, respect
+// a load cap:
+//
+//   for each edge (u, v):
+//     both endpoints placed      -> nothing
+//     one placed (say u in p)    -> place v in p if load[p] < cap,
+//                                   else in the least-loaded partition
+//     neither placed             -> place both in the least-loaded partition
+//                                   (seeding a new cluster)
+//
+// cap = (1 + balance_slack) * ceil(n/k). One pass, O(V) state, no sorting.
+// Vertices that never appear in an edge are placed least-loaded at the end,
+// which also restores balance. Deterministic in the stream order (ties break
+// toward the lowest partition id).
+#ifndef XSTREAM_PARTITIONING_GREEDY_PARTITIONER_H_
+#define XSTREAM_PARTITIONING_GREEDY_PARTITIONER_H_
+
+#include "partitioning/partitioner.h"
+
+namespace xstream {
+
+class GreedyStreamingPartitioner : public Partitioner {
+ public:
+  explicit GreedyStreamingPartitioner(const PartitionerOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override { return "greedy"; }
+  uint32_t num_passes() const override { return 1; }
+
+  VertexMapping Partition(const EdgeStream& stream, uint64_t num_vertices,
+                          uint32_t num_partitions) override;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_GREEDY_PARTITIONER_H_

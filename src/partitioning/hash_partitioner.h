@@ -1,0 +1,37 @@
+// Seeded hash assignment: the classic zero-state streaming baseline.
+//
+// Destroys whatever locality the vertex numbering had (useful as a
+// worst-case control in the fig27 bench) but gives near-perfect expected
+// balance and needs no edge pass. Deterministic in (seed, vertex id).
+#ifndef XSTREAM_PARTITIONING_HASH_PARTITIONER_H_
+#define XSTREAM_PARTITIONING_HASH_PARTITIONER_H_
+
+#include "partitioning/partitioner.h"
+#include "util/rng.h"
+
+namespace xstream {
+
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(const PartitionerOptions& options = {}) : seed_(options.seed) {}
+
+  const char* name() const override { return "hash"; }
+  uint32_t num_passes() const override { return 0; }
+
+  VertexMapping Partition(const EdgeStream& /*stream*/, uint64_t num_vertices,
+                          uint32_t num_partitions) override {
+    std::vector<uint32_t> assignment(num_vertices);
+    for (uint64_t v = 0; v < num_vertices; ++v) {
+      assignment[v] = static_cast<uint32_t>(SplitMix64(seed_ ^ (v * 0x9e3779b97f4a7c15ULL)) %
+                                            num_partitions);
+    }
+    return FinalizeMapping(std::move(assignment), num_partitions);
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_HASH_PARTITIONER_H_

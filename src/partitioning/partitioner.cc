@@ -1,0 +1,130 @@
+#include "partitioning/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "partitioning/greedy_partitioner.h"
+#include "partitioning/hash_partitioner.h"
+#include "partitioning/range_partitioner.h"
+#include "partitioning/two_phase_partitioner.h"
+#include "storage/device.h"
+#include "storage/stream_io.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+EdgeStream MakeEdgeStream(const EdgeList& edges) {
+  // The list must outlive the stream (engines pass their own input list).
+  const EdgeList* list = &edges;
+  return [list](const EdgeSink& sink) {
+    for (const Edge& e : *list) {
+      sink(e);
+    }
+  };
+}
+
+EdgeStream MakeEdgeStream(StorageDevice& dev, const std::string& file, size_t io_unit_bytes) {
+  StorageDevice* device = &dev;
+  size_t chunk =
+      std::max<size_t>(sizeof(Edge), io_unit_bytes / sizeof(Edge) * sizeof(Edge));
+  return [device, file, chunk](const EdgeSink& sink) {
+    FileId f = device->Open(file);
+    StreamReader reader(*device, f, chunk);
+    for (auto bytes = reader.Next(); !bytes.empty(); bytes = reader.Next()) {
+      XS_CHECK_EQ(bytes.size() % sizeof(Edge), 0u);
+      const Edge* edges = reinterpret_cast<const Edge*>(bytes.data());
+      uint64_t n = bytes.size() / sizeof(Edge);
+      for (uint64_t i = 0; i < n; ++i) {
+        sink(edges[i]);
+      }
+    }
+  };
+}
+
+VertexMapping FinalizeMapping(std::vector<uint32_t> partition_of, uint32_t num_partitions) {
+  XS_CHECK_GT(num_partitions, 0u);
+  uint64_t n = partition_of.size();
+  VertexMapping m;
+  m.num_partitions = num_partitions;
+  m.part_begin.assign(size_t{num_partitions} + 1, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    XS_CHECK_LT(partition_of[v], num_partitions);
+    ++m.part_begin[partition_of[v] + 1];
+  }
+  std::partial_sum(m.part_begin.begin(), m.part_begin.end(), m.part_begin.begin());
+  m.dense_of.resize(n);
+  m.original_of.resize(n);
+  std::vector<uint64_t> cursor(m.part_begin.begin(), m.part_begin.end() - 1);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t d = cursor[partition_of[v]]++;
+    m.dense_of[v] = static_cast<VertexId>(d);
+    m.original_of[d] = static_cast<VertexId>(v);
+  }
+  m.partition_of = std::move(partition_of);
+  return m;
+}
+
+void CheckMapping(const VertexMapping& m) {
+  uint64_t n = m.partition_of.size();
+  XS_CHECK_GT(m.num_partitions, 0u);
+  XS_CHECK_EQ(m.dense_of.size(), n);
+  XS_CHECK_EQ(m.original_of.size(), n);
+  XS_CHECK_EQ(m.part_begin.size(), size_t{m.num_partitions} + 1);
+  XS_CHECK_EQ(m.part_begin.front(), 0u);
+  XS_CHECK_EQ(m.part_begin.back(), n);
+  for (uint32_t p = 0; p < m.num_partitions; ++p) {
+    XS_CHECK_GE(m.part_begin[p + 1], m.part_begin[p]);
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    uint32_t p = m.partition_of[v];
+    XS_CHECK_LT(p, m.num_partitions);
+    uint64_t d = m.dense_of[v];
+    XS_CHECK_LT(d, n);
+    XS_CHECK_EQ(m.original_of[d], v) << "dense_of/original_of are not inverses at " << v;
+    XS_CHECK_GE(d, m.part_begin[p]);
+    XS_CHECK_LT(d, m.part_begin[p + 1])
+        << "dense slot of vertex " << v << " lies outside its partition's range";
+  }
+}
+
+uint32_t LeastLoadedPartition(const std::vector<uint64_t>& load) {
+  uint32_t best = 0;
+  for (uint32_t p = 1; p < load.size(); ++p) {
+    if (load[p] < load[best]) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+uint64_t BalanceCap(uint64_t num_vertices, uint32_t num_partitions, double balance_slack) {
+  uint64_t ideal = (num_vertices + num_partitions - 1) / std::max(1u, num_partitions);
+  return std::max<uint64_t>(
+      ideal, static_cast<uint64_t>(static_cast<double>(ideal) *
+                                   (1.0 + std::max(0.0, balance_slack))));
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(const std::string& name,
+                                             const PartitionerOptions& options) {
+  if (name == "range") {
+    return std::make_unique<RangePartitioner>();
+  }
+  if (name == "hash") {
+    return std::make_unique<HashPartitioner>(options);
+  }
+  if (name == "greedy") {
+    return std::make_unique<GreedyStreamingPartitioner>(options);
+  }
+  if (name == "2ps") {
+    return std::make_unique<TwoPhasePartitioner>(options);
+  }
+  XS_CHECK(false) << "unknown partitioner '" << name << "' (want range|hash|greedy|2ps)";
+  return nullptr;
+}
+
+const std::vector<std::string>& KnownPartitioners() {
+  static const std::vector<std::string> kNames = {"range", "hash", "greedy", "2ps"};
+  return kNames;
+}
+
+}  // namespace xstream

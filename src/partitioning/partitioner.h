@@ -1,0 +1,96 @@
+// Pluggable streaming partitioners.
+//
+// X-Stream §2.2 fixes the vertex->partition assignment to equal contiguous
+// ranges: cheap, but oblivious to locality, so on power-law graphs most
+// updates cross partitions and the scatter->gather traffic (update files in
+// the out-of-core engine) is near worst case. Streaming partitioners from
+// the edge-partitioning literature (LDG/Fennel one-pass greedy; 2PS-style
+// two-phase clustering + assignment) cut that traffic at ingest time with
+// O(V) state and one or two sequential passes over the edge stream — the
+// same discipline as X-Stream's own shuffle pass, so no sorting is ever
+// introduced.
+//
+// A Partitioner consumes a replayable edge stream and produces a
+// VertexMapping (core/partition.h): the assignment plus the contiguous
+// relabeling that keeps per-partition vertex-state slicing working in the
+// engines. Every partitioner is deterministic given (stream order, seed).
+#ifndef XSTREAM_PARTITIONING_PARTITIONER_H_
+#define XSTREAM_PARTITIONING_PARTITIONER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "graph/types.h"
+
+namespace xstream {
+
+class StorageDevice;
+
+// A replayable edge stream: invoking it runs one full sequential pass,
+// feeding every edge to the sink. Partitioners may replay it (two-phase
+// partitioners run two passes); each pass is charged to engine setup.
+using EdgeSink = std::function<void(const Edge&)>;
+using EdgeStream = std::function<void(const EdgeSink&)>;
+
+// One pass over an in-memory edge list.
+EdgeStream MakeEdgeStream(const EdgeList& edges);
+
+// One sequential read of a packed edge file on a storage device per pass.
+EdgeStream MakeEdgeStream(StorageDevice& dev, const std::string& file, size_t io_unit_bytes);
+
+struct PartitionerOptions {
+  uint64_t seed = 1;
+  // Partitions may exceed the ideal ceil(n/k) vertex load by this fraction
+  // before the greedy/two-phase assignment falls back to the least-loaded
+  // partition (the usual streaming-partitioning balance slack).
+  double balance_slack = 0.05;
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual const char* name() const = 0;
+  // Sequential passes Partition() makes over the stream (0 for partitioners
+  // that never look at edges).
+  virtual uint32_t num_passes() const = 0;
+
+  // Builds the assignment of `num_vertices` vertices into `num_partitions`
+  // partitions. The result always satisfies the VertexMapping invariants
+  // (CheckMapping aborts otherwise).
+  virtual VertexMapping Partition(const EdgeStream& stream, uint64_t num_vertices,
+                                  uint32_t num_partitions) = 0;
+};
+
+// Factory for the shipped partitioners: "range", "hash", "greedy", "2ps".
+// Aborts on unknown names (callers validate user input first via
+// KnownPartitioners()).
+std::unique_ptr<Partitioner> MakePartitioner(const std::string& name,
+                                             const PartitionerOptions& options = {});
+
+// The names MakePartitioner accepts, for CLI help and sweeps.
+const std::vector<std::string>& KnownPartitioners();
+
+// ---- Helpers shared by the implementations (exposed for tests).
+
+// Completes a raw assignment into a full VertexMapping: builds the
+// contiguous relabeling with a stable counting sort (ascending original id
+// within each partition), so equal assignments always yield equal mappings.
+VertexMapping FinalizeMapping(std::vector<uint32_t> partition_of, uint32_t num_partitions);
+
+// Aborts unless `m` satisfies every VertexMapping invariant (disjoint,
+// exhaustive, inverse permutations, consistent boundaries).
+void CheckMapping(const VertexMapping& m);
+
+// The load-balancing policy shared by the greedy and two-phase assignment
+// phases: fall-back target (ties break to the lowest partition id) and the
+// per-partition vertex cap derived from the balance slack.
+uint32_t LeastLoadedPartition(const std::vector<uint64_t>& load);
+uint64_t BalanceCap(uint64_t num_vertices, uint32_t num_partitions, double balance_slack);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_PARTITIONER_H_

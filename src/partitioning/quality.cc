@@ -1,0 +1,84 @@
+#include "partitioning/quality.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+PartitionQualityPass::PartitionQualityPass(PartitionLayout layout)
+    : layout_(std::move(layout)) {
+  XS_CHECK_GT(layout_.num_partitions(), 0u);
+}
+
+void PartitionQualityPass::Init(uint64_t num_vertices) {
+  XS_CHECK_EQ(num_vertices, layout_.num_vertices());
+  presence_.assign(num_vertices, 0);
+  edge_load_.assign(layout_.num_partitions(), 0);
+  edges_ = 0;
+  cut_ = 0;
+}
+
+void PartitionQualityPass::BeginPass(uint32_t) {}
+
+void PartitionQualityPass::Edge(const struct Edge& e) {
+  ++edges_;
+  uint32_t ps = layout_.PartitionOf(e.src);
+  uint32_t pd = layout_.PartitionOf(e.dst);
+  ++edge_load_[ps];
+  cut_ += ps != pd ? 1 : 0;
+  // The edge record lives in ps's edge file (X-Stream shuffles by source);
+  // its update is delivered to pd. So src is referenced only at home, while
+  // dst is referenced at home and wherever the edge is stored.
+  presence_[e.src] |= uint64_t{1} << (ps % 64);
+  presence_[e.dst] |= (uint64_t{1} << (pd % 64)) | (uint64_t{1} << (ps % 64));
+}
+
+bool PartitionQualityPass::EndPass(uint32_t) { return true; }
+
+PartitionQuality PartitionQualityPass::Result() const {
+  PartitionQuality q;
+  q.edges = edges_;
+  q.cut_edges = cut_;
+
+  uint64_t touched = 0;
+  uint64_t replicas = 0;
+  for (uint64_t mask : presence_) {
+    if (mask != 0) {
+      ++touched;
+      replicas += static_cast<uint64_t>(std::popcount(mask));
+    }
+  }
+  q.replication_factor =
+      touched > 0 ? static_cast<double>(replicas) / static_cast<double>(touched) : 1.0;
+
+  uint32_t k = layout_.num_partitions();
+  uint64_t max_vertices = 0;
+  for (uint32_t p = 0; p < k; ++p) {
+    max_vertices = std::max(max_vertices, layout_.Size(p));
+  }
+  double ideal_vertices =
+      static_cast<double>(layout_.num_vertices()) / static_cast<double>(k);
+  q.vertex_balance =
+      ideal_vertices > 0 ? static_cast<double>(max_vertices) / ideal_vertices : 1.0;
+
+  uint64_t max_edges = *std::max_element(edge_load_.begin(), edge_load_.end());
+  double ideal_edges = static_cast<double>(edges_) / static_cast<double>(k);
+  q.edge_balance = ideal_edges > 0 ? static_cast<double>(max_edges) / ideal_edges : 1.0;
+  return q;
+}
+
+PartitionQuality EvaluatePartitionQuality(const PartitionLayout& layout,
+                                          const EdgeList& edges) {
+  PartitionQualityPass pass(layout);
+  pass.Init(layout.num_vertices());
+  pass.BeginPass(0);
+  for (const Edge& e : edges) {
+    pass.Edge(e);
+  }
+  pass.EndPass(0);
+  return pass.Result();
+}
+
+}  // namespace xstream

@@ -1,0 +1,67 @@
+// Partition-quality metrics: edge cut, replication factor, load balance.
+//
+// Evaluated with a single sequential pass over the edge stream and O(V)
+// state, so quality can be measured over on-device edge files through the
+// semi-streaming engine: PartitionQualityPass structurally satisfies the
+// SemiStreamingAlgorithm concept of core/semi_streaming.h (Init / BeginPass
+// / Edge / EndPass) and can be handed to RunSemiStreaming directly.
+#ifndef XSTREAM_PARTITIONING_QUALITY_H_
+#define XSTREAM_PARTITIONING_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "graph/types.h"
+
+namespace xstream {
+
+struct PartitionQuality {
+  uint64_t edges = 0;      // edge records streamed
+  uint64_t cut_edges = 0;  // endpoints in different partitions
+
+  // Fraction of edges whose update must cross partitions — the direct proxy
+  // for scatter->gather update-file traffic in the out-of-core engine.
+  double CutFraction() const {
+    return edges > 0 ? static_cast<double>(cut_edges) / static_cast<double>(edges) : 0.0;
+  }
+
+  // Average number of distinct partitions referencing each edge-touched
+  // vertex (its home plus every partition whose edge files reach it); 1.0 is
+  // perfect locality, num_partitions the worst case. With more than 64
+  // partitions the per-vertex presence sets are folded onto 64 bits, making
+  // the reported value a lower bound.
+  double replication_factor = 1.0;
+
+  // Largest partition divided by the ideal (n/k vertices, m/k edges-by-src).
+  // 1.0 is perfect balance.
+  double vertex_balance = 1.0;
+  double edge_balance = 1.0;
+};
+
+// One-pass streaming evaluator; also a semi-streaming algorithm.
+class PartitionQualityPass {
+ public:
+  explicit PartitionQualityPass(PartitionLayout layout);
+
+  void Init(uint64_t num_vertices);
+  void BeginPass(uint32_t pass);
+  void Edge(const struct Edge& e);
+  bool EndPass(uint32_t pass);  // single pass suffices
+
+  PartitionQuality Result() const;
+
+ private:
+  PartitionLayout layout_;
+  std::vector<uint64_t> presence_;  // per-vertex partition bitmask (mod 64)
+  std::vector<uint64_t> edge_load_;  // edges by source partition
+  uint64_t edges_ = 0;
+  uint64_t cut_ = 0;
+};
+
+// Convenience: evaluate an in-memory edge list against a layout.
+PartitionQuality EvaluatePartitionQuality(const PartitionLayout& layout, const EdgeList& edges);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_QUALITY_H_

@@ -1,0 +1,31 @@
+// The paper's own assignment (§2.2) behind the Partitioner interface.
+//
+// Equal contiguous ranges; the relabeling is the identity, so an engine
+// driven by this partitioner behaves bit-for-bit like the built-in range
+// mode. Exists so benches and tests can sweep every strategy uniformly.
+#ifndef XSTREAM_PARTITIONING_RANGE_PARTITIONER_H_
+#define XSTREAM_PARTITIONING_RANGE_PARTITIONER_H_
+
+#include "partitioning/partitioner.h"
+
+namespace xstream {
+
+class RangePartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "range"; }
+  uint32_t num_passes() const override { return 0; }
+
+  VertexMapping Partition(const EdgeStream& /*stream*/, uint64_t num_vertices,
+                          uint32_t num_partitions) override {
+    PartitionLayout layout(num_vertices, num_partitions);
+    std::vector<uint32_t> assignment(num_vertices);
+    for (uint64_t v = 0; v < num_vertices; ++v) {
+      assignment[v] = layout.PartitionOf(static_cast<VertexId>(v));
+    }
+    return FinalizeMapping(std::move(assignment), num_partitions);
+  }
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_RANGE_PARTITIONER_H_

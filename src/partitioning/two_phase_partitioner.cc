@@ -1,0 +1,125 @@
+#include "partitioning/two_phase_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace xstream {
+namespace {
+
+constexpr uint32_t kUnassigned = UINT32_MAX;
+
+// Volume floor for young clusters; without it the adaptive cap of the first
+// few edges would freeze every vertex in its singleton cluster.
+constexpr uint64_t kMinClusterVolume = 16;
+
+}  // namespace
+
+VertexMapping TwoPhasePartitioner::Partition(const EdgeStream& stream, uint64_t num_vertices,
+                                             uint32_t num_partitions) {
+  XS_CHECK_GT(num_partitions, 0u);
+
+  // ---- Phase 1: streaming clustering. cluster ids live in vertex-id space
+  // (every vertex starts as its own cluster); vol[c] is the degree volume of
+  // cluster c among the edges seen so far; deg[v] the vertex's seen degree.
+  std::vector<VertexId> cluster(num_vertices);
+  std::iota(cluster.begin(), cluster.end(), 0);
+  std::vector<uint64_t> vol(num_vertices, 0);
+  std::vector<uint64_t> deg(num_vertices, 0);
+  uint64_t edges_seen = 0;
+
+  stream([&](const Edge& e) {
+    if (e.src >= num_vertices || e.dst >= num_vertices || e.src == e.dst) {
+      return;
+    }
+    ++edges_seen;
+    ++deg[e.src];
+    ++deg[e.dst];
+    VertexId cu = cluster[e.src];
+    VertexId cv = cluster[e.dst];
+    ++vol[cu];
+    ++vol[cv];
+    if (cu == cv) {
+      return;
+    }
+    // Degree-volume cap ~ 2m/k keeps any one cluster from outgrowing a
+    // partition; it adapts as the stream reveals m.
+    uint64_t cap_vol =
+        std::max<uint64_t>(kMinClusterVolume, 2 * edges_seen / num_partitions);
+    // The endpoint sitting in the lighter cluster migrates into the heavier
+    // one (Hollocou-style), volume permitting.
+    if (vol[cu] <= vol[cv]) {
+      if (vol[cv] + deg[e.src] <= cap_vol) {
+        vol[cu] -= deg[e.src];
+        vol[cv] += deg[e.src];
+        cluster[e.src] = cv;
+      }
+    } else {
+      if (vol[cu] + deg[e.dst] <= cap_vol) {
+        vol[cv] -= deg[e.dst];
+        vol[cu] += deg[e.dst];
+        cluster[e.dst] = cu;
+      }
+    }
+  });
+
+  // ---- Inter-phase: bin-pack clusters onto partitions, largest first onto
+  // the least-reserved partition. This anchors every cluster while keeping
+  // expected vertex loads even. (Sorting cluster *summaries* is O(C log C)
+  // bookkeeping over in-memory state, not a sort of the edge stream.)
+  std::vector<uint64_t> csize(num_vertices, 0);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    ++csize[cluster[v]];
+  }
+  std::vector<VertexId> order;
+  order.reserve(num_vertices / 2);
+  for (uint64_t c = 0; c < num_vertices; ++c) {
+    if (csize[c] > 0) {
+      order.push_back(static_cast<VertexId>(c));
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return csize[a] != csize[b] ? csize[a] > csize[b] : a < b;
+  });
+  std::vector<uint32_t> anchor(num_vertices, kUnassigned);
+  std::vector<uint64_t> reserved(num_partitions, 0);
+  for (VertexId c : order) {
+    uint32_t p = LeastLoadedPartition(reserved);
+    anchor[c] = p;
+    reserved[p] += csize[c];
+  }
+
+  // ---- Phase 2: assignment pass over the edge stream. Vertices are placed
+  // at their cluster's anchor in stream order; once the anchor hits the
+  // balance cap, overflow spills to the least-loaded partition.
+  std::vector<uint32_t> assignment(num_vertices, kUnassigned);
+  std::vector<uint64_t> load(num_partitions, 0);
+  uint64_t cap = BalanceCap(num_vertices, num_partitions, options_.balance_slack);
+
+  auto place = [&](VertexId v) {
+    if (assignment[v] != kUnassigned) {
+      return;
+    }
+    uint32_t p = anchor[cluster[v]];
+    if (p == kUnassigned || load[p] >= cap) {
+      p = LeastLoadedPartition(load);
+    }
+    assignment[v] = p;
+    ++load[p];
+  };
+
+  stream([&](const Edge& e) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return;
+    }
+    place(e.src);
+    place(e.dst);
+  });
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    place(static_cast<VertexId>(v));
+  }
+  return FinalizeMapping(std::move(assignment), num_partitions);
+}
+
+}  // namespace xstream

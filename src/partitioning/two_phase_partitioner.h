@@ -1,0 +1,43 @@
+// Two-phase streaming partitioner (2PS-style).
+//
+// Phase 1 (clustering pass): streaming community detection in the style of
+// Hollocou et al., as used by 2PS ("High-Quality Edge Partitioning with
+// Two-Phase Streaming"): every vertex starts as a singleton cluster; for
+// each edge the endpoint in the lower-volume cluster migrates to the other
+// endpoint's cluster, provided the target stays under a volume cap. One
+// pass, O(V) state.
+//
+// Between the passes the discovered clusters are bin-packed onto partitions
+// (largest cluster first onto the least-reserved partition), which fixes
+// each cluster's *anchor* partition while keeping the expected loads even.
+//
+// Phase 2 (assignment pass): a second pass over the edge stream assigns
+// vertices in stream order to their cluster's anchor, falling back to the
+// least-loaded partition once the anchor hits the balance cap — so balance
+// is enforced exactly and overflow spreads in stream order, as in 2PS's
+// streamed assignment phase. Vertices absent from the stream are placed
+// least-loaded at the end.
+#ifndef XSTREAM_PARTITIONING_TWO_PHASE_PARTITIONER_H_
+#define XSTREAM_PARTITIONING_TWO_PHASE_PARTITIONER_H_
+
+#include "partitioning/partitioner.h"
+
+namespace xstream {
+
+class TwoPhasePartitioner : public Partitioner {
+ public:
+  explicit TwoPhasePartitioner(const PartitionerOptions& options = {}) : options_(options) {}
+
+  const char* name() const override { return "2ps"; }
+  uint32_t num_passes() const override { return 2; }
+
+  VertexMapping Partition(const EdgeStream& stream, uint64_t num_vertices,
+                          uint32_t num_partitions) override;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_PARTITIONING_TWO_PHASE_PARTITIONER_H_

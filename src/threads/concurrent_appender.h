@@ -72,6 +72,15 @@ class ConcurrentAppender {
     }
   }
 
+  // Rewinds the shared tail after the caller compacted the target in place
+  // (single-threaded, after FlushAll; `bytes` must not exceed the current
+  // tail and must be record-aligned).
+  void Rewind(size_t bytes) {
+    XS_CHECK_LE(bytes, tail_.load(std::memory_order_acquire));
+    XS_CHECK_EQ(bytes % record_size_, 0u);
+    tail_.store(bytes, std::memory_order_release);
+  }
+
  private:
   struct alignas(64) Slot {
     std::vector<std::byte> staging;

@@ -105,6 +105,42 @@ TEST(PartitionLayoutTest, MorePartitionsThanVertices) {
   EXPECT_EQ(layout.PartitionOf(2), 2u);
 }
 
+TEST(PartitionLayoutTest, NonDivisibleCountsStayConsistent) {
+  // Regression: when num_vertices % num_partitions != 0 the trailing ranges
+  // shrink (or empty out), PartitionOf must stay within [0, k) and agree
+  // with Begin/End for every vertex.
+  for (uint64_t n : {1u, 5u, 7u, 10u, 1000u, 1001u, 1023u}) {
+    for (uint32_t k : {1u, 2u, 3u, 7u, 8u, 16u, 100u}) {
+      PartitionLayout layout(n, k);
+      uint64_t total = 0;
+      for (uint32_t p = 0; p < k; ++p) {
+        total += layout.Size(p);
+        if (p > 0) {
+          EXPECT_EQ(layout.Begin(p), layout.End(p - 1)) << "n=" << n << " k=" << k;
+        }
+      }
+      EXPECT_EQ(total, n) << "n=" << n << " k=" << k;
+      for (VertexId v = 0; v < n; ++v) {
+        uint32_t p = layout.PartitionOf(v);
+        ASSERT_LT(p, k) << "n=" << n << " k=" << k << " v=" << v;
+        EXPECT_GE(v, layout.Begin(p));
+        EXPECT_LT(v, layout.End(p));
+      }
+    }
+  }
+}
+
+TEST(PartitionLayoutTest, PartitionOfClampsToLastPartition) {
+  // Defensive contract: ids at or beyond num_vertices (corrupt inputs,
+  // padded streams) must still map to a real partition index.
+  PartitionLayout layout(10, 4);
+  EXPECT_EQ(layout.PartitionOf(10), 3u);
+  EXPECT_EQ(layout.PartitionOf(1000), 3u);
+  PartitionLayout tiny(3, 8);
+  EXPECT_EQ(tiny.PartitionOf(7), 7u);
+  EXPECT_EQ(tiny.PartitionOf(100), 7u);
+}
+
 TEST(PartitionLayoutTest, SinglePartitionTakesAll) {
   PartitionLayout layout(12345, 1);
   EXPECT_EQ(layout.Begin(0), 0u);

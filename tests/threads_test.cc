@@ -102,6 +102,14 @@ TEST(WorkStealingTest, IdleThreadsStealFromBusyOnes) {
   }
   std::atomic<uint32_t> processed{0};
   pool.RunOnAll([&](int tid) {
+    if (tid == 0) {
+      // Hold the queue's owner back until some other thread has stolen an
+      // item, so the steal assertion below is deterministic regardless of
+      // scheduling and core count (a 1-CPU host can otherwise let thread 0
+      // drain its own queue before the thieves ever wake).
+      while (processed.load(std::memory_order_relaxed) == 0) {
+      }
+    }
     uint32_t item = 0;
     while (queues.Pop(tid, item)) {
       processed.fetch_add(1, std::memory_order_relaxed);
