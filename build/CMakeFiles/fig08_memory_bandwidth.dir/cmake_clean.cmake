@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memory_bandwidth.dir/bench/fig08_memory_bandwidth.cc.o"
+  "CMakeFiles/fig08_memory_bandwidth.dir/bench/fig08_memory_bandwidth.cc.o.d"
+  "fig08_memory_bandwidth"
+  "fig08_memory_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memory_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_disk_bandwidth.dir/bench/fig09_disk_bandwidth.cc.o"
+  "CMakeFiles/fig09_disk_bandwidth.dir/bench/fig09_disk_bandwidth.cc.o.d"
+  "fig09_disk_bandwidth"
+  "fig09_disk_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_disk_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_datasets.dir/bench/fig10_datasets.cc.o"
+  "CMakeFiles/fig10_datasets.dir/bench/fig10_datasets.cc.o.d"
+  "fig10_datasets"
+  "fig10_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_seq_vs_random.dir/bench/fig11_seq_vs_random.cc.o"
+  "CMakeFiles/fig11_seq_vs_random.dir/bench/fig11_seq_vs_random.cc.o.d"
+  "fig11_seq_vs_random"
+  "fig11_seq_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_seq_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

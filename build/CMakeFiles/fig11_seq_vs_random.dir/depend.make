@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_seq_vs_random.
+# This may be replaced when dependencies are built.

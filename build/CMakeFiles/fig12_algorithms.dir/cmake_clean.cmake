@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_algorithms.dir/bench/fig12_algorithms.cc.o"
+  "CMakeFiles/fig12_algorithms.dir/bench/fig12_algorithms.cc.o.d"
+  "fig12_algorithms"
+  "fig12_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hyperanf.dir/bench/fig13_hyperanf.cc.o"
+  "CMakeFiles/fig13_hyperanf.dir/bench/fig13_hyperanf.cc.o.d"
+  "fig13_hyperanf"
+  "fig13_hyperanf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hyperanf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_strong_scaling.dir/bench/fig14_strong_scaling.cc.o"
+  "CMakeFiles/fig14_strong_scaling.dir/bench/fig14_strong_scaling.cc.o.d"
+  "fig14_strong_scaling"
+  "fig14_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_io_parallelism.dir/bench/fig15_io_parallelism.cc.o"
+  "CMakeFiles/fig15_io_parallelism.dir/bench/fig15_io_parallelism.cc.o.d"
+  "fig15_io_parallelism"
+  "fig15_io_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_io_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_device_scaling.dir/bench/fig16_device_scaling.cc.o"
+  "CMakeFiles/fig16_device_scaling.dir/bench/fig16_device_scaling.cc.o.d"
+  "fig16_device_scaling"
+  "fig16_device_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_device_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

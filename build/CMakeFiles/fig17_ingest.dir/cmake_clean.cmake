@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ingest.dir/bench/fig17_ingest.cc.o"
+  "CMakeFiles/fig17_ingest.dir/bench/fig17_ingest.cc.o.d"
+  "fig17_ingest"
+  "fig17_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sort_vs_stream.dir/bench/fig18_sort_vs_stream.cc.o"
+  "CMakeFiles/fig18_sort_vs_stream.dir/bench/fig18_sort_vs_stream.cc.o.d"
+  "fig18_sort_vs_stream"
+  "fig18_sort_vs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sort_vs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

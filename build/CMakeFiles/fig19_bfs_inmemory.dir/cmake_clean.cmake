@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_bfs_inmemory.dir/bench/fig19_bfs_inmemory.cc.o"
+  "CMakeFiles/fig19_bfs_inmemory.dir/bench/fig19_bfs_inmemory.cc.o.d"
+  "fig19_bfs_inmemory"
+  "fig19_bfs_inmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_bfs_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_ligra.dir/bench/fig20_ligra.cc.o"
+  "CMakeFiles/fig20_ligra.dir/bench/fig20_ligra.cc.o.d"
+  "fig20_ligra"
+  "fig20_ligra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_ligra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_graphchi.dir/bench/fig22_graphchi.cc.o"
+  "CMakeFiles/fig22_graphchi.dir/bench/fig22_graphchi.cc.o.d"
+  "fig22_graphchi"
+  "fig22_graphchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_graphchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

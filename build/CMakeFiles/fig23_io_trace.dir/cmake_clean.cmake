@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_io_trace.dir/bench/fig23_io_trace.cc.o"
+  "CMakeFiles/fig23_io_trace.dir/bench/fig23_io_trace.cc.o.d"
+  "fig23_io_trace"
+  "fig23_io_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_io_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_partition_count.dir/bench/fig24_partition_count.cc.o"
+  "CMakeFiles/fig24_partition_count.dir/bench/fig24_partition_count.cc.o.d"
+  "fig24_partition_count"
+  "fig24_partition_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_partition_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_shuffle_stages.dir/bench/fig25_shuffle_stages.cc.o"
+  "CMakeFiles/fig25_shuffle_stages.dir/bench/fig25_shuffle_stages.cc.o.d"
+  "fig25_shuffle_stages"
+  "fig25_shuffle_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_shuffle_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_io_model.dir/bench/fig26_io_model.cc.o"
+  "CMakeFiles/fig26_io_model.dir/bench/fig26_io_model.cc.o.d"
+  "fig26_io_model"
+  "fig26_io_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_io_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

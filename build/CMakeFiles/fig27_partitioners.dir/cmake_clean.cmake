@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_partitioners.dir/bench/fig27_partitioners.cc.o"
+  "CMakeFiles/fig27_partitioners.dir/bench/fig27_partitioners.cc.o.d"
+  "fig27_partitioners"
+  "fig27_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

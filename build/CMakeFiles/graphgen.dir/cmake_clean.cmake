@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgen.dir/examples/graphgen.cpp.o"
+  "CMakeFiles/graphgen.dir/examples/graphgen.cpp.o.d"
+  "graphgen"
+  "graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

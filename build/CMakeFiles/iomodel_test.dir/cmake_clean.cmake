@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iomodel_test.dir/tests/iomodel_test.cc.o"
+  "CMakeFiles/iomodel_test.dir/tests/iomodel_test.cc.o.d"
+  "iomodel_test"
+  "iomodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iomodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_test.dir/tests/partitioning_test.cc.o"
+  "CMakeFiles/partitioning_test.dir/tests/partitioning_test.cc.o.d"
+  "partitioning_test"
+  "partitioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

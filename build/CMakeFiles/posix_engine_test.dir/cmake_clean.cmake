@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_engine_test.dir/tests/posix_engine_test.cc.o"
+  "CMakeFiles/posix_engine_test.dir/tests/posix_engine_test.cc.o.d"
+  "posix_engine_test"
+  "posix_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

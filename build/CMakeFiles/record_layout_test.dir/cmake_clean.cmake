@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_layout_test.dir/tests/record_layout_test.cc.o"
+  "CMakeFiles/record_layout_test.dir/tests/record_layout_test.cc.o.d"
+  "record_layout_test"
+  "record_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffler_test.dir/tests/shuffler_test.cc.o"
+  "CMakeFiles/shuffler_test.dir/tests/shuffler_test.cc.o.d"
+  "shuffler_test"
+  "shuffler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

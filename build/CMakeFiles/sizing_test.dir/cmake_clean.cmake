@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_test.dir/tests/sizing_test.cc.o"
+  "CMakeFiles/sizing_test.dir/tests/sizing_test.cc.o.d"
+  "sizing_test"
+  "sizing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_ingest.dir/examples/social_ingest.cpp.o"
+  "CMakeFiles/social_ingest.dir/examples/social_ingest.cpp.o.d"
+  "social_ingest"
+  "social_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

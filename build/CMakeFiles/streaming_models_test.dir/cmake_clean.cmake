@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_models_test.dir/tests/streaming_models_test.cc.o"
+  "CMakeFiles/streaming_models_test.dir/tests/streaming_models_test.cc.o.d"
+  "streaming_models_test"
+  "streaming_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

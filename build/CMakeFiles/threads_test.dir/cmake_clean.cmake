@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_test.dir/tests/threads_test.cc.o"
+  "CMakeFiles/threads_test.dir/tests/threads_test.cc.o.d"
+  "threads_test"
+  "threads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xstream_cli.dir/examples/xstream_cli.cpp.o"
+  "CMakeFiles/xstream_cli.dir/examples/xstream_cli.cpp.o.d"
+  "xstream_cli"
+  "xstream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xstream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bfs_hybrid.cc" "CMakeFiles/xstream_core.dir/src/baselines/bfs_hybrid.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/baselines/bfs_hybrid.cc.o.d"
+  "/root/repo/src/baselines/bfs_local_queue.cc" "CMakeFiles/xstream_core.dir/src/baselines/bfs_local_queue.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/baselines/bfs_local_queue.cc.o.d"
+  "/root/repo/src/baselines/csr.cc" "CMakeFiles/xstream_core.dir/src/baselines/csr.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/baselines/csr.cc.o.d"
+  "/root/repo/src/baselines/ligra_like.cc" "CMakeFiles/xstream_core.dir/src/baselines/ligra_like.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/baselines/ligra_like.cc.o.d"
+  "/root/repo/src/baselines/sorters.cc" "CMakeFiles/xstream_core.dir/src/baselines/sorters.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/baselines/sorters.cc.o.d"
+  "/root/repo/src/core/sizing.cc" "CMakeFiles/xstream_core.dir/src/core/sizing.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/core/sizing.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "CMakeFiles/xstream_core.dir/src/graph/datasets.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/edge_io.cc" "CMakeFiles/xstream_core.dir/src/graph/edge_io.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/edge_io.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/xstream_core.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/reference.cc" "CMakeFiles/xstream_core.dir/src/graph/reference.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/reference.cc.o.d"
+  "/root/repo/src/graph/text_io.cc" "CMakeFiles/xstream_core.dir/src/graph/text_io.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/text_io.cc.o.d"
+  "/root/repo/src/graph/transforms.cc" "CMakeFiles/xstream_core.dir/src/graph/transforms.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/graph/transforms.cc.o.d"
+  "/root/repo/src/iomodel/io_model.cc" "CMakeFiles/xstream_core.dir/src/iomodel/io_model.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/iomodel/io_model.cc.o.d"
+  "/root/repo/src/partitioning/greedy_partitioner.cc" "CMakeFiles/xstream_core.dir/src/partitioning/greedy_partitioner.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/partitioning/greedy_partitioner.cc.o.d"
+  "/root/repo/src/partitioning/partitioner.cc" "CMakeFiles/xstream_core.dir/src/partitioning/partitioner.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/partitioning/partitioner.cc.o.d"
+  "/root/repo/src/partitioning/quality.cc" "CMakeFiles/xstream_core.dir/src/partitioning/quality.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/partitioning/quality.cc.o.d"
+  "/root/repo/src/partitioning/two_phase_partitioner.cc" "CMakeFiles/xstream_core.dir/src/partitioning/two_phase_partitioner.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/partitioning/two_phase_partitioner.cc.o.d"
+  "/root/repo/src/storage/device.cc" "CMakeFiles/xstream_core.dir/src/storage/device.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/device.cc.o.d"
+  "/root/repo/src/storage/io_executor.cc" "CMakeFiles/xstream_core.dir/src/storage/io_executor.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/io_executor.cc.o.d"
+  "/root/repo/src/storage/posix_device.cc" "CMakeFiles/xstream_core.dir/src/storage/posix_device.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/posix_device.cc.o.d"
+  "/root/repo/src/storage/raid_device.cc" "CMakeFiles/xstream_core.dir/src/storage/raid_device.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/raid_device.cc.o.d"
+  "/root/repo/src/storage/sim_device.cc" "CMakeFiles/xstream_core.dir/src/storage/sim_device.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/sim_device.cc.o.d"
+  "/root/repo/src/storage/stream_io.cc" "CMakeFiles/xstream_core.dir/src/storage/stream_io.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/storage/stream_io.cc.o.d"
+  "/root/repo/src/threads/thread_pool.cc" "CMakeFiles/xstream_core.dir/src/threads/thread_pool.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/threads/thread_pool.cc.o.d"
+  "/root/repo/src/util/aligned.cc" "CMakeFiles/xstream_core.dir/src/util/aligned.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/aligned.cc.o.d"
+  "/root/repo/src/util/env.cc" "CMakeFiles/xstream_core.dir/src/util/env.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/env.cc.o.d"
+  "/root/repo/src/util/format.cc" "CMakeFiles/xstream_core.dir/src/util/format.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/format.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/xstream_core.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "CMakeFiles/xstream_core.dir/src/util/options.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/options.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/xstream_core.dir/src/util/table.cc.o" "gcc" "CMakeFiles/xstream_core.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
