@@ -53,6 +53,8 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
     --workdir=<dir>         scratch directory (default: a temp dir)
     --budget-mb=N           memory budget (default 256)
     --io-unit-kb=N          I/O unit (default 1024)
+    --sync-spill            serialize update-spill writes (default: async,
+                            double-buffered on the device I/O thread)
 )";
 
 EdgeList LoadOrGenerate(const Options& opts) {
@@ -106,6 +108,12 @@ void PrintStats(const RunStats& stats) {
               HumanCount(stats.updates_generated).c_str(), stats.WastedEdgePercent(),
               HumanDuration(stats.RuntimeSeconds()).c_str(),
               HumanDuration(stats.setup_seconds).c_str());
+  if (stats.update_file_bytes > 0) {
+    std::printf("spill: %s update-file bytes, %s written async, waited %s on spill writes\n",
+                HumanBytes(stats.update_file_bytes).c_str(),
+                HumanBytes(stats.async_spill_bytes).c_str(),
+                HumanDuration(stats.spill_wait_seconds).c_str());
+  }
 }
 
 // Builds the partitioner requested by --partitioner (null = the engine's
@@ -171,6 +179,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   config.memory_budget_bytes = opts.GetUint("budget-mb", 256) << 20;
   config.io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
   config.num_partitions = partitions;
+  config.async_spill = !opts.GetBool("sync-spill", false);
   config.partitioner = partitioner.get();
   OutOfCoreEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
   std::printf("engine: out-of-core in %s, %u partitions (%s), vertices %s\n", workdir.c_str(),

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Fast verification gate for every PR:
+# Fast verification gate for every PR, one command:
+#   0. hygiene: no build artifacts tracked by git (PR 1 accidentally
+#      committed an in-source build; this keeps it from regressing)
 #   1. tier-1: configure, build everything, run the full test suite
 #   2. partition-quality smoke: fig27 at smoke scale, so partitioner and
 #      update-traffic regressions show up as diffable numbers
@@ -10,6 +12,20 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+echo "== hygiene: tracked build artifacts =="
+ARTIFACTS="$(git ls-files | grep -E \
+  '(^|/)(CMakeCache\.txt|CMakeFiles/|cmake_install\.cmake|CTestTestfile\.cmake|Testing/)|\.(o|obj|a|so|bin)$|^build/' \
+  || true)"
+if [[ -n "$ARTIFACTS" ]]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "$ARTIFACTS" | head -20 >&2
+  echo "(run: git rm -r --cached <paths> — see .gitignore)" >&2
+  exit 1
+fi
+echo "clean"
+
+echo
+echo "== tier-1: build + ctest =="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

@@ -37,6 +37,10 @@ class StreamBuffer {
   std::byte* data() { return bytes_.data(); }
   const std::byte* data() const { return bytes_.data(); }
 
+  // The whole chunk array as a byte span (append targets, bulk copies).
+  std::span<std::byte> span() { return {bytes_.data(), bytes_.size()}; }
+  std::span<const std::byte> span() const { return {bytes_.data(), bytes_.size()}; }
+
   // Typed access to the chunk array. The buffer is raw storage; the caller
   // guarantees it was filled with `T` records.
   template <typename T>

@@ -6,7 +6,8 @@
 //  * Partition count: chosen so the vertex *footprint* (state + edge +
 //    update bytes) of each partition fits the per-core CPU cache (§4).
 //  * Exactly three stream buffers: one holding the (partitioned) edges, one
-//    collecting generated updates, one as shuffle scratch (§4).
+//    collecting generated updates, one as shuffle scratch (§4) — owned by
+//    MemoryStreamStore (core/stream_store.h).
 //  * Parallel scatter-gather over partitions with work stealing (§4.1);
 //    update appends go through thread-private 8 KB staging buffers flushed
 //    by atomic reservation (ConcurrentAppender).
@@ -15,29 +16,30 @@
 //
 // The engine consumes an *unordered* edge list; its own setup shuffle (timed
 // as setup_seconds) is the only pre-processing — there is no sort.
+//
+// This class is a thin facade: it sizes the layout and fanout, builds a
+// MemoryStreamStore, and forwards the streaming loop to the shared
+// StreamingPhaseDriver (core/phase_runtime.h) in its partition-parallel
+// shape.
 #ifndef XSTREAM_CORE_INMEM_ENGINE_H_
 #define XSTREAM_CORE_INMEM_ENGINE_H_
 
-#include <algorithm>
-#include <atomic>
-#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "buffers/shuffler.h"
-#include "buffers/stream_buffer.h"
 #include "core/algorithm.h"
 #include "core/partition.h"
+#include "core/phase_runtime.h"
 #include "core/sizing.h"
 #include "core/stats.h"
+#include "core/stream_store.h"
 #include "graph/types.h"
 #include "partitioning/partitioner.h"
 #include "storage/device.h"
-#include "threads/concurrent_appender.h"
 #include "threads/thread_pool.h"
-#include "threads/work_stealing.h"
 #include "util/env.h"
-#include "util/logging.h"
 #include "util/timer.h"
 
 namespace xstream {
@@ -63,13 +65,13 @@ class InMemoryEngine {
  public:
   using VertexState = typename Algo::VertexState;
   using Update = typename Algo::Update;
+  using Store = MemoryStreamStore<Algo>;
+  using Driver = StreamingPhaseDriver<Algo, Store>;
 
   InMemoryEngine(const InMemoryConfig& config, const EdgeList& edges, uint64_t num_vertices)
-      : config_(config),
-        pool_(config.threads > 0 ? config.threads : NumCores()),
+      : pool_(config.threads > 0 ? config.threads : NumCores()),
         num_vertices_(num_vertices),
-        num_edges_(edges.size()),
-        queues_(pool_.num_threads()) {
+        num_edges_(edges.size()) {
     WallTimer setup_timer;
 
     size_t cache = config.cache_bytes > 0 ? config.cache_bytes : PerCoreCacheBytes();
@@ -77,268 +79,100 @@ class InMemoryEngine {
                      ? RoundUpPow2(config.num_partitions)
                      : ChooseInMemoryPartitions(num_vertices_, sizeof(VertexState),
                                                 sizeof(Edge), sizeof(Update), cache);
+    PartitionLayout layout;
     if (config.partitioner != nullptr) {
       auto mapping = std::make_shared<VertexMapping>(
           config.partitioner->Partition(MakeEdgeStream(edges), num_vertices_, k));
-      layout_ = PartitionLayout(std::move(mapping));
+      layout = PartitionLayout(std::move(mapping));
     } else {
-      layout_ = PartitionLayout(num_vertices_, k);
+      layout = PartitionLayout(num_vertices_, k);
     }
     fanout_ = config.shuffle_fanout > 0 ? RoundUpPow2(config.shuffle_fanout)
                                         : ChooseShuffleFanout(k, cache, CachelineBytes());
 
-    // Three stream buffers (§4), each big enough for the edge list or the
-    // worst-case update list (one update per edge).
-    size_t record = std::max(sizeof(Edge), sizeof(Update));
-    size_t capacity = std::max<size_t>(1, num_edges_) * record;
-    for (auto& buf : buffers_) {
-      buf = StreamBuffer(capacity);
-    }
+    store_ = std::make_unique<Store>(pool_, std::move(layout), fanout_, edges);
+    PhaseDriverOptions opts;
+    opts.shuffle_fanout = fanout_;
+    opts.enable_work_stealing = config.enable_work_stealing;
+    opts.keep_iteration_log = config.keep_iteration_log;
+    driver_ = std::make_unique<Driver>(*store_, opts);
 
-    // Load the unordered edges into buffer 0 and shuffle them into
-    // per-partition chunks; this replaces the sort+index pre-processing of
-    // traditional engines and is charged to setup time.
-    std::memcpy(buffers_[0].data(), edges.data(), edges.size() * sizeof(Edge));
-    edge_chunks_ = ShuffleRecords(pool_, buffers_[0].template records<Edge>(),
-                                  buffers_[1].template records<Edge>(), num_edges_, k, fanout_,
-                                  [this](const Edge& e) { return layout_.PartitionOf(e.src); });
-    // Whichever buffer the edges landed in becomes the stable edge buffer;
-    // the other two serve as the update and shuffle buffers.
-    if (edge_chunks_.data == buffers_[0].template records<Edge>()) {
-      update_buf_ = &buffers_[1];
-      scratch_buf_ = &buffers_[2];
-    } else {
-      update_buf_ = &buffers_[0];
-      scratch_buf_ = &buffers_[2];
-    }
-
-    states_.resize(num_vertices_);
-    stats_.setup_seconds = setup_timer.Seconds();
-    stats_.streaming_seconds += stats_.setup_seconds;  // the setup is itself a stream+shuffle
+    stats().setup_seconds = setup_timer.Seconds();
+    stats().streaming_seconds += stats().setup_seconds;  // the setup is itself a stream+shuffle
   }
 
   uint64_t num_vertices() const { return num_vertices_; }
   uint64_t num_edges() const { return num_edges_; }
-  uint32_t num_partitions() const { return layout_.num_partitions(); }
+  uint32_t num_partitions() const { return store_->layout().num_partitions(); }
   uint32_t shuffle_fanout() const { return fanout_; }
-  const PartitionLayout& layout() const { return layout_; }
+  const PartitionLayout& layout() const { return store_->layout(); }
   ThreadPool& pool() { return pool_; }
 
   // Vertex state is stored in the layout's dense order so each partition's
   // states stay contiguous (the cache-locality point of partitioning); these
   // accessors translate from original vertex ids.
-  const VertexState& State(VertexId v) const { return states_[layout_.DenseId(v)]; }
-  VertexState& MutableState(VertexId v) { return states_[layout_.DenseId(v)]; }
-  const std::vector<VertexState>& states() const { return states_; }  // dense order
+  const VertexState& State(VertexId v) const {
+    return store_->states()[store_->layout().DenseId(v)];
+  }
+  VertexState& MutableState(VertexId v) { return store_->states()[store_->layout().DenseId(v)]; }
+  const std::vector<VertexState>& states() const { return store_->states(); }  // dense order
 
-  RunStats& stats() { return stats_; }
-  const RunStats& stats() const { return stats_; }
+  RunStats& stats() { return driver_->stats(); }
+  const RunStats& stats() const { return driver_->stats(); }
 
   // Vertex iteration (§2.5): applies f(v, state) to every vertex, in
   // parallel over partition-aligned (dense) ranges.
   template <typename F>
   void VertexMap(F&& f) {
-    pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
-      for (uint64_t i = lo; i < hi; ++i) {
-        f(layout_.OriginalId(i), states_[i]);
-      }
-    });
+    driver_->VertexMap(std::forward<F>(f));
   }
 
   // Sequential fold over vertex states (aggregations, result extraction),
   // always in original vertex-id order regardless of the mapping.
   template <typename T, typename F>
   T VertexFold(T init, F&& f) const {
-    T acc = init;
-    for (uint64_t v = 0; v < num_vertices_; ++v) {
-      acc = f(acc, static_cast<VertexId>(v), states_[layout_.DenseId(static_cast<VertexId>(v))]);
-    }
-    return acc;
+    return driver_->VertexFoldOriginal(std::move(init), std::forward<F>(f));
   }
 
-  void InitVertices(Algo& algo) {
-    VertexMap([&algo](VertexId v, VertexState& s) { algo.Init(v, s); });
-  }
+  void InitVertices(Algo& algo) { driver_->InitVertices(algo); }
 
   // One synchronous scatter -> shuffle -> gather round (Fig 4).
-  IterationStats RunIteration(Algo& algo) {
-    IterationStats iter;
-    iter.iteration = stats_.iterations;
-    WallTimer iter_timer;
-    IntervalAccumulator streaming;
-
-    if constexpr (HasBeforeIteration<Algo>) {
-      algo.BeforeIteration(stats_.iterations);
-    }
-
-    // --- Scatter phase: stream every partition's edge chunk, appending
-    // updates to the shared update buffer.
-    std::span<std::byte> update_bytes(update_buf_->data(), update_buf_->capacity_bytes());
-    ConcurrentAppender appender(update_bytes, sizeof(Update), pool_.num_threads());
-    std::atomic<uint64_t> edges_streamed{0};
-    std::atomic<uint64_t> wasted{0};
-    queues_.Distribute(layout_.num_partitions());
-    {
-      ScopedInterval si(streaming);
-      pool_.RunOnAll([&](int tid) {
-        uint64_t local_edges = 0;
-        uint64_t local_wasted = 0;
-        uint32_t p = 0;
-        while (queues_.Pop(tid, p, config_.enable_work_stealing)) {
-          for (const auto& slice : edge_chunks_.slices) {
-            const ChunkRef& c = slice[p];
-            const Edge* es = edge_chunks_.data + c.begin;
-            for (uint64_t i = 0; i < c.count; ++i) {
-              Update out;
-              if (algo.Scatter(states_[layout_.DenseId(es[i].src)], es[i], out)) {
-                appender.Append(tid, &out);
-              } else {
-                ++local_wasted;
-              }
-            }
-            local_edges += c.count;
-          }
-        }
-        edges_streamed.fetch_add(local_edges, std::memory_order_relaxed);
-        wasted.fetch_add(local_wasted, std::memory_order_relaxed);
-      });
-      appender.FlushAll();
-    }
-    iter.edges_streamed = edges_streamed.load();
-    iter.wasted_edges = wasted.load();
-    iter.updates_generated = appender.records();
-
-    // --- Shuffle phase: group updates by destination partition (multi-stage
-    // when the partition count warrants it, §4.2).
-    ShuffleOutput<Update> shuffled;
-    if (iter.updates_generated > 0) {
-      ScopedInterval si(streaming);
-      shuffled = ShuffleRecords(
-          pool_, update_buf_->template records<Update>(),
-          scratch_buf_->template records<Update>(), iter.updates_generated,
-          layout_.num_partitions(), fanout_,
-          [this](const Update& u) { return layout_.PartitionOf(u.dst); });
-      // Keep roles consistent: the buffer the updates ended in is consumed by
-      // gather, then becomes scratch; the other is the next append target.
-      if (shuffled.data == scratch_buf_->template records<Update>()) {
-        std::swap(update_buf_, scratch_buf_);
-      }
-    }
-
-    // --- Gather phase: stream each partition's update chunk into its vertex
-    // states; EndVertex runs per partition right after its gather (legal
-    // because gather only touches the partition's own vertices).
-    std::atomic<uint64_t> changed{0};
-    queues_.Distribute(layout_.num_partitions());
-    {
-      ScopedInterval si(streaming);
-      pool_.RunOnAll([&](int tid) {
-        uint64_t local_changed = 0;
-        uint32_t p = 0;
-        while (queues_.Pop(tid, p, config_.enable_work_stealing)) {
-          if (iter.updates_generated > 0) {
-            for (const auto& slice : shuffled.slices) {
-              const ChunkRef& c = slice[p];
-              const Update* us = shuffled.data + c.begin;
-              for (uint64_t i = 0; i < c.count; ++i) {
-                if (algo.Gather(states_[layout_.DenseId(us[i].dst)], us[i])) {
-                  ++local_changed;
-                }
-              }
-            }
-          }
-          if constexpr (HasEndVertex<Algo>) {
-            for (VertexId i = layout_.Begin(p); i < layout_.End(p); ++i) {
-              algo.EndVertex(layout_.OriginalId(i), states_[i]);
-            }
-          }
-        }
-        changed.fetch_add(local_changed, std::memory_order_relaxed);
-      });
-    }
-    iter.vertices_changed = changed.load();
-    iter.seconds = iter_timer.Seconds();
-
-    stats_.streaming_seconds += streaming.TotalSeconds();
-    stats_.edges_streamed += iter.edges_streamed;
-    stats_.updates_generated += iter.updates_generated;
-    stats_.wasted_edges += iter.wasted_edges;
-    ++stats_.iterations;
-    if (config_.keep_iteration_log) {
-      stats_.per_iteration.push_back(iter);
-    }
-    return iter;
-  }
+  IterationStats RunIteration(Algo& algo) { return driver_->RunIteration(algo); }
 
   // Runs Init + iterations until a scatter emits no updates, the algorithm
   // reports Done, or max_iterations is reached.
   RunStats Run(Algo& algo, uint64_t max_iterations = UINT64_MAX) {
-    WallTimer timer;
-    InitVertices(algo);
-    while (stats_.iterations < max_iterations) {
-      IterationStats iter = RunIteration(algo);
-      if (iter.updates_generated == 0) {
-        break;
-      }
-      if constexpr (HasDone<Algo>) {
-        if (algo.Done(iter)) {
-          break;
-        }
-      }
-    }
-    stats_.compute_seconds += timer.Seconds();
-    FinalizeStats();
-    return stats_;
+    return driver_->Run(algo, max_iterations);
   }
 
   // Folds scheduler counters into stats(). Run() calls this automatically;
   // manual RunIteration drivers should call it before reading stats().
-  void FinalizeStats() { stats_.steals = queues_.steal_count(); }
+  void FinalizeStats() { driver_->FinalizeStats(); }
 
   // Checkpointing: persists the vertex state array so a long computation can
   // resume in a fresh engine (graph runs in the paper last up to 26 hours).
   // States are written in the layout's dense order, so a checkpoint is only
   // portable to an engine configured with the same partitioner and count.
-  void SaveVertexStates(StorageDevice& dev, const std::string& file) const {
-    FileId f = dev.Create(file);
-    dev.Write(f, 0,
-              std::span<const std::byte>(reinterpret_cast<const std::byte*>(states_.data()),
-                                         states_.size() * sizeof(VertexState)));
+  void SaveVertexStates(StorageDevice& dev, const std::string& file) {
+    driver_->SaveVertexStates(dev, file);
   }
 
   // Restores states saved by SaveVertexStates. The graph (vertex count and
   // state type) must match; aborts otherwise.
   void LoadVertexStates(StorageDevice& dev, const std::string& file) {
-    FileId f = dev.Open(file);
-    XS_CHECK_EQ(dev.FileSize(f), states_.size() * sizeof(VertexState))
-        << "checkpoint does not match this graph/algorithm";
-    dev.Read(f, 0,
-             std::span<std::byte>(reinterpret_cast<std::byte*>(states_.data()),
-                                  states_.size() * sizeof(VertexState)));
+    driver_->LoadVertexStates(dev, file);
   }
 
   // Clears run statistics (multi-computation reuse of one engine).
-  void ResetStats() {
-    stats_ = RunStats{};
-    queues_.reset_steal_count();
-  }
+  void ResetStats() { driver_->ResetStats(); }
 
  private:
-  InMemoryConfig config_;
   ThreadPool pool_;
   uint64_t num_vertices_;
   uint64_t num_edges_;
-  PartitionLayout layout_;
   uint32_t fanout_ = 2;
-
-  StreamBuffer buffers_[3];
-  StreamBuffer* update_buf_ = nullptr;
-  StreamBuffer* scratch_buf_ = nullptr;
-  ShuffleOutput<Edge> edge_chunks_;
-
-  std::vector<VertexState> states_;
-  WorkStealingQueues queues_;
-  RunStats stats_;
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<Driver> driver_;
 };
 
 }  // namespace xstream

@@ -11,12 +11,14 @@
 //    in-memory stream buffer; when it fills, an in-memory shuffle splits it
 //    into per-partition chunks which are appended to the partitions' update
 //    files (§3, Fig 6).
-//  * Prefetch distance 1 on input (StreamReader double-buffering) and on
-//    output: the chunk writes of one output buffer (issued on the update
-//    device's I/O thread) overlap scatter compute into the other (§3.3).
+//  * Prefetch distance 1 on input (StreamReader double-buffering); on
+//    output the spill writes are double-buffered on the update device's I/O
+//    thread, so the shuffle and scatter of batch k+1 overlap the write of
+//    batch k (§3.3). `async_spill = false` restores a fully synchronous
+//    spill for comparison (fig 28).
 //  * Partition count from the §3.4 inequality N/K + 5·S·K ≤ M. The five
-//    buffers of that inequality map to: 2 StreamReader input buffers, the 2
-//    alternating output buffers, and the shuffle scratch buffer.
+//    buffers of that inequality map to: 2 StreamReader input buffers, the
+//    scatter fill buffer, and the two alternating shuffle/write buffers.
 //  * Optimizations (§3.2): when the whole vertex set fits in the memory
 //    budget, vertex files are skipped; when a full scatter phase's updates
 //    fit in one stream buffer, they are gathered straight from memory and
@@ -32,31 +34,28 @@
 //    (the in-memory engine layered above the disk engine): scatter
 //    parallelizes over the chunk's edges; gather sub-partitions the chunk's
 //    updates by destination and runs sub-partitions in parallel.
+//
+// This class is a thin facade: it sizes the layout and memory budget, builds
+// a DeviceStreamStore (core/stream_store.h) over the given devices, and
+// forwards the streaming loop to the shared StreamingPhaseDriver
+// (core/phase_runtime.h) in its partition-sequential shape.
 #ifndef XSTREAM_CORE_OOC_ENGINE_H_
 #define XSTREAM_CORE_OOC_ENGINE_H_
 
-#include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <future>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "buffers/shuffler.h"
-#include "buffers/stream_buffer.h"
 #include "core/algorithm.h"
 #include "core/partition.h"
+#include "core/phase_runtime.h"
 #include "core/sizing.h"
 #include "core/stats.h"
+#include "core/stream_store.h"
 #include "graph/types.h"
 #include "partitioning/partitioner.h"
 #include "storage/device.h"
-#include "storage/io_executor.h"
-#include "storage/stream_io.h"
-#include "threads/concurrent_appender.h"
 #include "threads/thread_pool.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -92,6 +91,9 @@ struct OutOfCoreConfig {
   // budget. Only active with file-resident vertices; the better the
   // vertex->partition mapping, the more traffic it removes.
   bool absorb_local_updates = true;
+  // §3.3 compute/write overlap on the spill path (fig 28). False makes
+  // every spill wait for its own update-file write — the sync baseline.
+  bool async_spill = true;
   // Optional streaming partitioner (src/partitioning/). Null keeps the
   // paper's equal contiguous ranges. When set, its passes stream the input
   // edge file during setup and vertex state is sliced in the mapping's
@@ -105,6 +107,8 @@ class OutOfCoreEngine {
  public:
   using VertexState = typename Algo::VertexState;
   using Update = typename Algo::Update;
+  using Store = DeviceStreamStore<Algo>;
+  using Driver = StreamingPhaseDriver<Algo, Store>;
 
   // Devices may all be the same object (single disk), split between edges
   // and updates (the Fig 15 "independent disks" configuration), or RAID-0
@@ -113,11 +117,7 @@ class OutOfCoreEngine {
   OutOfCoreEngine(const OutOfCoreConfig& config, StorageDevice& edge_dev,
                   StorageDevice& update_dev, StorageDevice& vertex_dev,
                   const std::string& input_edge_file, GraphInfo info)
-      : config_(config),
-        pool_(config.threads > 0 ? config.threads : NumCores()),
-        edge_dev_(edge_dev),
-        update_dev_(update_dev),
-        vertex_dev_(vertex_dev),
+      : pool_(config.threads > 0 ? config.threads : NumCores()),
         num_vertices_(info.num_vertices),
         num_edges_(info.num_edges) {
     WallTimer setup_timer;
@@ -127,763 +127,108 @@ class OutOfCoreEngine {
                      ? config.num_partitions
                      : ChooseOutOfCorePartitions(vertex_bytes, config.memory_budget_bytes,
                                                  config.io_unit_bytes);
+    PartitionLayout layout;
     if (config.partitioner != nullptr) {
-      // The partitioner's passes stream the raw input file; like the shuffle
-      // pass below they are part of setup (X-Stream charges pre-processing
+      // The partitioner's passes stream the raw input file; like the store's
+      // shuffle pass they are part of setup (X-Stream charges pre-processing
       // to the run).
       auto mapping = std::make_shared<VertexMapping>(config.partitioner->Partition(
-          MakeEdgeStream(edge_dev_, input_edge_file, config.io_unit_bytes), num_vertices_, k));
-      layout_ = PartitionLayout(std::move(mapping));
+          MakeEdgeStream(edge_dev, input_edge_file, config.io_unit_bytes), num_vertices_, k));
+      layout = PartitionLayout(std::move(mapping));
     } else {
-      layout_ = PartitionLayout(num_vertices_, k);
+      layout = PartitionLayout(num_vertices_, k);
     }
 
-    // §3.2 optimization 1: memory-resident vertex array when it fits in half
-    // the budget (the other half belongs to the stream buffers).
-    vertices_in_memory_ =
-        config.allow_vertex_memory_opt && vertex_bytes <= config.memory_budget_bytes / 2;
-
-    // Stream buffer capacity: S bytes per partition chunk (§3.4), with a
-    // floor of twice the worst-case updates of one loaded edge chunk so a
-    // single chunk's scatter output always fits.
-    size_t record = std::max(sizeof(Edge), sizeof(Update));
-    uint64_t chunk_edges = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Edge));
-    uint64_t floor_bytes = 2 * chunk_edges * sizeof(Update);
-    buffer_bytes_ =
-        std::max<uint64_t>(static_cast<uint64_t>(config.io_unit_bytes) * k, floor_bytes);
-    buffer_bytes_ = std::max<uint64_t>(buffer_bytes_, record * 1024);
-    out_[0] = StreamBuffer(buffer_bytes_);
-    out_[1] = StreamBuffer(buffer_bytes_);
-    scratch_ = StreamBuffer(buffer_bytes_);
-
-    // Create the per-partition files.
-    edge_files_.resize(k);
-    update_files_.resize(k);
-    vertex_files_.resize(k);
-    edge_counts_.assign(k, 0);
-    for (uint32_t p = 0; p < k; ++p) {
-      edge_files_[p] = edge_dev_.Create(PartFile("edges", p));
-      update_files_[p] = update_dev_.Create(PartFile("updates", p));
-      if (!vertices_in_memory_) {
-        vertex_files_[p] = vertex_dev_.Create(PartFile("vertices", p));
-      }
-    }
-    if (vertices_in_memory_) {
-      // Indexed in the layout's dense order (== original ids in range mode)
-      // so each partition's states stay contiguous.
-      mem_states_.resize(num_vertices_);
-    } else {
-      part_states_.resize(layout_.MaxPartitionSize());
-      if (config_.absorb_local_updates) {
-        shadow_states_.resize(layout_.MaxPartitionSize());
-      }
-      // Materialize zero-initialized vertex files so the first VertexMap /
-      // scatter can load them before any algorithm Init ran.
-      std::fill(part_states_.begin(), part_states_.end(), VertexState{});
-      for (uint32_t p = 0; p < k; ++p) {
-        if (layout_.Size(p) > 0) {
-          StoreVertices(p);
-        }
-      }
-    }
-
-    // Device baselines: sim_io_seconds reports busy time accrued since
-    // construction (i.e. including the partitioning pass — X-Stream charges
-    // its own pre-processing to the run).
-    CaptureDeviceBaselines();
-    PartitionInputEdges(input_edge_file);
-    stats_.setup_seconds = setup_timer.Seconds();
+    typename Store::Options opts;
+    opts.memory_budget_bytes = config.memory_budget_bytes;
+    opts.io_unit_bytes = config.io_unit_bytes;
+    opts.allow_vertex_memory_opt = config.allow_vertex_memory_opt;
+    opts.allow_update_memory_opt = config.allow_update_memory_opt;
+    opts.eager_update_truncate = config.eager_update_truncate;
+    opts.absorb_local_updates = config.absorb_local_updates;
+    opts.async_spill = config.async_spill;
+    opts.file_prefix = config.file_prefix;
+    store_ = std::make_unique<Store>(pool_, std::move(layout), opts, edge_dev, update_dev,
+                                     vertex_dev, input_edge_file);
+    PhaseDriverOptions dopts;
+    dopts.keep_iteration_log = config.keep_iteration_log;
+    driver_ = std::make_unique<Driver>(*store_, dopts);
+    stats().setup_seconds = setup_timer.Seconds();
   }
 
   uint64_t num_vertices() const { return num_vertices_; }
   uint64_t num_edges() const { return num_edges_; }
-  uint32_t num_partitions() const { return layout_.num_partitions(); }
-  bool vertices_in_memory() const { return vertices_in_memory_; }
-  const PartitionLayout& layout() const { return layout_; }
-  uint64_t buffer_bytes() const { return buffer_bytes_; }
+  uint32_t num_partitions() const { return store_->layout().num_partitions(); }
+  bool vertices_in_memory() const { return store_->vertices_in_memory(); }
+  const PartitionLayout& layout() const { return store_->layout(); }
+  uint64_t buffer_bytes() const { return store_->buffer_bytes(); }
 
   // Names of the per-partition edge files, for partitioned semi-streaming
   // runs (RunSemiStreamingPartitioned) over this engine's store.
-  std::vector<std::string> EdgeFileNames() const {
-    std::vector<std::string> names;
-    names.reserve(layout_.num_partitions());
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      names.push_back(PartFile("edges", p));
-    }
-    return names;
-  }
+  std::vector<std::string> EdgeFileNames() const { return store_->EdgeFileNames(); }
 
-  RunStats& stats() { return stats_; }
-  const RunStats& stats() const { return stats_; }
+  RunStats& stats() { return driver_->stats(); }
+  const RunStats& stats() const { return driver_->stats(); }
 
   // Appends more raw edges to the partitioned store (the Fig 17 ingest
   // path): each batch goes through the same in-memory shuffle and is
   // appended to the per-partition edge files.
   void IngestEdges(const EdgeList& batch) {
     WallTimer timer;
-    for (const Edge& e : batch) {
-      XS_CHECK_LT(e.src, num_vertices_);
-      XS_CHECK_LT(e.dst, num_vertices_);
-    }
-    uint64_t capacity_edges = buffer_bytes_ / sizeof(Edge);
-    uint64_t done = 0;
-    while (done < batch.size()) {
-      uint64_t n = std::min<uint64_t>(capacity_edges, batch.size() - done);
-      std::memcpy(out_[0].data(), batch.data() + done, n * sizeof(Edge));
-      ShuffleAndAppendEdges(n);
-      done += n;
-    }
+    store_->IngestEdges(batch);
     num_edges_ += batch.size();
-    stats_.setup_seconds += timer.Seconds();
+    stats().setup_seconds += timer.Seconds();
   }
 
   // Vertex iteration (§2.5). With file-resident vertices this loads, maps
   // and stores one partition at a time.
   template <typename F>
   void VertexMap(F&& f) {
-    if (vertices_in_memory_) {
-      pool_.ParallelFor(0, num_vertices_, 4096, [&](uint64_t lo, uint64_t hi) {
-        for (uint64_t i = lo; i < hi; ++i) {
-          f(layout_.OriginalId(i), mem_states_[i]);
-        }
-      });
-      return;
-    }
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      if (layout_.Size(p) == 0) {
-        continue;
-      }
-      LoadVertices(p);
-      VertexId base = layout_.Begin(p);
-      uint64_t n = layout_.Size(p);
-      pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
-        for (uint64_t i = lo; i < hi; ++i) {
-          f(layout_.OriginalId(base + i), part_states_[i]);
-        }
-      });
-      StoreVertices(p);
-    }
+    driver_->VertexMap(std::forward<F>(f));
   }
 
-  // Sequential fold over all vertex states.
+  // Sequential fold over all vertex states (dense/partition order).
   template <typename T, typename F>
   T VertexFold(T init, F&& f) {
-    T acc = init;
-    if (vertices_in_memory_) {
-      for (uint64_t i = 0; i < num_vertices_; ++i) {
-        acc = f(acc, layout_.OriginalId(i), mem_states_[i]);
-      }
-      return acc;
-    }
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      if (layout_.Size(p) == 0) {
-        continue;
-      }
-      LoadVertices(p);
-      VertexId base = layout_.Begin(p);
-      for (uint64_t i = 0; i < layout_.Size(p); ++i) {
-        acc = f(acc, layout_.OriginalId(base + i), part_states_[i]);
-      }
-    }
-    return acc;
+    return driver_->VertexFoldDense(std::move(init), std::forward<F>(f));
   }
 
-  void InitVertices(Algo& algo) {
-    if (vertices_in_memory_) {
-      VertexMap([&algo](VertexId v, VertexState& s) { algo.Init(v, s); });
-      return;
-    }
-    // Vertex files do not exist yet; write initial states partition-wise.
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      if (layout_.Size(p) == 0) {
-        continue;
-      }
-      VertexId base = layout_.Begin(p);
-      for (uint64_t i = 0; i < layout_.Size(p); ++i) {
-        algo.Init(layout_.OriginalId(base + i), part_states_[i]);
-      }
-      StoreVertices(p);
-    }
-  }
+  void InitVertices(Algo& algo) { driver_->InitVertices(algo); }
 
   // One scatter(+folded shuffle) -> gather round over storage (Fig 6).
-  IterationStats RunIteration(Algo& algo) {
-    IterationStats iter;
-    iter.iteration = stats_.iterations;
-    WallTimer iter_timer;
-
-    if constexpr (HasBeforeIteration<Algo>) {
-      algo.BeforeIteration(stats_.iterations);
-    }
-
-    // ---- Merged scatter/shuffle phase.
-    int fill = 0;  // output buffer currently accepting updates
-    auto appender = std::make_unique<ConcurrentAppender>(
-        std::span<std::byte>(out_[fill].data(), buffer_bytes_), sizeof(Update),
-        pool_.num_threads());
-    bool spilled = false;
-    uint64_t chunk_edge_capacity = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Edge));
-    size_t read_chunk = chunk_edge_capacity * sizeof(Edge);
-
-    absorbed_updates_ = 0;
-    absorbed_changed_ = 0;
-    drained_updates_ = 0;
-    drain_watermark_ = 0;
-    for (uint32_t s = 0; s < layout_.num_partitions(); ++s) {
-      if (!vertices_in_memory_) {
-        if (layout_.Size(s) == 0) {
-          continue;
-        }
-        LoadVertices(s);
-        if (config_.absorb_local_updates) {
-          // Shadow next-state for s: spills gather s-destined updates here
-          // while scatter keeps reading the pre-iteration part_states_.
-          std::memcpy(shadow_states_.data(), part_states_.data(),
-                      layout_.Size(s) * sizeof(VertexState));
-          shadow_dirty_ = false;
-          absorb_partition_ = s;
-        }
-      }
-      const VertexState* state_base =
-          vertices_in_memory_ ? mem_states_.data() : part_states_.data();
-      VertexId part_base = vertices_in_memory_ ? 0 : layout_.Begin(s);
-
-      StreamReader reader(edge_dev_, edge_files_[s], read_chunk);
-      for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
-        uint64_t n = chunk.size() / sizeof(Edge);
-        // Spill (shuffle + async chunk writes) if this chunk's worst-case
-        // output may not fit the buffer.
-        if (appender->bytes() + n * sizeof(Update) > buffer_bytes_) {
-          SpillUpdates(algo, *appender, fill);
-          spilled = true;
-          fill ^= 1;  // scatter continues into the other buffer (§3.3)
-          appender = std::make_unique<ConcurrentAppender>(
-              std::span<std::byte>(out_[fill].data(), buffer_bytes_), sizeof(Update),
-              pool_.num_threads());
-          drain_watermark_ = 0;  // fresh buffer: nothing drain-scanned yet
-        }
-        const Edge* es = reinterpret_cast<const Edge*>(chunk.data());
-        std::atomic<uint64_t> local_wasted{0};
-        ConcurrentAppender* app = appender.get();
-        pool_.ParallelForTid(0, n, 2048, [&, app](int tid, uint64_t lo, uint64_t hi) {
-          uint64_t w = 0;
-          for (uint64_t i = lo; i < hi; ++i) {
-            Update out;
-            if (algo.Scatter(state_base[layout_.DenseId(es[i].src) - part_base], es[i],
-                             out)) {
-              app->Append(tid, &out);
-            } else {
-              ++w;
-            }
-          }
-          local_wasted.fetch_add(w, std::memory_order_relaxed);
-        });
-        appender->FlushAll();
-        iter.edges_streamed += n;
-        iter.wasted_edges += local_wasted.load();
-      }
-      if (absorb_partition_ != kNoAbsorbPartition) {
-        // Drain: s-destined updates still sitting in the append buffer are
-        // gathered now, while s's shadow is live — one compaction scan, no
-        // shuffle. Spill-time absorption alone misses them whenever a
-        // partition's scatter output fits the buffer (the common case for
-        // high-locality mappings, whose updates are mostly s->s). Only
-        // records appended since the last drain are scanned (survivors of
-        // an earlier drain targeted a partition != its s; rescanning them
-        // at every later partition would cost O(k x buffer) per iteration)
-        // — absorption is opportunistic, so skipping them is merely fewer
-        // absorbed updates, never a correctness issue.
-        appender->FlushAll();
-        uint64_t buffered = appender->records();
-        Update* buf = out_[fill].template records<Update>();
-        VertexId drain_base = layout_.Begin(s);
-        uint64_t kept = drain_watermark_;
-        for (uint64_t i = drain_watermark_; i < buffered; ++i) {
-          if (layout_.PartitionOf(buf[i].dst) == s) {
-            if (algo.Gather(shadow_states_[layout_.DenseId(buf[i].dst) - drain_base],
-                            buf[i])) {
-              ++absorbed_changed_;
-            }
-          } else {
-            buf[kept++] = buf[i];
-          }
-        }
-        if (kept < buffered) {
-          appender->Rewind(kept * sizeof(Update));
-          drained_updates_ += buffered - kept;
-          shadow_dirty_ = true;
-        }
-        drain_watermark_ = kept;
-        // Absorbed updates became part of s's next state: persist them so
-        // the gather phase reloads them along with the vertex file.
-        if (shadow_dirty_) {
-          StoreVertices(s, shadow_states_.data());
-        }
-        absorb_partition_ = kNoAbsorbPartition;
-      }
-    }
-
-    // End of scatter: either keep the whole update set in memory (§3.2
-    // optimization 2: nothing was spilled and the optimization is allowed)
-    // or spill the tail like any other buffer.
-    uint64_t tail_records = appender->records();
-    // Drained updates were removed from the buffer before the tail count,
-    // but they were generated (and gathered) all the same.
-    iter.updates_generated = spilled_updates_ + drained_updates_ + tail_records;
-    iter.updates_absorbed = absorbed_updates_ + drained_updates_;
-    bool memory_gather = !spilled && config_.allow_update_memory_opt;
-    ShuffleOutput<Update> resident;
-    if (memory_gather) {
-      if (tail_records > 0) {
-        resident = ShuffleRecords(pool_, out_[fill].template records<Update>(),
-                                  scratch_.template records<Update>(), tail_records,
-                                  layout_.num_partitions(), layout_.num_partitions(),
-                                  [this](const Update& u) { return layout_.PartitionOf(u.dst); });
-      }
-    } else if (tail_records > 0) {
-      SpillUpdates(algo, *appender, fill);
-      fill ^= 1;
-    }
-    WaitUpdateWrites();
-
-    // Scratch buffers for the gather sub-shuffle, chosen to never alias the
-    // resident updates. A single-stage shuffle with K > 1 always lands in
-    // its second buffer (scratch_); with K == 1 ShuffleRecords leaves the
-    // records in place (out_[fill]).
-    Update* tmp_a;
-    Update* tmp_b;
-    if (memory_gather && resident.data == scratch_.template records<Update>()) {
-      tmp_a = out_[0].template records<Update>();
-      tmp_b = out_[1].template records<Update>();
-    } else if (memory_gather && tail_records > 0) {
-      tmp_a = out_[fill ^ 1].template records<Update>();
-      tmp_b = scratch_.template records<Update>();
-    } else {
-      tmp_a = out_[0].template records<Update>();
-      tmp_b = out_[1].template records<Update>();
-    }
-
-    // ---- Gather phase. Absorbed updates already mutated their partition's
-    // stored state during scatter; count them with the file/memory gathers.
-    std::atomic<uint64_t> changed{absorbed_changed_};
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      if (layout_.Size(p) == 0) {
-        continue;
-      }
-      if (!vertices_in_memory_) {
-        LoadVertices(p);
-      }
-      VertexState* state_base = vertices_in_memory_ ? mem_states_.data() : part_states_.data();
-      VertexId part_base = vertices_in_memory_ ? 0 : layout_.Begin(p);
-
-      if (memory_gather) {
-        if (tail_records > 0) {
-          for (const auto& slice : resident.slices) {
-            const ChunkRef& c = slice[p];
-            if (c.count > 0) {
-              GatherChunk(algo, resident.data + c.begin, c.count, state_base, part_base, p,
-                          tmp_a, tmp_b, changed);
-            }
-          }
-        }
-      } else {
-        uint64_t chunk_updates = std::max<uint64_t>(1, config_.io_unit_bytes / sizeof(Update));
-        StreamReader reader(update_dev_, update_files_[p], chunk_updates * sizeof(Update));
-        for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
-          GatherChunk(algo, reinterpret_cast<const Update*>(chunk.data()),
-                      chunk.size() / sizeof(Update), state_base, part_base, p, tmp_a, tmp_b,
-                      changed);
-        }
-      }
-
-      if constexpr (HasEndVertex<Algo>) {
-        VertexId base = layout_.Begin(p);
-        uint64_t n = layout_.Size(p);
-        pool_.ParallelFor(0, n, 4096, [&](uint64_t lo, uint64_t hi) {
-          for (uint64_t i = lo; i < hi; ++i) {
-            algo.EndVertex(layout_.OriginalId(base + i), state_base[base + i - part_base]);
-          }
-        });
-      }
-      if (!vertices_in_memory_) {
-        StoreVertices(p);
-      }
-      // The update stream is consumed: destroy it (truncation = TRIM, §3.3).
-      if (!memory_gather && config_.eager_update_truncate) {
-        update_dev_.Truncate(update_files_[p], 0);
-      }
-      // Track peak update-file occupancy for the TRIM ablation.
-      uint64_t occupancy = 0;
-      for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
-        occupancy += update_dev_.FileSize(update_files_[q]);
-      }
-      stats_.peak_update_bytes = std::max(stats_.peak_update_bytes, occupancy);
-    }
-    if (!memory_gather && !config_.eager_update_truncate) {
-      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-        update_dev_.Truncate(update_files_[p], 0);
-      }
-    }
-    iter.vertices_changed = changed.load();
-    spilled_updates_ = 0;
-
-    iter.seconds = iter_timer.Seconds();
-    stats_.edges_streamed += iter.edges_streamed;
-    stats_.updates_generated += iter.updates_generated;
-    stats_.wasted_edges += iter.wasted_edges;
-    stats_.updates_absorbed += iter.updates_absorbed;
-    ++stats_.iterations;
-    if (config_.keep_iteration_log) {
-      stats_.per_iteration.push_back(iter);
-    }
-    return iter;
-  }
+  IterationStats RunIteration(Algo& algo) { return driver_->RunIteration(algo); }
 
   RunStats Run(Algo& algo, uint64_t max_iterations = UINT64_MAX) {
-    WallTimer timer;
-    InitVertices(algo);
-    while (stats_.iterations < max_iterations) {
-      IterationStats iter = RunIteration(algo);
-      if (iter.updates_generated == 0) {
-        break;
-      }
-      if constexpr (HasDone<Algo>) {
-        if (algo.Done(iter)) {
-          break;
-        }
-      }
-    }
-    stats_.compute_seconds += timer.Seconds();
-    FinalizeStats();
-    return stats_;
+    return driver_->Run(algo, max_iterations);
   }
 
   // Folds device counters into stats() (sim_io_seconds, bytes moved).
   // Run() calls this automatically; manual RunIteration drivers (SCC, MCST,
   // ALS, HyperANF) should call it before reading stats().
-  void FinalizeStats() { CollectDeviceStats(); }
+  void FinalizeStats() { driver_->FinalizeStats(); }
 
   // Clears run statistics and re-baselines the devices; lets one engine
   // time several consecutive computations (the Fig 17 ingest loop).
-  void ResetStats() {
-    stats_ = RunStats{};
-    CaptureDeviceBaselines();
-  }
+  void ResetStats() { driver_->ResetStats(); }
 
   // Checkpointing: persists all vertex state (one sequential write) so a
   // multi-hour out-of-core run can resume after a restart. States are
   // written in the layout's dense order, so a checkpoint is only portable to
   // an engine configured with the same partitioner and partition count.
   void SaveVertexStates(StorageDevice& dev, const std::string& file) {
-    FileId f = dev.Create(file);
-    if (vertices_in_memory_) {
-      dev.Write(f, 0,
-                std::span<const std::byte>(
-                    reinterpret_cast<const std::byte*>(mem_states_.data()),
-                    mem_states_.size() * sizeof(VertexState)));
-      return;
-    }
-    uint64_t offset = 0;
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      uint64_t n = layout_.Size(p);
-      if (n == 0) {
-        continue;
-      }
-      LoadVertices(p);
-      dev.Write(f, offset,
-                std::span<const std::byte>(
-                    reinterpret_cast<const std::byte*>(part_states_.data()),
-                    n * sizeof(VertexState)));
-      offset += n * sizeof(VertexState);
-    }
+    driver_->SaveVertexStates(dev, file);
   }
 
   void LoadVertexStates(StorageDevice& dev, const std::string& file) {
-    FileId f = dev.Open(file);
-    XS_CHECK_EQ(dev.FileSize(f), num_vertices_ * sizeof(VertexState))
-        << "checkpoint does not match this graph/algorithm";
-    if (vertices_in_memory_) {
-      dev.Read(f, 0,
-               std::span<std::byte>(reinterpret_cast<std::byte*>(mem_states_.data()),
-                                    mem_states_.size() * sizeof(VertexState)));
-      return;
-    }
-    uint64_t offset = 0;
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      uint64_t n = layout_.Size(p);
-      if (n == 0) {
-        continue;
-      }
-      dev.Read(f, offset,
-               std::span<std::byte>(reinterpret_cast<std::byte*>(part_states_.data()),
-                                    n * sizeof(VertexState)));
-      StoreVertices(p);
-      offset += n * sizeof(VertexState);
-    }
+    driver_->LoadVertexStates(dev, file);
   }
 
  private:
-  std::string PartFile(const char* kind, uint32_t p) const {
-    return config_.file_prefix + "." + kind + "." + std::to_string(p);
-  }
-
-  // Setup: stream the unordered input file, shuffle each loaded stretch by
-  // source partition, append chunks to the per-partition edge files (§3.2).
-  void PartitionInputEdges(const std::string& input_edge_file) {
-    FileId input = edge_dev_.Open(input_edge_file);
-    size_t read_chunk = std::max<size_t>(
-        sizeof(Edge), config_.io_unit_bytes / sizeof(Edge) * sizeof(Edge));
-    StreamReader reader(edge_dev_, input, read_chunk);
-    uint64_t buffered = 0;
-    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
-      XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
-      uint64_t n = chunk.size() / sizeof(Edge);
-      if ((buffered + n) * sizeof(Edge) > buffer_bytes_) {
-        ShuffleAndAppendEdges(buffered);
-        buffered = 0;
-      }
-      std::memcpy(out_[0].data() + buffered * sizeof(Edge), chunk.data(), chunk.size());
-      buffered += n;
-    }
-    if (buffered > 0) {
-      ShuffleAndAppendEdges(buffered);
-    }
-  }
-
-  // Shuffles `count` edges sitting at the start of out_[0] by source
-  // partition and appends each partition's spans to its edge file.
-  void ShuffleAndAppendEdges(uint64_t count) {
-    if (count == 0) {
-      return;
-    }
-    auto shuffled = ShuffleRecords(pool_, out_[0].template records<Edge>(),
-                                   scratch_.template records<Edge>(), count,
-                                   layout_.num_partitions(), layout_.num_partitions(),
-                                   [this](const Edge& e) { return layout_.PartitionOf(e.src); });
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      for (const auto& slice : shuffled.slices) {
-        const ChunkRef& c = slice[p];
-        if (c.count > 0) {
-          edge_dev_.Append(edge_files_[p],
-                           std::span<const std::byte>(
-                               reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
-                               c.count * sizeof(Edge)));
-          edge_counts_[p] += c.count;
-        }
-      }
-    }
-  }
-
-  // In-memory shuffle of the filled output buffer + asynchronous appends of
-  // the per-partition chunks to the update files (the folded shuffle phase).
-  // The previous spill's writes are drained first because they read from
-  // scratch_, which the new shuffle overwrites. After this returns, the
-  // shuffled records live in scratch_ (single-stage shuffle, K > 1) or stay
-  // in out_[fill] (K == 1); either way the async write owns that memory
-  // until the next WaitUpdateWrites().
-  //
-  // When a scatter partition is active (absorb_partition_), its own chunks
-  // are gathered straight into its shadow next-state here — synchronously,
-  // before the async write is submitted, so the writer thread and this
-  // thread only ever read the shuffled buffer — and never reach its update
-  // file.
-  void SpillUpdates(Algo& algo, ConcurrentAppender& appender, int fill) {
-    appender.FlushAll();
-    uint64_t n = appender.records();
-    if (n == 0) {
-      return;
-    }
-    WaitUpdateWrites();
-    auto shuffled = ShuffleRecords(pool_, out_[fill].template records<Update>(),
-                                   scratch_.template records<Update>(), n,
-                                   layout_.num_partitions(), layout_.num_partitions(),
-                                   [this](const Update& u) { return layout_.PartitionOf(u.dst); });
-    spilled_updates_ += n;
-    const uint32_t absorb = absorb_partition_;
-    if (absorb != kNoAbsorbPartition) {
-      VertexId part_base = layout_.Begin(absorb);
-      uint64_t absorbed = 0;
-      for (const auto& slice : shuffled.slices) {
-        const ChunkRef& c = slice[absorb];
-        const Update* rec = shuffled.data + c.begin;
-        for (uint64_t i = 0; i < c.count; ++i) {
-          if (algo.Gather(shadow_states_[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
-            ++absorbed_changed_;
-          }
-        }
-        absorbed += c.count;
-      }
-      if (absorbed > 0) {
-        shadow_dirty_ = true;
-        absorbed_updates_ += absorbed;
-      }
-    }
-    const Update* data = shuffled.data;
-    auto slices = std::make_shared<std::vector<std::vector<ChunkRef>>>(
-        std::move(shuffled.slices));
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      if (p == absorb) {
-        continue;
-      }
-      for (const auto& slice : *slices) {
-        stats_.update_file_bytes += slice[p].count * sizeof(Update);
-      }
-    }
-    pending_update_write_ = update_dev_.executor().Submit([this, data, slices, absorb] {
-      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-        if (p == absorb) {
-          continue;  // gathered into the shadow above
-        }
-        for (const auto& slice : *slices) {
-          const ChunkRef& c = slice[p];
-          if (c.count > 0) {
-            update_dev_.Append(update_files_[p],
-                               std::span<const std::byte>(
-                                   reinterpret_cast<const std::byte*>(data + c.begin),
-                                   c.count * sizeof(Update)));
-          }
-        }
-      }
-    });
-  }
-
-  void WaitUpdateWrites() {
-    if (pending_update_write_.valid()) {
-      pending_update_write_.wait();
-    }
-  }
-
-  // Gathers one loaded chunk of updates. With multiple threads the chunk is
-  // first sub-partitioned by destination (the §4.3 layering) so threads
-  // gather disjoint vertex ranges without synchronization. tmp_a/tmp_b must
-  // not alias `us`.
-  void GatherChunk(Algo& algo, const Update* us, uint64_t count, VertexState* state_base,
-                   VertexId part_base, uint32_t p, Update* tmp_a, Update* tmp_b,
-                   std::atomic<uint64_t>& changed) {
-    if (pool_.num_threads() == 1 || count < 4096) {
-      uint64_t local = 0;
-      for (uint64_t i = 0; i < count; ++i) {
-        if (algo.Gather(state_base[layout_.DenseId(us[i].dst) - part_base], us[i])) {
-          ++local;
-        }
-      }
-      changed.fetch_add(local, std::memory_order_relaxed);
-      return;
-    }
-    uint32_t sub_k = RoundUpPow2(static_cast<uint64_t>(pool_.num_threads()) * 4);
-    uint64_t part_size = std::max<uint64_t>(1, layout_.Size(p));
-    uint64_t sub_span = (part_size + sub_k - 1) / sub_k;
-    VertexId begin = layout_.Begin(p);
-    std::memcpy(tmp_a, us, count * sizeof(Update));
-    auto sub = ShuffleRecords(pool_, tmp_a, tmp_b, count, sub_k, sub_k, [&](const Update& u) {
-      return static_cast<uint32_t>((layout_.DenseId(u.dst) - begin) / sub_span);
-    });
-    std::atomic<uint32_t> next{0};
-    pool_.RunOnAll([&](int) {
-      uint64_t local = 0;
-      for (;;) {
-        uint32_t sp = next.fetch_add(1, std::memory_order_relaxed);
-        if (sp >= sub_k) {
-          break;
-        }
-        for (const auto& slice : sub.slices) {
-          const ChunkRef& c = slice[sp];
-          const Update* rec = sub.data + c.begin;
-          for (uint64_t i = 0; i < c.count; ++i) {
-            if (algo.Gather(state_base[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
-              ++local;
-            }
-          }
-        }
-      }
-      changed.fetch_add(local, std::memory_order_relaxed);
-    });
-  }
-
-  void LoadVertices(uint32_t p) {
-    uint64_t n = layout_.Size(p);
-    vertex_dev_.Read(vertex_files_[p], 0,
-                     std::span<std::byte>(reinterpret_cast<std::byte*>(part_states_.data()),
-                                          n * sizeof(VertexState)));
-  }
-
-  void StoreVertices(uint32_t p) { StoreVertices(p, part_states_.data()); }
-
-  void StoreVertices(uint32_t p, const VertexState* states) {
-    uint64_t n = layout_.Size(p);
-    vertex_dev_.Write(vertex_files_[p], 0,
-                      std::span<const std::byte>(
-                          reinterpret_cast<const std::byte*>(states),
-                          n * sizeof(VertexState)));
-  }
-
-  void CaptureDeviceBaselines() {
-    baselines_.clear();
-    for (StorageDevice* dev : UniqueDevices()) {
-      baselines_[dev] = dev->stats();
-    }
-  }
-
-  void CollectDeviceStats() {
-    stats_.sim_io_seconds = 0;
-    stats_.bytes_read = 0;
-    stats_.bytes_written = 0;
-    for (StorageDevice* dev : UniqueDevices()) {
-      DeviceStats s = dev->stats();
-      DeviceStats base;  // zero if the device was attached after baselining
-      auto it = baselines_.find(dev);
-      if (it != baselines_.end()) {
-        base = it->second;
-      }
-      stats_.sim_io_seconds =
-          std::max(stats_.sim_io_seconds, s.busy_seconds - base.busy_seconds);
-      stats_.bytes_read += s.bytes_read - base.bytes_read;
-      stats_.bytes_written += s.bytes_written - base.bytes_written;
-    }
-  }
-
-  std::vector<StorageDevice*> UniqueDevices() {
-    std::set<StorageDevice*> unique{&edge_dev_, &update_dev_, &vertex_dev_};
-    return {unique.begin(), unique.end()};
-  }
-
-  OutOfCoreConfig config_;
   ThreadPool pool_;
-  StorageDevice& edge_dev_;
-  StorageDevice& update_dev_;
-  StorageDevice& vertex_dev_;
   uint64_t num_vertices_;
   uint64_t num_edges_;
-  PartitionLayout layout_;
-
-  uint64_t buffer_bytes_ = 0;
-  StreamBuffer out_[2];
-  StreamBuffer scratch_;
-
-  bool vertices_in_memory_ = false;
-  std::vector<VertexState> mem_states_;   // when vertices_in_memory_ (dense order)
-  std::vector<VertexState> part_states_;  // one-partition scratch otherwise
-
-  // Local-update absorption (config_.absorb_local_updates, file-resident
-  // vertices only): shadow next-state of the partition being scattered.
-  static constexpr uint32_t kNoAbsorbPartition = UINT32_MAX;
-  std::vector<VertexState> shadow_states_;
-  uint32_t absorb_partition_ = kNoAbsorbPartition;
-  bool shadow_dirty_ = false;
-  uint64_t absorbed_updates_ = 0;  // this iteration, via spill-time chunks
-  uint64_t drained_updates_ = 0;   // this iteration, via end-of-partition drain
-  uint64_t absorbed_changed_ = 0;  // this iteration
-  uint64_t drain_watermark_ = 0;   // records of out_[fill] already drain-scanned
-
-  std::vector<FileId> edge_files_;
-  std::vector<FileId> update_files_;
-  std::vector<FileId> vertex_files_;
-  std::vector<uint64_t> edge_counts_;
-
-  std::future<void> pending_update_write_;
-  uint64_t spilled_updates_ = 0;
-  std::map<StorageDevice*, DeviceStats> baselines_;
-  RunStats stats_;
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<Driver> driver_;
 };
 
 }  // namespace xstream

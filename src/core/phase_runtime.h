@@ -1,0 +1,563 @@
+// StreamingPhaseDriver: the one scatter-shuffle-gather loop behind both
+// engines.
+//
+// X-Stream applies the same edge-centric iteration structure to in-memory
+// and out-of-core streaming partitions (paper §3 Fig 6, §4 Fig 4). This
+// driver owns that structure once — partition iteration, scatter emission
+// through ConcurrentAppender staging, ShuffleRecords plumbing, gather
+// draining, vertex iteration, checkpointing and IterationStats/RunStats
+// folding — and is parameterized over a StreamStore (core/stream_store.h)
+// that decides where the streams and vertex states physically live.
+//
+// The two stores imply two phase shapes, selected statically by the store's
+// kPartitionParallel trait:
+//
+//  * Partition-parallel (MemoryStreamStore, §4): partitions are cache-sized
+//    and plentiful, so scatter and gather run partitions concurrently under
+//    work stealing, with one global multi-stage shuffle between them.
+//  * Partition-sequential (DeviceStreamStore, §3): one partition's streams
+//    are loaded at a time; parallelism lives inside each loaded chunk (§4.3
+//    layering), the shuffle is folded into scatter via the store's spill
+//    path, and gather sub-partitions each chunk by destination so threads
+//    touch disjoint vertex ranges.
+//
+// Engines (core/inmem_engine.h, core/ooc_engine.h) are thin facades: they
+// pick the store, size the layout/buffers, and forward their public API
+// here.
+#ifndef XSTREAM_CORE_PHASE_RUNTIME_H_
+#define XSTREAM_CORE_PHASE_RUNTIME_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "buffers/shuffler.h"
+#include "core/algorithm.h"
+#include "core/partition.h"
+#include "core/sizing.h"
+#include "core/stats.h"
+#include "core/stream_store.h"
+#include "graph/types.h"
+#include "storage/device.h"
+#include "storage/stream_io.h"
+#include "threads/concurrent_appender.h"
+#include "threads/thread_pool.h"
+#include "threads/work_stealing.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+struct PhaseDriverOptions {
+  // Multi-stage shuffler fanout for the partition-parallel shape (§4.2).
+  uint32_t shuffle_fanout = 2;
+  // Partition-parallel shape only: false = static round-robin assignment
+  // (the §4.1 work-stealing ablation).
+  bool enable_work_stealing = true;
+  bool keep_iteration_log = true;
+};
+
+template <EdgeCentricAlgorithm Algo, StreamStoreFor Store>
+class StreamingPhaseDriver {
+ public:
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+
+  StreamingPhaseDriver(Store& store, const PhaseDriverOptions& opts)
+      : store_(store), opts_(opts), queues_(store.pool().num_threads()) {
+    store_.BindStats(&stats_);
+  }
+
+  const PartitionLayout& layout() const { return store_.layout(); }
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+
+  // ---- Vertex iteration (§2.5) -------------------------------------------
+
+  // Applies f(original_id, state) to every vertex: in parallel over
+  // partition-aligned dense ranges when the states are resident, otherwise
+  // one loaded partition at a time.
+  template <typename F>
+  void VertexMap(F&& f) {
+    const PartitionLayout& layout = store_.layout();
+    if (store_.all_resident()) {
+      VertexState* states = store_.resident_states();
+      store_.pool().ParallelFor(0, layout.num_vertices(), 4096,
+                                [&](uint64_t lo, uint64_t hi) {
+                                  for (uint64_t i = lo; i < hi; ++i) {
+                                    f(layout.OriginalId(i), states[i]);
+                                  }
+                                });
+      return;
+    }
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      if (layout.Size(p) == 0) {
+        continue;
+      }
+      store_.LoadPartition(p);
+      VertexState* states = store_.partition_states();
+      VertexId base = layout.Begin(p);
+      store_.pool().ParallelFor(0, layout.Size(p), 4096, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          f(layout.OriginalId(base + i), states[i]);
+        }
+      });
+      store_.StorePartition(p);
+    }
+  }
+
+  // Sequential fold over vertex states in dense (partition) order.
+  template <typename T, typename F>
+  T VertexFoldDense(T init, F&& f) {
+    const PartitionLayout& layout = store_.layout();
+    T acc = init;
+    if (store_.all_resident()) {
+      const VertexState* states = store_.resident_states();
+      for (uint64_t i = 0; i < layout.num_vertices(); ++i) {
+        acc = f(acc, layout.OriginalId(i), states[i]);
+      }
+      return acc;
+    }
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      if (layout.Size(p) == 0) {
+        continue;
+      }
+      store_.LoadPartition(p);
+      const VertexState* states = store_.partition_states();
+      VertexId base = layout.Begin(p);
+      for (uint64_t i = 0; i < layout.Size(p); ++i) {
+        acc = f(acc, layout.OriginalId(base + i), states[i]);
+      }
+    }
+    return acc;
+  }
+
+  // Sequential fold in original vertex-id order regardless of the mapping.
+  // Requires resident states (the in-memory engine's contract).
+  template <typename T, typename F>
+  T VertexFoldOriginal(T init, F&& f) const {
+    const PartitionLayout& layout = store_.layout();
+    XS_CHECK(store_.all_resident());
+    const VertexState* states = store_.resident_states();
+    T acc = init;
+    for (uint64_t v = 0; v < layout.num_vertices(); ++v) {
+      acc = f(acc, static_cast<VertexId>(v), states[layout.DenseId(static_cast<VertexId>(v))]);
+    }
+    return acc;
+  }
+
+  void InitVertices(Algo& algo) {
+    if (store_.all_resident()) {
+      VertexMap([&algo](VertexId v, VertexState& s) { algo.Init(v, s); });
+      return;
+    }
+    // Vertex files hold zeroes, not algorithm state, until the first store;
+    // write initial states partition-wise without the wasted load.
+    const PartitionLayout& layout = store_.layout();
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      if (layout.Size(p) == 0) {
+        continue;
+      }
+      VertexState* states = store_.partition_states();
+      VertexId base = layout.Begin(p);
+      for (uint64_t i = 0; i < layout.Size(p); ++i) {
+        algo.Init(layout.OriginalId(base + i), states[i]);
+      }
+      store_.StorePartition(p);
+    }
+  }
+
+  // ---- The streaming loop -------------------------------------------------
+
+  // One synchronous scatter -> shuffle -> gather round (Fig 4 / Fig 6).
+  IterationStats RunIteration(Algo& algo) {
+    IterationStats iter;
+    iter.iteration = stats_.iterations;
+    WallTimer iter_timer;
+
+    if constexpr (HasBeforeIteration<Algo>) {
+      algo.BeforeIteration(stats_.iterations);
+    }
+    store_.BeginIteration();
+
+    if constexpr (Store::kPartitionParallel) {
+      RunIterationPartitionParallel(algo, iter);
+    } else {
+      RunIterationPartitionSequential(algo, iter);
+    }
+
+    iter.seconds = iter_timer.Seconds();
+    stats_.edges_streamed += iter.edges_streamed;
+    stats_.updates_generated += iter.updates_generated;
+    stats_.wasted_edges += iter.wasted_edges;
+    stats_.updates_absorbed += iter.updates_absorbed;
+    ++stats_.iterations;
+    if (opts_.keep_iteration_log) {
+      stats_.per_iteration.push_back(iter);
+    }
+    return iter;
+  }
+
+  // Runs Init + iterations until a scatter emits no updates, the algorithm
+  // reports Done, or max_iterations is reached.
+  RunStats Run(Algo& algo, uint64_t max_iterations = UINT64_MAX) {
+    WallTimer timer;
+    InitVertices(algo);
+    while (stats_.iterations < max_iterations) {
+      IterationStats iter = RunIteration(algo);
+      if (iter.updates_generated == 0) {
+        break;
+      }
+      if constexpr (HasDone<Algo>) {
+        if (algo.Done(iter)) {
+          break;
+        }
+      }
+    }
+    stats_.compute_seconds += timer.Seconds();
+    FinalizeStats();
+    return stats_;
+  }
+
+  // Folds scheduler and device counters into stats(). Run() calls this
+  // automatically; manual RunIteration drivers should call it before
+  // reading stats().
+  void FinalizeStats() {
+    if constexpr (Store::kPartitionParallel) {
+      stats_.steals = queues_.steal_count();
+    }
+    if constexpr (requires(Store& s, RunStats& r) { s.CollectDeviceStats(r); }) {
+      store_.CollectDeviceStats(stats_);
+    }
+  }
+
+  // Clears run statistics (multi-computation reuse of one engine).
+  void ResetStats() {
+    stats_ = RunStats{};
+    queues_.reset_steal_count();
+    if constexpr (requires(Store& s) { s.CaptureDeviceBaselines(); }) {
+      store_.CaptureDeviceBaselines();
+    }
+  }
+
+  // ---- Checkpointing ------------------------------------------------------
+
+  // Persists all vertex state (one sequential write stream) so a long
+  // computation can resume in a fresh engine. States are written in the
+  // layout's dense order, so a checkpoint is only portable to an engine
+  // configured with the same partitioner and partition count. Write errors
+  // raised on the checkpoint device's I/O thread propagate (StreamWriter
+  // Close, not the quiet Finish).
+  void SaveVertexStates(StorageDevice& dev, const std::string& file) {
+    const PartitionLayout& layout = store_.layout();
+    FileId f = dev.Create(file);
+    StreamWriter writer(dev, f, kCheckpointChunkBytes);
+    if (store_.all_resident()) {
+      writer.Append(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(store_.resident_states()),
+          layout.num_vertices() * sizeof(VertexState)));
+    } else {
+      for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+        if (layout.Size(p) == 0) {
+          continue;
+        }
+        store_.LoadPartition(p);
+        writer.Append(std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(store_.partition_states()),
+            layout.Size(p) * sizeof(VertexState)));
+      }
+    }
+    writer.Close();
+  }
+
+  // Restores states saved by SaveVertexStates. The graph (vertex count and
+  // state type) must match; aborts otherwise.
+  void LoadVertexStates(StorageDevice& dev, const std::string& file) {
+    const PartitionLayout& layout = store_.layout();
+    FileId f = dev.Open(file);
+    XS_CHECK_EQ(dev.FileSize(f), layout.num_vertices() * sizeof(VertexState))
+        << "checkpoint does not match this graph/algorithm";
+    if (store_.all_resident()) {
+      dev.Read(f, 0,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(store_.resident_states()),
+                                    layout.num_vertices() * sizeof(VertexState)));
+      return;
+    }
+    uint64_t offset = 0;
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      uint64_t n = layout.Size(p);
+      if (n == 0) {
+        continue;
+      }
+      dev.Read(f, offset,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(store_.partition_states()),
+                                    n * sizeof(VertexState)));
+      store_.StorePartition(p);
+      offset += n * sizeof(VertexState);
+    }
+  }
+
+ private:
+  static constexpr size_t kCheckpointChunkBytes = 4 * 1024 * 1024;
+
+  // Shared scatter inner loop: streams one span of edges against the given
+  // state slice, appending emitted updates from thread `tid`. Returns the
+  // number of wasted edges (streamed, no update sent — Fig 12b).
+  uint64_t ScatterSpan(Algo& algo, const Edge* es, uint64_t count,
+                       const VertexState* state_base, VertexId part_base, int tid,
+                       ConcurrentAppender& appender) {
+    const PartitionLayout& layout = store_.layout();
+    uint64_t wasted = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      Update out;
+      if (algo.Scatter(state_base[layout.DenseId(es[i].src) - part_base], es[i], out)) {
+        appender.Append(tid, &out);
+      } else {
+        ++wasted;
+      }
+    }
+    return wasted;
+  }
+
+  // ---- Partition-parallel shape (memory store, §4) ------------------------
+
+  void RunIterationPartitionParallel(Algo& algo, IterationStats& iter)
+    requires(Store::kPartitionParallel)
+  {
+    const PartitionLayout& layout = store_.layout();
+    ThreadPool& pool = store_.pool();
+    IntervalAccumulator streaming;
+
+    // --- Scatter phase: stream every partition's edge chunk, appending
+    // updates to the shared update buffer.
+    ConcurrentAppender appender(store_.update_append_span(), sizeof(Update),
+                                pool.num_threads());
+    const ShuffleOutput<Edge>& edge_chunks = store_.edge_chunks();
+    std::atomic<uint64_t> edges_streamed{0};
+    std::atomic<uint64_t> wasted{0};
+    queues_.Distribute(layout.num_partitions());
+    {
+      ScopedInterval si(streaming);
+      const VertexState* states = store_.resident_states();
+      pool.RunOnAll([&](int tid) {
+        uint64_t local_edges = 0;
+        uint64_t local_wasted = 0;
+        uint32_t p = 0;
+        while (queues_.Pop(tid, p, opts_.enable_work_stealing)) {
+          for (const auto& slice : edge_chunks.slices) {
+            const ChunkRef& c = slice[p];
+            local_wasted +=
+                ScatterSpan(algo, edge_chunks.data + c.begin, c.count, states, 0, tid, appender);
+            local_edges += c.count;
+          }
+        }
+        edges_streamed.fetch_add(local_edges, std::memory_order_relaxed);
+        wasted.fetch_add(local_wasted, std::memory_order_relaxed);
+      });
+      appender.FlushAll();
+    }
+    iter.edges_streamed = edges_streamed.load();
+    iter.wasted_edges = wasted.load();
+    iter.updates_generated = appender.records();
+
+    // --- Shuffle phase: group updates by destination partition (multi-stage
+    // when the partition count warrants it, §4.2).
+    ShuffleOutput<Update> shuffled;
+    if (iter.updates_generated > 0) {
+      ScopedInterval si(streaming);
+      shuffled = ShuffleRecords(pool, store_.update_records(), store_.scratch_records(),
+                                iter.updates_generated, layout.num_partitions(),
+                                opts_.shuffle_fanout,
+                                [&layout](const Update& u) { return layout.PartitionOf(u.dst); });
+      store_.CommitUpdateShuffle(shuffled);
+    }
+
+    // --- Gather phase: stream each partition's update chunk into its vertex
+    // states; EndVertex runs per partition right after its gather (legal
+    // because gather only touches the partition's own vertices).
+    std::atomic<uint64_t> changed{0};
+    queues_.Distribute(layout.num_partitions());
+    {
+      ScopedInterval si(streaming);
+      VertexState* states = store_.resident_states();
+      pool.RunOnAll([&](int tid) {
+        uint64_t local_changed = 0;
+        uint32_t p = 0;
+        while (queues_.Pop(tid, p, opts_.enable_work_stealing)) {
+          if (iter.updates_generated > 0) {
+            for (const auto& slice : shuffled.slices) {
+              const ChunkRef& c = slice[p];
+              const Update* us = shuffled.data + c.begin;
+              for (uint64_t i = 0; i < c.count; ++i) {
+                if (algo.Gather(states[layout.DenseId(us[i].dst)], us[i])) {
+                  ++local_changed;
+                }
+              }
+            }
+          }
+          if constexpr (HasEndVertex<Algo>) {
+            for (VertexId i = layout.Begin(p); i < layout.End(p); ++i) {
+              algo.EndVertex(layout.OriginalId(i), states[i]);
+            }
+          }
+        }
+        changed.fetch_add(local_changed, std::memory_order_relaxed);
+      });
+    }
+    iter.vertices_changed = changed.load();
+    stats_.streaming_seconds += streaming.TotalSeconds();
+  }
+
+  // ---- Partition-sequential shape (device store, §3) ----------------------
+
+  void RunIterationPartitionSequential(Algo& algo, IterationStats& iter)
+    requires(!Store::kPartitionParallel)
+  {
+    const PartitionLayout& layout = store_.layout();
+    ThreadPool& pool = store_.pool();
+
+    // ---- Merged scatter/shuffle phase: scatter accumulates into the
+    // store's fill buffer; the store spills (shuffle + async chunk writes)
+    // whenever a chunk's worst-case output may not fit.
+    ConcurrentAppender appender(store_.fill_span(), sizeof(Update), pool.num_threads());
+    for (uint32_t s = 0; s < layout.num_partitions(); ++s) {
+      if (!store_.all_resident() && layout.Size(s) == 0) {
+        continue;
+      }
+      store_.BeginPartitionScatter(s);
+      const VertexState* state_base =
+          store_.all_resident() ? store_.resident_states() : store_.partition_states();
+      VertexId part_base = store_.all_resident() ? 0 : layout.Begin(s);
+
+      store_.ForEachEdgeChunk(s, [&](const Edge* es, uint64_t n) {
+        if (appender.bytes() + n * sizeof(Update) > store_.buffer_bytes()) {
+          store_.SpillUpdates(algo, appender);
+          appender.Reset();  // scatter continues into the drained fill buffer
+        }
+        std::atomic<uint64_t> local_wasted{0};
+        pool.ParallelForTid(0, n, 2048, [&](int tid, uint64_t lo, uint64_t hi) {
+          uint64_t w = ScatterSpan(algo, es + lo, hi - lo, state_base, part_base, tid, appender);
+          local_wasted.fetch_add(w, std::memory_order_relaxed);
+        });
+        appender.FlushAll();
+        iter.edges_streamed += n;
+        iter.wasted_edges += local_wasted.load();
+      });
+      store_.EndPartitionScatter(algo, appender);
+    }
+
+    // End of scatter: either keep the whole update set in memory (§3.2
+    // optimization 2) or spill the tail like any other buffer, then drain
+    // the outstanding writes.
+    auto plan = store_.FinishScatter(algo, appender);
+    // Drained updates were removed from the buffer before the tail count,
+    // but they were generated (and gathered) all the same. A spilled tail is
+    // already inside spilled_updates(); only a memory-resident tail needs
+    // adding on top.
+    iter.updates_generated = store_.spilled_updates() + store_.drained_updates() +
+                             (plan.memory_gather ? plan.tail_records : 0);
+    iter.updates_absorbed = store_.absorbed_updates() + store_.drained_updates();
+
+    // ---- Gather phase. Absorbed updates already mutated their partition's
+    // stored state during scatter; count them with the file/memory gathers.
+    std::atomic<uint64_t> changed{store_.absorbed_changed()};
+    for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+      if (layout.Size(p) == 0) {
+        continue;
+      }
+      store_.BeginPartitionGather(p);
+      VertexState* state_base =
+          store_.all_resident() ? store_.resident_states() : store_.partition_states();
+      VertexId part_base = store_.all_resident() ? 0 : layout.Begin(p);
+
+      if (plan.memory_gather) {
+        if (plan.tail_records > 0) {
+          for (const auto& slice : plan.resident.slices) {
+            const ChunkRef& c = slice[p];
+            if (c.count > 0) {
+              GatherChunk(algo, plan.resident.data + c.begin, c.count, state_base, part_base,
+                          p, plan.tmp_a, plan.tmp_b, changed);
+            }
+          }
+        }
+      } else {
+        store_.ForEachUpdateChunk(p, [&](const Update* us, uint64_t count) {
+          GatherChunk(algo, us, count, state_base, part_base, p, plan.tmp_a, plan.tmp_b,
+                      changed);
+        });
+      }
+
+      if constexpr (HasEndVertex<Algo>) {
+        VertexId base = layout.Begin(p);
+        pool.ParallelFor(0, layout.Size(p), 4096, [&](uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) {
+            algo.EndVertex(layout.OriginalId(base + i), state_base[base + i - part_base]);
+          }
+        });
+      }
+      store_.EndPartitionGather(p, plan.memory_gather);
+    }
+    store_.FinishGather(plan.memory_gather);
+    iter.vertices_changed = changed.load();
+  }
+
+  // Gathers one loaded chunk of updates. With multiple threads the chunk is
+  // first sub-partitioned by destination (the §4.3 layering) so threads
+  // gather disjoint vertex ranges without synchronization. tmp_a/tmp_b must
+  // not alias `us`.
+  void GatherChunk(Algo& algo, const Update* us, uint64_t count, VertexState* state_base,
+                   VertexId part_base, uint32_t p, Update* tmp_a, Update* tmp_b,
+                   std::atomic<uint64_t>& changed) {
+    const PartitionLayout& layout = store_.layout();
+    ThreadPool& pool = store_.pool();
+    if (pool.num_threads() == 1 || count < 4096) {
+      uint64_t local = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        if (algo.Gather(state_base[layout.DenseId(us[i].dst) - part_base], us[i])) {
+          ++local;
+        }
+      }
+      changed.fetch_add(local, std::memory_order_relaxed);
+      return;
+    }
+    uint32_t sub_k = RoundUpPow2(static_cast<uint64_t>(pool.num_threads()) * 4);
+    uint64_t part_size = std::max<uint64_t>(1, layout.Size(p));
+    uint64_t sub_span = (part_size + sub_k - 1) / sub_k;
+    VertexId begin = layout.Begin(p);
+    std::memcpy(tmp_a, us, count * sizeof(Update));
+    auto sub = ShuffleRecords(pool, tmp_a, tmp_b, count, sub_k, sub_k, [&](const Update& u) {
+      return static_cast<uint32_t>((layout.DenseId(u.dst) - begin) / sub_span);
+    });
+    std::atomic<uint32_t> next{0};
+    pool.RunOnAll([&](int) {
+      uint64_t local = 0;
+      for (;;) {
+        uint32_t sp = next.fetch_add(1, std::memory_order_relaxed);
+        if (sp >= sub_k) {
+          break;
+        }
+        for (const auto& slice : sub.slices) {
+          const ChunkRef& c = slice[sp];
+          const Update* rec = sub.data + c.begin;
+          for (uint64_t i = 0; i < c.count; ++i) {
+            if (algo.Gather(state_base[layout.DenseId(rec[i].dst) - part_base], rec[i])) {
+              ++local;
+            }
+          }
+        }
+      }
+      changed.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  Store& store_;
+  PhaseDriverOptions opts_;
+  WorkStealingQueues queues_;
+  RunStats stats_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_PHASE_RUNTIME_H_

@@ -48,6 +48,14 @@ struct RunStats {
   // Total bytes appended to update files over the run: the scatter->gather
   // traffic the streaming partitioner is trying to shrink (fig 27).
   uint64_t update_file_bytes = 0;
+  // Update-file bytes submitted to the device's I/O thread without waiting
+  // for completion (§3.3 compute/write overlap; fig 28). Zero when the
+  // engine runs with async_spill off or never spills.
+  uint64_t async_spill_bytes = 0;
+  // Wall time the scatter path spent blocked on earlier spill writes (buffer
+  // reuse waits plus the end-of-scatter drain). The overlap the async spill
+  // pipeline buys shows up as this number shrinking.
+  double spill_wait_seconds = 0.0;
 
   std::vector<IterationStats> per_iteration;
 

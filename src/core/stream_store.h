@@ -1,0 +1,750 @@
+// StreamStore: where a streaming computation's edge streams, update streams
+// and vertex state physically live.
+//
+// X-Stream's scatter-shuffle-gather loop (paper §3, §4) is the same whether
+// the streams sit in RAM or on storage devices; only the residency mechanics
+// differ. The StreamingPhaseDriver (core/phase_runtime.h) owns the loop and
+// is parameterized over one of the two stores here:
+//
+//  * MemoryStreamStore — the in-memory engine's substrate (§4): three stream
+//    buffers sized for the whole edge/update list, edges pre-shuffled into
+//    per-partition chunks once at setup, all vertex state resident in one
+//    dense-ordered array. Never spills.
+//  * DeviceStreamStore — the out-of-core engine's substrate (§3): one edge,
+//    update and vertex file per streaming partition on StorageDevices,
+//    chunked StreamReader input, and a spill path that shuffles a filled
+//    output buffer and appends the per-partition chunks to the update files
+//    on the device's I/O thread. Spill writes are double-buffered: the
+//    shuffle of batch k+1 runs while the write of batch k is in flight
+//    (§3.3 "writes to disk of the chunks in one output buffer are
+//    overlapped with computing ... into another output buffer"), waiting
+//    only when a shuffle destination buffer is still owned by the write two
+//    batches back. `async_spill = false` degrades to a fully synchronous
+//    spill (the fig28 baseline).
+//
+// The common surface the driver relies on is captured by the StreamStoreFor
+// concept below; the phase-shape extensions (partition-parallel scatter for
+// the memory store, sequential partition streaming with spills for the
+// device store) are selected by the store's kPartitionParallel trait.
+#ifndef XSTREAM_CORE_STREAM_STORE_H_
+#define XSTREAM_CORE_STREAM_STORE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "buffers/shuffler.h"
+#include "buffers/stream_buffer.h"
+#include "core/algorithm.h"
+#include "core/partition.h"
+#include "core/stats.h"
+#include "graph/types.h"
+#include "storage/device.h"
+#include "storage/io_executor.h"
+#include "storage/stream_io.h"
+#include "threads/concurrent_appender.h"
+#include "threads/thread_pool.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+// The store surface the driver's residency-generic code (vertex iteration,
+// checkpointing, gather targets) is written against. Phase-shape specifics
+// are intentionally outside the concept: the driver selects them with
+// `if constexpr (Store::kPartitionParallel)`.
+template <typename S>
+concept StreamStoreFor = requires(S s, const S cs, uint32_t p, RunStats stats) {
+  typename S::VertexState;
+  typename S::Update;
+  { S::kPartitionParallel } -> std::convertible_to<bool>;
+  { s.pool() } -> std::same_as<ThreadPool&>;
+  { cs.layout() } -> std::same_as<const PartitionLayout&>;
+  { cs.all_resident() } -> std::convertible_to<bool>;
+  { s.resident_states() } -> std::same_as<typename S::VertexState*>;
+  { s.partition_states() } -> std::same_as<typename S::VertexState*>;
+  { s.LoadPartition(p) } -> std::same_as<void>;
+  { s.StorePartition(p) } -> std::same_as<void>;
+  { s.BindStats(&stats) } -> std::same_as<void>;
+  { s.BeginIteration() } -> std::same_as<void>;
+};
+
+// ---------------------------------------------------------------------------
+// MemoryStreamStore: chunked in-RAM edge/update streams (paper §4).
+//
+// Exactly three stream buffers, each big enough for the edge list or the
+// worst-case update list (one update per edge): one holds the partitioned
+// edges, one collects generated updates, one is shuffle scratch.
+template <EdgeCentricAlgorithm Algo>
+class MemoryStreamStore {
+ public:
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+  // Partitions are cache-sized and many: scatter/gather parallelize across
+  // partitions with work stealing (§4.1).
+  static constexpr bool kPartitionParallel = true;
+
+  // Loads the unordered edges into buffer 0 and shuffles them into
+  // per-partition chunks; this replaces the sort+index pre-processing of
+  // traditional engines and is charged to setup time by the engine facade.
+  MemoryStreamStore(ThreadPool& pool, PartitionLayout layout, uint32_t shuffle_fanout,
+                    const EdgeList& edges)
+      : pool_(pool), layout_(std::move(layout)) {
+    size_t record = std::max(sizeof(Edge), sizeof(Update));
+    size_t capacity = std::max<size_t>(1, edges.size()) * record;
+    for (auto& buf : buffers_) {
+      buf = StreamBuffer(capacity);
+    }
+    if (!edges.empty()) {
+      std::memcpy(buffers_[0].data(), edges.data(), edges.size() * sizeof(Edge));
+    }
+    edge_chunks_ = ShuffleRecords(pool_, buffers_[0].template records<Edge>(),
+                                  buffers_[1].template records<Edge>(), edges.size(),
+                                  layout_.num_partitions(), shuffle_fanout,
+                                  [this](const Edge& e) { return layout_.PartitionOf(e.src); });
+    // Whichever buffer the edges landed in becomes the stable edge buffer;
+    // the other two serve as the update and shuffle buffers.
+    if (edge_chunks_.data == buffers_[0].template records<Edge>()) {
+      update_buf_ = &buffers_[1];
+    } else {
+      update_buf_ = &buffers_[0];
+    }
+    scratch_buf_ = &buffers_[2];
+    states_.resize(layout_.num_vertices());
+  }
+
+  ThreadPool& pool() { return pool_; }
+  const PartitionLayout& layout() const { return layout_; }
+
+  // Vertex residency: everything lives in one array in the layout's dense
+  // order, so each partition's states stay contiguous.
+  bool all_resident() const { return true; }
+  VertexState* resident_states() { return states_.data(); }
+  const VertexState* resident_states() const { return states_.data(); }
+  std::vector<VertexState>& states() { return states_; }
+  const std::vector<VertexState>& states() const { return states_; }
+  // Partition-residency interface, never reached when all_resident().
+  VertexState* partition_states() { return nullptr; }
+  void LoadPartition(uint32_t) { XS_CHECK(false) << "memory store is fully resident"; }
+  void StorePartition(uint32_t) { XS_CHECK(false) << "memory store is fully resident"; }
+
+  void BindStats(RunStats*) {}
+  void BeginIteration() {}
+
+  // Scatter inputs: the setup shuffle's per-slice, per-partition chunks.
+  const ShuffleOutput<Edge>& edge_chunks() const { return edge_chunks_; }
+
+  // Scatter output: the shared append target, sized for one update per edge.
+  std::span<std::byte> update_append_span() { return update_buf_->span(); }
+  Update* update_records() { return update_buf_->template records<Update>(); }
+  Update* scratch_records() { return scratch_buf_->template records<Update>(); }
+
+  // Keeps buffer roles consistent after the driver's update shuffle: the
+  // buffer the updates ended in is consumed by gather, then becomes scratch;
+  // the other is the next append target.
+  void CommitUpdateShuffle(const ShuffleOutput<Update>& shuffled) {
+    if (shuffled.data == scratch_buf_->template records<Update>()) {
+      std::swap(update_buf_, scratch_buf_);
+    }
+  }
+
+ private:
+  ThreadPool& pool_;
+  PartitionLayout layout_;
+  StreamBuffer buffers_[3];
+  StreamBuffer* update_buf_ = nullptr;
+  StreamBuffer* scratch_buf_ = nullptr;
+  ShuffleOutput<Edge> edge_chunks_;
+  std::vector<VertexState> states_;
+};
+
+// ---------------------------------------------------------------------------
+// DeviceStreamStore: per-partition edge/update/vertex files on storage
+// devices (paper §3), with the folded shuffle-spill path.
+
+struct DeviceStoreOptions {
+  uint64_t memory_budget_bytes = 64ull << 20;
+  size_t io_unit_bytes = 1 << 20;
+  bool allow_vertex_memory_opt = true;
+  bool allow_update_memory_opt = true;
+  bool eager_update_truncate = true;
+  bool absorb_local_updates = true;
+  // Double-buffered asynchronous spill writes (§3.3). Off = each spill
+  // waits for its own update-file write (the fig28 sync baseline).
+  bool async_spill = true;
+  std::string file_prefix = "xs";
+};
+
+template <EdgeCentricAlgorithm Algo>
+class DeviceStreamStore {
+ public:
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+  using Options = DeviceStoreOptions;
+  // Partitions stream sequentially (one loaded at a time); parallelism is
+  // inside each loaded chunk (§4.3 layering).
+  static constexpr bool kPartitionParallel = false;
+
+  // Devices may all be the same object (single disk), split between edges
+  // and updates (the Fig 15 "independent disks" configuration), or RAID-0
+  // wrappers. `input_edge_file` must exist on `edge_dev`.
+  DeviceStreamStore(ThreadPool& pool, PartitionLayout layout, const Options& opts,
+                    StorageDevice& edge_dev, StorageDevice& update_dev,
+                    StorageDevice& vertex_dev, const std::string& input_edge_file)
+      : pool_(pool),
+        layout_(std::move(layout)),
+        opts_(opts),
+        edge_dev_(edge_dev),
+        update_dev_(update_dev),
+        vertex_dev_(vertex_dev) {
+    uint32_t k = layout_.num_partitions();
+    uint64_t vertex_bytes = layout_.num_vertices() * sizeof(VertexState);
+
+    // §3.2 optimization 1: memory-resident vertex array when it fits in half
+    // the budget (the other half belongs to the stream buffers).
+    vertices_in_memory_ =
+        opts_.allow_vertex_memory_opt && vertex_bytes <= opts_.memory_budget_bytes / 2;
+
+    // Stream buffer capacity: S bytes per partition chunk (§3.4), with a
+    // floor of twice the worst-case updates of one loaded edge chunk so a
+    // single chunk's scatter output always fits.
+    size_t record = std::max(sizeof(Edge), sizeof(Update));
+    uint64_t chunk_edges = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge));
+    uint64_t floor_bytes = 2 * chunk_edges * sizeof(Update);
+    buffer_bytes_ =
+        std::max<uint64_t>(static_cast<uint64_t>(opts_.io_unit_bytes) * k, floor_bytes);
+    buffer_bytes_ = std::max<uint64_t>(buffer_bytes_, record * 1024);
+    fill_ = StreamBuffer(buffer_bytes_);
+    alt_[0] = StreamBuffer(buffer_bytes_);
+    alt_[1] = StreamBuffer(buffer_bytes_);
+
+    // Create the per-partition files.
+    edge_files_.resize(k);
+    update_files_.resize(k);
+    vertex_files_.resize(k);
+    edge_counts_.assign(k, 0);
+    for (uint32_t p = 0; p < k; ++p) {
+      edge_files_[p] = edge_dev_.Create(PartFile("edges", p));
+      update_files_[p] = update_dev_.Create(PartFile("updates", p));
+      if (!vertices_in_memory_) {
+        vertex_files_[p] = vertex_dev_.Create(PartFile("vertices", p));
+      }
+    }
+    if (vertices_in_memory_) {
+      // Indexed in the layout's dense order (== original ids in range mode)
+      // so each partition's states stay contiguous.
+      mem_states_.resize(layout_.num_vertices());
+    } else {
+      part_states_.resize(layout_.MaxPartitionSize());
+      if (opts_.absorb_local_updates) {
+        shadow_states_.resize(layout_.MaxPartitionSize());
+      }
+      // Materialize zero-initialized vertex files so the first VertexMap /
+      // scatter can load them before any algorithm Init ran.
+      std::fill(part_states_.begin(), part_states_.end(), VertexState{});
+      for (uint32_t p = 0; p < k; ++p) {
+        if (layout_.Size(p) > 0) {
+          StorePartitionFrom(p, part_states_.data());
+        }
+      }
+    }
+
+    // Device baselines: sim_io_seconds reports busy time accrued from here
+    // on, which includes the input-partitioning pass below (X-Stream
+    // charges its own pre-processing to the run).
+    CaptureDeviceBaselines();
+    PartitionInputEdges(input_edge_file);
+  }
+
+  ThreadPool& pool() { return pool_; }
+  const PartitionLayout& layout() const { return layout_; }
+  uint64_t buffer_bytes() const { return buffer_bytes_; }
+  bool vertices_in_memory() const { return vertices_in_memory_; }
+
+  bool all_resident() const { return vertices_in_memory_; }
+  VertexState* resident_states() { return mem_states_.data(); }
+  VertexState* partition_states() { return part_states_.data(); }
+
+  void LoadPartition(uint32_t p) {
+    uint64_t n = layout_.Size(p);
+    vertex_dev_.Read(vertex_files_[p], 0,
+                     std::span<std::byte>(reinterpret_cast<std::byte*>(part_states_.data()),
+                                          n * sizeof(VertexState)));
+  }
+
+  void StorePartition(uint32_t p) { StorePartitionFrom(p, part_states_.data()); }
+
+  void BindStats(RunStats* stats) { stats_ = stats; }
+
+  void BeginIteration() {
+    spilled_ = false;
+    spilled_updates_ = 0;
+    absorbed_updates_ = 0;
+    drained_updates_ = 0;
+    absorbed_changed_ = 0;
+    drain_watermark_ = 0;
+  }
+
+  // Names of the per-partition edge files, for partitioned semi-streaming
+  // runs (RunSemiStreamingPartitioned) over this store.
+  std::vector<std::string> EdgeFileNames() const {
+    std::vector<std::string> names;
+    names.reserve(layout_.num_partitions());
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      names.push_back(PartFile("edges", p));
+    }
+    return names;
+  }
+
+  // ---- Scatter side -------------------------------------------------------
+
+  // The shared append target for scatter output. Unlike the §3.3 sketch the
+  // fill buffer is stable: spills consume it synchronously (the shuffle runs
+  // on the compute threads), so only the shuffle *destinations* alternate.
+  std::span<std::byte> fill_span() { return fill_.span(); }
+
+  // Loads partition s's states and arms local-update absorption: spills
+  // gather s-destined updates into a shadow next-state while scatter keeps
+  // reading the pre-iteration states.
+  void BeginPartitionScatter(uint32_t s) {
+    if (vertices_in_memory_) {
+      return;
+    }
+    LoadPartition(s);
+    if (opts_.absorb_local_updates) {
+      std::memcpy(shadow_states_.data(), part_states_.data(),
+                  layout_.Size(s) * sizeof(VertexState));
+      shadow_dirty_ = false;
+      absorb_partition_ = s;
+    }
+  }
+
+  // Streams partition s's edge file in I/O-unit chunks (prefetch distance 1
+  // via StreamReader double-buffering).
+  template <typename F>
+  void ForEachEdgeChunk(uint32_t s, F&& f) {
+    uint64_t chunk_edges = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge));
+    StreamReader reader(edge_dev_, edge_files_[s], chunk_edges * sizeof(Edge));
+    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+      f(reinterpret_cast<const Edge*>(chunk.data()), chunk.size() / sizeof(Edge));
+    }
+  }
+
+  // In-memory shuffle of the filled output buffer + asynchronous appends of
+  // the per-partition chunks to the update files (the folded shuffle phase,
+  // Fig 6). Destination buffers alternate so the shuffle of this batch
+  // overlaps the write of the previous one; the only wait is for the write
+  // two batches back, which still owns the destination about to be reused.
+  //
+  // When a scatter partition is active (absorb_partition_), its own chunks
+  // are gathered straight into its shadow next-state here — synchronously,
+  // before the async write is submitted, so the writer thread and this
+  // thread only ever read the shuffled buffer — and never reach its update
+  // file. The caller must Reset() the appender afterwards.
+  void SpillUpdates(Algo& algo, ConcurrentAppender& appender) {
+    appender.FlushAll();
+    uint64_t n = appender.records();
+    if (n == 0) {
+      return;
+    }
+    int slot = write_slot_;
+    WaitWriteSlot(slot);
+    spilled_ = true;
+    spilled_updates_ += n;
+    drain_watermark_ = 0;  // the fill buffer is fresh after this returns
+
+    Update* src = fill_.template records<Update>();
+    Update* dst = alt_[slot].template records<Update>();
+    ShuffleOutput<Update> shuffled;
+    if (layout_.num_partitions() == 1) {
+      // ShuffleRecords would leave a single partition's records in place in
+      // the fill buffer, which scatter immediately overwrites; stage them
+      // into the destination buffer so the async write owns private memory.
+      std::memcpy(dst, src, n * sizeof(Update));
+      shuffled.data = dst;
+      shuffled.num_partitions = 1;
+      shuffled.slices = {{ChunkRef{0, n}}};
+    } else {
+      shuffled = ShuffleRecords(pool_, src, dst, n, layout_.num_partitions(),
+                                layout_.num_partitions(),
+                                [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+      XS_CHECK(shuffled.data == dst);  // single-stage shuffle, K > 1
+    }
+
+    const uint32_t absorb = absorb_partition_;
+    if (absorb != kNoAbsorbPartition) {
+      VertexId part_base = layout_.Begin(absorb);
+      uint64_t absorbed = 0;
+      for (const auto& slice : shuffled.slices) {
+        const ChunkRef& c = slice[absorb];
+        const Update* rec = shuffled.data + c.begin;
+        for (uint64_t i = 0; i < c.count; ++i) {
+          if (algo.Gather(shadow_states_[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
+            ++absorbed_changed_;
+          }
+        }
+        absorbed += c.count;
+      }
+      if (absorbed > 0) {
+        shadow_dirty_ = true;
+        absorbed_updates_ += absorbed;
+      }
+    }
+
+    uint64_t submitted_bytes = 0;
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      if (p == absorb) {
+        continue;
+      }
+      for (const auto& slice : shuffled.slices) {
+        submitted_bytes += slice[p].count * sizeof(Update);
+      }
+    }
+    stats_->update_file_bytes += submitted_bytes;
+
+    const Update* data = shuffled.data;
+    auto slices =
+        std::make_shared<std::vector<std::vector<ChunkRef>>>(std::move(shuffled.slices));
+    pending_write_[slot] = update_dev_.executor().Submit([this, data, slices, absorb] {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        if (p == absorb) {
+          continue;  // gathered into the shadow above
+        }
+        for (const auto& slice : *slices) {
+          const ChunkRef& c = slice[p];
+          if (c.count > 0) {
+            update_dev_.Append(update_files_[p],
+                               std::span<const std::byte>(
+                                   reinterpret_cast<const std::byte*>(data + c.begin),
+                                   c.count * sizeof(Update)));
+          }
+        }
+      }
+    });
+    write_slot_ ^= 1;
+    if (opts_.async_spill) {
+      stats_->async_spill_bytes += submitted_bytes;
+    } else {
+      WaitWriteSlot(slot);
+    }
+  }
+
+  // Drain: s-destined updates still sitting in the append buffer are
+  // gathered now, while s's shadow is live — one compaction scan, no
+  // shuffle. Spill-time absorption alone misses them whenever a partition's
+  // scatter output fits the buffer (the common case for high-locality
+  // mappings, whose updates are mostly s->s). Only records appended since
+  // the last drain are scanned (survivors of an earlier drain targeted a
+  // partition != its s; rescanning them at every later partition would cost
+  // O(k x buffer) per iteration) — absorption is opportunistic, so skipping
+  // them is merely fewer absorbed updates, never a correctness issue.
+  void EndPartitionScatter(Algo& algo, ConcurrentAppender& appender) {
+    if (absorb_partition_ == kNoAbsorbPartition) {
+      return;
+    }
+    uint32_t s = absorb_partition_;
+    appender.FlushAll();
+    uint64_t buffered = appender.records();
+    Update* buf = fill_.template records<Update>();
+    VertexId drain_base = layout_.Begin(s);
+    uint64_t kept = drain_watermark_;
+    for (uint64_t i = drain_watermark_; i < buffered; ++i) {
+      if (layout_.PartitionOf(buf[i].dst) == s) {
+        if (algo.Gather(shadow_states_[layout_.DenseId(buf[i].dst) - drain_base], buf[i])) {
+          ++absorbed_changed_;
+        }
+      } else {
+        buf[kept++] = buf[i];
+      }
+    }
+    if (kept < buffered) {
+      appender.Rewind(kept * sizeof(Update));
+      drained_updates_ += buffered - kept;
+      shadow_dirty_ = true;
+    }
+    drain_watermark_ = kept;
+    // Absorbed updates became part of s's next state: persist them so the
+    // gather phase reloads them along with the vertex file.
+    if (shadow_dirty_) {
+      StorePartitionFrom(s, shadow_states_.data());
+    }
+    absorb_partition_ = kNoAbsorbPartition;
+  }
+
+  // ---- Scatter -> gather transition ---------------------------------------
+
+  // How the gather phase will consume the updates this iteration.
+  struct GatherPlan {
+    // §3.2 optimization 2: nothing was spilled, the whole update set stays
+    // in memory and never touches storage.
+    bool memory_gather = false;
+    uint64_t tail_records = 0;
+    ShuffleOutput<Update> resident;  // when memory_gather && tail_records > 0
+    // Scratch for the gather sub-shuffle, chosen to never alias the
+    // resident updates (or, in the file path, the reader's buffers).
+    Update* tmp_a = nullptr;
+    Update* tmp_b = nullptr;
+  };
+
+  // End of scatter: either keep the whole update set in memory or spill the
+  // tail like any other buffer, then drain every outstanding write (errors
+  // raised on the I/O thread propagate from here).
+  GatherPlan FinishScatter(Algo& algo, ConcurrentAppender& appender) {
+    GatherPlan plan;
+    appender.FlushAll();
+    plan.tail_records = appender.records();
+    plan.memory_gather = !spilled_ && opts_.allow_update_memory_opt;
+    if (plan.memory_gather) {
+      if (plan.tail_records > 0) {
+        plan.resident = ShuffleRecords(
+            pool_, fill_.template records<Update>(), alt_[0].template records<Update>(),
+            plan.tail_records, layout_.num_partitions(), layout_.num_partitions(),
+            [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+      }
+    } else if (plan.tail_records > 0) {
+      SpillUpdates(algo, appender);
+    }
+    WaitAllWrites();
+
+    if (plan.memory_gather && plan.resident.data == alt_[0].template records<Update>()) {
+      plan.tmp_a = fill_.template records<Update>();
+      plan.tmp_b = alt_[1].template records<Update>();
+    } else if (plan.memory_gather && plan.tail_records > 0) {
+      // Single-partition shuffle left the records in place in the fill
+      // buffer.
+      plan.tmp_a = alt_[0].template records<Update>();
+      plan.tmp_b = alt_[1].template records<Update>();
+    } else {
+      plan.tmp_a = fill_.template records<Update>();
+      plan.tmp_b = alt_[0].template records<Update>();
+    }
+    return plan;
+  }
+
+  // ---- Gather side --------------------------------------------------------
+
+  void BeginPartitionGather(uint32_t p) {
+    if (!vertices_in_memory_) {
+      LoadPartition(p);
+    }
+  }
+
+  // Streams partition p's update file in I/O-unit chunks.
+  template <typename F>
+  void ForEachUpdateChunk(uint32_t p, F&& f) {
+    uint64_t chunk_updates = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Update));
+    StreamReader reader(update_dev_, update_files_[p], chunk_updates * sizeof(Update));
+    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+      f(reinterpret_cast<const Update*>(chunk.data()), chunk.size() / sizeof(Update));
+    }
+  }
+
+  void EndPartitionGather(uint32_t p, bool memory_gather) {
+    if (!vertices_in_memory_) {
+      StorePartition(p);
+    }
+    // The update stream is consumed: destroy it (truncation = TRIM, §3.3).
+    if (!memory_gather && opts_.eager_update_truncate) {
+      update_dev_.Truncate(update_files_[p], 0);
+    }
+    // Track peak update-file occupancy for the TRIM ablation.
+    uint64_t occupancy = 0;
+    for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
+      occupancy += update_dev_.FileSize(update_files_[q]);
+    }
+    stats_->peak_update_bytes = std::max(stats_->peak_update_bytes, occupancy);
+  }
+
+  void FinishGather(bool memory_gather) {
+    if (!memory_gather && !opts_.eager_update_truncate) {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        update_dev_.Truncate(update_files_[p], 0);
+      }
+    }
+  }
+
+  // Per-iteration accounting consumed by the driver's stats folding.
+  uint64_t spilled_updates() const { return spilled_updates_; }
+  uint64_t drained_updates() const { return drained_updates_; }
+  uint64_t absorbed_updates() const { return absorbed_updates_; }
+  uint64_t absorbed_changed() const { return absorbed_changed_; }
+
+  // ---- Ingest / setup -----------------------------------------------------
+
+  // Appends more raw edges to the partitioned store (the Fig 17 ingest
+  // path): each batch goes through the same in-memory shuffle and is
+  // appended to the per-partition edge files.
+  void IngestEdges(const EdgeList& batch) {
+    for (const Edge& e : batch) {
+      XS_CHECK_LT(e.src, layout_.num_vertices());
+      XS_CHECK_LT(e.dst, layout_.num_vertices());
+    }
+    uint64_t capacity_edges = buffer_bytes_ / sizeof(Edge);
+    uint64_t done = 0;
+    while (done < batch.size()) {
+      uint64_t n = std::min<uint64_t>(capacity_edges, batch.size() - done);
+      std::memcpy(fill_.data(), batch.data() + done, n * sizeof(Edge));
+      ShuffleAndAppendEdges(n);
+      done += n;
+    }
+  }
+
+  // ---- Device statistics --------------------------------------------------
+
+  void CaptureDeviceBaselines() {
+    baselines_.clear();
+    for (StorageDevice* dev : UniqueDevices()) {
+      baselines_[dev] = dev->stats();
+    }
+  }
+
+  void CollectDeviceStats(RunStats& stats) {
+    stats.sim_io_seconds = 0;
+    stats.bytes_read = 0;
+    stats.bytes_written = 0;
+    for (StorageDevice* dev : UniqueDevices()) {
+      DeviceStats s = dev->stats();
+      DeviceStats base;  // zero if the device was attached after baselining
+      auto it = baselines_.find(dev);
+      if (it != baselines_.end()) {
+        base = it->second;
+      }
+      stats.sim_io_seconds = std::max(stats.sim_io_seconds, s.busy_seconds - base.busy_seconds);
+      stats.bytes_read += s.bytes_read - base.bytes_read;
+      stats.bytes_written += s.bytes_written - base.bytes_written;
+    }
+  }
+
+ private:
+  std::string PartFile(const char* kind, uint32_t p) const {
+    return opts_.file_prefix + "." + kind + "." + std::to_string(p);
+  }
+
+  void StorePartitionFrom(uint32_t p, const VertexState* states) {
+    uint64_t n = layout_.Size(p);
+    vertex_dev_.Write(vertex_files_[p], 0,
+                      std::span<const std::byte>(reinterpret_cast<const std::byte*>(states),
+                                                 n * sizeof(VertexState)));
+  }
+
+  // Setup: stream the unordered input file, shuffle each loaded stretch by
+  // source partition, append chunks to the per-partition edge files (§3.2).
+  void PartitionInputEdges(const std::string& input_edge_file) {
+    FileId input = edge_dev_.Open(input_edge_file);
+    size_t read_chunk =
+        std::max<size_t>(sizeof(Edge), opts_.io_unit_bytes / sizeof(Edge) * sizeof(Edge));
+    StreamReader reader(edge_dev_, input, read_chunk);
+    uint64_t buffered = 0;
+    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+      XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
+      uint64_t n = chunk.size() / sizeof(Edge);
+      if ((buffered + n) * sizeof(Edge) > buffer_bytes_) {
+        ShuffleAndAppendEdges(buffered);
+        buffered = 0;
+      }
+      std::memcpy(fill_.data() + buffered * sizeof(Edge), chunk.data(), chunk.size());
+      buffered += n;
+    }
+    if (buffered > 0) {
+      ShuffleAndAppendEdges(buffered);
+    }
+  }
+
+  // Shuffles `count` edges sitting at the start of the fill buffer by source
+  // partition and appends each partition's spans to its edge file. Only
+  // called at setup/ingest time, when no spill writes are outstanding.
+  void ShuffleAndAppendEdges(uint64_t count) {
+    if (count == 0) {
+      return;
+    }
+    auto shuffled = ShuffleRecords(pool_, fill_.template records<Edge>(),
+                                   alt_[0].template records<Edge>(), count,
+                                   layout_.num_partitions(), layout_.num_partitions(),
+                                   [this](const Edge& e) { return layout_.PartitionOf(e.src); });
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      for (const auto& slice : shuffled.slices) {
+        const ChunkRef& c = slice[p];
+        if (c.count > 0) {
+          edge_dev_.Append(edge_files_[p],
+                           std::span<const std::byte>(
+                               reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
+                               c.count * sizeof(Edge)));
+          edge_counts_[p] += c.count;
+        }
+      }
+    }
+  }
+
+  // Waits for the spill write holding `slot`'s buffer; .get() rather than
+  // .wait() so failures raised on the I/O thread propagate to the caller
+  // instead of being dropped with the future.
+  void WaitWriteSlot(int slot) {
+    if (pending_write_[slot].valid()) {
+      WallTimer timer;
+      pending_write_[slot].get();
+      stats_->spill_wait_seconds += timer.Seconds();
+    }
+  }
+
+  void WaitAllWrites() {
+    WaitWriteSlot(0);
+    WaitWriteSlot(1);
+  }
+
+  std::vector<StorageDevice*> UniqueDevices() {
+    std::set<StorageDevice*> unique{&edge_dev_, &update_dev_, &vertex_dev_};
+    return {unique.begin(), unique.end()};
+  }
+
+  ThreadPool& pool_;
+  PartitionLayout layout_;
+  Options opts_;
+  StorageDevice& edge_dev_;
+  StorageDevice& update_dev_;
+  StorageDevice& vertex_dev_;
+
+  uint64_t buffer_bytes_ = 0;
+  // Scatter output accumulates in fill_; spills shuffle it into alternating
+  // alt_ buffers whose contents the async update-file write owns until the
+  // matching WaitWriteSlot. alt_[0] doubles as shuffle scratch at setup /
+  // ingest / memory-gather time, when no writes are outstanding.
+  StreamBuffer fill_;
+  StreamBuffer alt_[2];
+  std::future<void> pending_write_[2];
+  int write_slot_ = 0;
+
+  bool vertices_in_memory_ = false;
+  std::vector<VertexState> mem_states_;   // when vertices_in_memory_ (dense order)
+  std::vector<VertexState> part_states_;  // one-partition scratch otherwise
+
+  // Local-update absorption (opts_.absorb_local_updates, file-resident
+  // vertices only): shadow next-state of the partition being scattered.
+  static constexpr uint32_t kNoAbsorbPartition = UINT32_MAX;
+  std::vector<VertexState> shadow_states_;
+  uint32_t absorb_partition_ = kNoAbsorbPartition;
+  bool shadow_dirty_ = false;
+
+  std::vector<FileId> edge_files_;
+  std::vector<FileId> update_files_;
+  std::vector<FileId> vertex_files_;
+  std::vector<uint64_t> edge_counts_;
+
+  bool spilled_ = false;
+  uint64_t spilled_updates_ = 0;   // this iteration, via spill shuffles
+  uint64_t absorbed_updates_ = 0;  // this iteration, via spill-time chunks
+  uint64_t drained_updates_ = 0;   // this iteration, via end-of-partition drain
+  uint64_t absorbed_changed_ = 0;  // this iteration
+  uint64_t drain_watermark_ = 0;   // records of fill_ already drain-scanned
+
+  std::map<StorageDevice*, DeviceStats> baselines_;
+  RunStats* stats_ = nullptr;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_STREAM_STORE_H_

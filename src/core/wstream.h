@@ -97,7 +97,7 @@ WStreamStats RunWStream(A& algo, StorageDevice& dev, const std::string& input_fi
         }
         stats.records_read += n;
       }
-      writer.Finish();
+      writer.Close();
       emitted = emitter.count();
       stats.records_written += emitted;
     }

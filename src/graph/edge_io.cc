@@ -18,7 +18,7 @@ void WriteEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& 
   StreamWriter writer(dev, f, kIoChunkBytes);
   writer.Append(std::span<const std::byte>(reinterpret_cast<const std::byte*>(edges.data()),
                                            edges.size() * sizeof(Edge)));
-  writer.Finish();
+  writer.Close();
 }
 
 void AppendEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList& edges) {
@@ -26,7 +26,7 @@ void AppendEdgeFile(StorageDevice& dev, const std::string& file, const EdgeList&
   StreamWriter writer(dev, f, kIoChunkBytes);
   writer.Append(std::span<const std::byte>(reinterpret_cast<const std::byte*>(edges.data()),
                                            edges.size() * sizeof(Edge)));
-  writer.Finish();
+  writer.Close();
 }
 
 EdgeList ReadEdgeFile(StorageDevice& dev, const std::string& file) {

@@ -14,8 +14,21 @@ IoExecutor::~IoExecutor() {
 }
 
 std::future<void> IoExecutor::Submit(std::function<void()> op) {
-  std::packaged_task<void()> task(std::move(op));
+  // The completion count must be visible before the request's future
+  // resolves (waiters read in_flight() right after .get()), so it is bumped
+  // by a guard inside the task, not by the loop after task() returns.
+  std::packaged_task<void()> task([this, op = std::move(op)] {
+    struct Guard {
+      std::atomic<uint64_t>& count;
+      ~Guard() { count.fetch_add(1, std::memory_order_relaxed); }
+    } guard{completed_};
+    op();
+  });
   std::future<void> future = task.get_future();
+  // Count the submission before the task becomes runnable, or a fast I/O
+  // thread could complete it first and in_flight() would transiently
+  // underflow.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

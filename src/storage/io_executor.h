@@ -6,7 +6,9 @@
 #ifndef XSTREAM_STORAGE_IO_EXECUTOR_H_
 #define XSTREAM_STORAGE_IO_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -27,6 +29,13 @@ class IoExecutor {
   // I/O thread. Requests run strictly in FIFO order (one disk head).
   std::future<void> Submit(std::function<void()> op);
 
+  // Requests submitted / finished since construction. The difference is the
+  // in-flight depth: >0 means submitters are successfully overlapping
+  // compute with this device's I/O (the §3.3 pipeline at work).
+  uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  uint64_t in_flight() const { return submitted() - completed(); }
+
  private:
   void Loop();
 
@@ -34,6 +43,8 @@ class IoExecutor {
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   bool shutdown_ = false;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
   std::thread thread_;
 };
 

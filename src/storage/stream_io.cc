@@ -63,7 +63,20 @@ StreamWriter::StreamWriter(StorageDevice& dev, FileId file, size_t buffer_bytes)
   buffers_[1] = AlignedBuffer(buffer_bytes_);
 }
 
-StreamWriter::~StreamWriter() { Finish(); }
+StreamWriter::~StreamWriter() {
+  Finish();
+  if (error_ != nullptr) {
+    try {
+      std::rethrow_exception(error_);
+    } catch (const std::exception& e) {
+      XS_LOG(Error) << "StreamWriter destroyed with unreported write error: " << e.what()
+                    << " (call Close() to propagate write failures)";
+    } catch (...) {
+      XS_LOG(Error) << "StreamWriter destroyed with unreported write error"
+                    << " (call Close() to propagate write failures)";
+    }
+  }
+}
 
 void StreamWriter::Append(std::span<const std::byte> data) {
   XS_CHECK(!finished_);
@@ -79,6 +92,19 @@ void StreamWriter::Append(std::span<const std::byte> data) {
   }
 }
 
+void StreamWriter::Drain(std::future<void>& pending) {
+  if (!pending.valid()) {
+    return;
+  }
+  try {
+    pending.get();
+  } catch (...) {
+    if (error_ == nullptr) {
+      error_ = std::current_exception();
+    }
+  }
+}
+
 void StreamWriter::FlushCurrent() {
   if (used_ == 0) {
     return;
@@ -89,9 +115,7 @@ void StreamWriter::FlushCurrent() {
   used_ = 0;
   current_ ^= 1;
   // Before reusing the other buffer, its previous write must be complete.
-  if (pending_[current_].valid()) {
-    pending_[current_].wait();
-  }
+  Drain(pending_[current_]);
 }
 
 void StreamWriter::Finish() {
@@ -100,11 +124,18 @@ void StreamWriter::Finish() {
   }
   FlushCurrent();
   for (auto& p : pending_) {
-    if (p.valid()) {
-      p.wait();
-    }
+    Drain(p);
   }
   finished_ = true;
+}
+
+void StreamWriter::Close() {
+  Finish();
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace xstream

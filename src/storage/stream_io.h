@@ -56,8 +56,9 @@ class StreamWriter {
  public:
   // Appends to `file` on `dev`, buffering up to `buffer_bytes` per flush.
   StreamWriter(StorageDevice& dev, FileId file, size_t buffer_bytes);
-  // Flushes outstanding data; aborts if Finish() was not called first in
-  // debug-sensitive paths (destructor finishes quietly for convenience).
+  // Finishes quietly: any write error that was never observed via Close()
+  // is logged and swallowed (destructors must not throw). Durable paths —
+  // engine spills, checkpoints, edge-file writes — must call Close() first.
   ~StreamWriter();
 
   StreamWriter(const StreamWriter&) = delete;
@@ -74,13 +75,22 @@ class StreamWriter {
     Append(std::span<const std::byte>(reinterpret_cast<const std::byte*>(&record), sizeof(T)));
   }
 
-  // Flushes any buffered bytes and waits for all writes to complete.
+  // Flushes any buffered bytes and waits for all writes to complete. Errors
+  // raised on the I/O thread are retained, not raised here (legacy quiet
+  // path); call Close() to surface them.
   void Finish();
+
+  // Finish() plus error propagation: rethrows the first exception any
+  // asynchronous write raised on the device's I/O thread. Idempotent; after
+  // a throwing Close() the retained error is cleared.
+  void Close();
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   void FlushCurrent();
+  // Waits for a pending write, retaining (not throwing) its error.
+  void Drain(std::future<void>& pending);
 
   StorageDevice& dev_;
   FileId file_;
@@ -91,6 +101,7 @@ class StreamWriter {
   int current_ = 0;
   uint64_t bytes_written_ = 0;
   bool finished_ = false;
+  std::exception_ptr error_;
 };
 
 }  // namespace xstream

@@ -65,6 +65,9 @@ class ConcurrentAppender {
   size_t bytes() const { return tail_.load(std::memory_order_acquire); }
   size_t records() const { return bytes() / record_size_; }
 
+  // Empties the appender for reuse over the same target — the spill path
+  // calls this after each drained batch so scatter can refill the buffer
+  // without reconstructing the staging slots. Single-threaded, after a join.
   void Reset() {
     tail_.store(0, std::memory_order_release);
     for (auto& slot : slots_) {

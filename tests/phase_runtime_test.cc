@@ -1,0 +1,285 @@
+// The unified phase runtime (core/phase_runtime.h + core/stream_store.h),
+// exercised directly — not through the engine facades — so the driver/store
+// layering is tested as a first-class API. The same algorithms run through
+// MemoryStreamStore and DeviceStreamStore (SimDevice) and must produce
+// identical results against the sequential reference oracles, including on
+// layouts with empty partitions and edge files whose size is not a multiple
+// of the read chunk.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "core/inmem_engine.h"
+#include "core/ooc_engine.h"
+#include "core/phase_runtime.h"
+#include "core/stream_store.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "storage/io_executor.h"
+#include "storage/sim_device.h"
+#include "util/env.h"
+
+namespace xstream {
+namespace {
+
+static_assert(StreamStoreFor<MemoryStreamStore<WccAlgorithm>>);
+static_assert(StreamStoreFor<DeviceStreamStore<WccAlgorithm>>);
+static_assert(MemoryStreamStore<WccAlgorithm>::kPartitionParallel);
+static_assert(!DeviceStreamStore<WccAlgorithm>::kPartitionParallel);
+
+EdgeList TestGraph(uint64_t seed, uint32_t scale = 9) {
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = seed;
+  EdgeList edges = GenerateRmat(params);
+  PermuteEdges(edges, seed + 1);
+  return edges;
+}
+
+// Harness that runs one algorithm through a driver over either store and
+// returns the final vertex states indexed by ORIGINAL id, so results from
+// different layouts compare directly.
+template <EdgeCentricAlgorithm Algo>
+struct RuntimeHarness {
+  // Both stores share one pool per harness.
+  explicit RuntimeHarness(int threads) : pool(threads) {}
+
+  std::vector<typename Algo::VertexState> RunMemory(Algo algo, const EdgeList& edges,
+                                                    PartitionLayout layout,
+                                                    uint64_t max_iters = UINT64_MAX) {
+    MemoryStreamStore<Algo> store(pool, layout, /*shuffle_fanout=*/4, edges);
+    StreamingPhaseDriver<Algo, MemoryStreamStore<Algo>> driver(store, {});
+    stats = driver.Run(algo, max_iters);
+    return Extract(driver, layout);
+  }
+
+  std::vector<typename Algo::VertexState> RunDevice(Algo algo, const EdgeList& edges,
+                                                    PartitionLayout layout,
+                                                    const DeviceStoreOptions& opts,
+                                                    uint64_t max_iters = UINT64_MAX) {
+    SimDevice dev("d", DeviceProfile::Instant());
+    WriteEdgeFile(dev, "input", edges);
+    DeviceStreamStore<Algo> store(pool, layout, opts, dev, dev, dev, "input");
+    StreamingPhaseDriver<Algo, DeviceStreamStore<Algo>> driver(store, {});
+    stats = driver.Run(algo, max_iters);
+    // Executor accounting: every async spill/read request submitted to the
+    // device's I/O thread must have completed once the run returns.
+    EXPECT_GT(dev.executor().submitted(), 0u);
+    EXPECT_EQ(dev.executor().in_flight(), 0u);
+    return Extract(driver, layout);
+  }
+
+  template <typename Driver>
+  std::vector<typename Algo::VertexState> Extract(Driver& driver, const PartitionLayout& layout) {
+    std::vector<typename Algo::VertexState> by_original(layout.num_vertices());
+    driver.VertexMap(
+        [&](VertexId v, typename Algo::VertexState& s) { by_original[v] = s; });
+    return by_original;
+  }
+
+  ThreadPool pool;
+  RunStats stats;
+};
+
+DeviceStoreOptions SmallDeviceOpts(bool spill_heavy = false) {
+  DeviceStoreOptions opts;
+  opts.io_unit_bytes = 16 * 1024;
+  if (spill_heavy) {
+    // Tiny budget + disabled memory optimizations: vertex files, update
+    // spills and multi-chunk gathers all get exercised.
+    opts.allow_vertex_memory_opt = false;
+    opts.allow_update_memory_opt = false;
+  }
+  return opts;
+}
+
+TEST(PhaseRuntimeTest, WccIdenticalAcrossStoresAndMatchesReference) {
+  EdgeList edges = TestGraph(3);
+  GraphInfo info = ScanEdges(edges);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  auto mem = h.RunMemory(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 8));
+  RunStats mem_stats = h.stats;
+  auto dev = h.RunDevice(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 4),
+                         SmallDeviceOpts(true));
+  RunStats dev_stats = h.stats;
+  ASSERT_EQ(mem.size(), dev.size());
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(mem[v].label, expected[v]) << "memory store, vertex " << v;
+    EXPECT_EQ(dev[v].label, expected[v]) << "device store, vertex " << v;
+  }
+  // WCC scatters exactly one update per non-wasted edge, so the accounting
+  // identity must hold on the spill path too (spilled tails must not be
+  // double-counted in updates_generated).
+  EXPECT_EQ(mem_stats.wasted_edges + mem_stats.updates_generated, mem_stats.edges_streamed);
+  EXPECT_EQ(dev_stats.wasted_edges + dev_stats.updates_generated, dev_stats.edges_streamed);
+  EXPECT_GT(dev_stats.update_file_bytes, 0u);  // the run really spilled
+  EXPECT_EQ(mem_stats.updates_generated, dev_stats.updates_generated);
+}
+
+TEST(PhaseRuntimeTest, PageRankIdenticalAcrossStores) {
+  EdgeList edges = TestGraph(5);
+  GraphInfo info = ScanEdges(edges);
+  RuntimeHarness<PageRankAlgorithm> h(2);
+  PageRankAlgorithm algo(info.num_vertices, 5);
+  auto mem = h.RunMemory(algo, edges, PartitionLayout(info.num_vertices, 4), 5);
+  auto dev = h.RunDevice(algo, edges, PartitionLayout(info.num_vertices, 4),
+                         SmallDeviceOpts(true), 5);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_NEAR(mem[v].rank, dev[v].rank, 1e-5) << "vertex " << v;
+  }
+}
+
+TEST(PhaseRuntimeTest, BfsIdenticalAcrossStores) {
+  EdgeList edges = TestGraph(7);
+  GraphInfo info = ScanEdges(edges);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<uint32_t> expected = ReferenceBfsLevels(g, 0);
+  RuntimeHarness<BfsAlgorithm> h(2);
+  auto mem = h.RunMemory(BfsAlgorithm(0), edges, PartitionLayout(info.num_vertices, 8));
+  auto dev = h.RunDevice(BfsAlgorithm(0), edges, PartitionLayout(info.num_vertices, 4),
+                         SmallDeviceOpts());
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(mem[v].level, expected[v]) << "memory store, vertex " << v;
+    EXPECT_EQ(dev[v].level, expected[v]) << "device store, vertex " << v;
+  }
+}
+
+TEST(PhaseRuntimeTest, EmptyPartitionsAreHandledByBothStores) {
+  // 20 vertices across 32 partitions: the tail partitions own no vertices
+  // (and therefore no edges), in both the scatter and gather loops.
+  EdgeList edges = GeneratePath(20, 11);
+  PartitionLayout layout(20, 32);
+  ASSERT_EQ(layout.Size(31), 0u);
+  std::vector<VertexId> expected = ReferenceWcc(edges, 20);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  auto mem = h.RunMemory(WccAlgorithm{}, edges, layout);
+  auto dev = h.RunDevice(WccAlgorithm{}, edges, layout, SmallDeviceOpts(true));
+  for (uint64_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(mem[v].label, expected[v]);
+    EXPECT_EQ(dev[v].label, expected[v]);
+  }
+}
+
+TEST(PhaseRuntimeTest, NonChunkMultipleTailStream) {
+  // Edge count chosen so the per-partition edge files are not a multiple of
+  // the 16 KB read chunk (1365 edges): the StreamReader tail chunk is short
+  // and must still be scattered whole.
+  EdgeList edges = TestGraph(13);
+  edges.resize(edges.size() - edges.size() % 1365 + 7);  // 7 edges past a chunk boundary
+  GraphInfo info = ScanEdges(edges);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+  RuntimeHarness<WccAlgorithm> h(2);
+  auto dev = h.RunDevice(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 3),
+                         SmallDeviceOpts(true));
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(dev[v].label, expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(PhaseRuntimeTest, AsyncAndSyncSpillAgree) {
+  EdgeList edges = TestGraph(17, 10);
+  GraphInfo info = ScanEdges(edges);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  auto opts = SmallDeviceOpts(true);
+  opts.async_spill = true;
+  auto fast = h.RunDevice(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 4), opts);
+  RunStats async_stats = h.stats;
+  opts.async_spill = false;
+  auto slow = h.RunDevice(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 4), opts);
+  RunStats sync_stats = h.stats;
+
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    EXPECT_EQ(fast[v].label, expected[v]);
+    EXPECT_EQ(slow[v].label, expected[v]);
+  }
+  // Both modes spill the same update volume; only the async mode reports
+  // overlapped bytes.
+  EXPECT_GT(async_stats.update_file_bytes, 0u);
+  EXPECT_EQ(async_stats.update_file_bytes, sync_stats.update_file_bytes);
+  EXPECT_EQ(async_stats.async_spill_bytes, async_stats.update_file_bytes);
+  EXPECT_EQ(sync_stats.async_spill_bytes, 0u);
+}
+
+TEST(PhaseRuntimeTest, DriverCheckpointRoundtripAcrossStores) {
+  // A checkpoint written by the device-store driver restores into the
+  // memory-store driver (same layout → same dense order on disk).
+  EdgeList edges = TestGraph(19);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  SimDevice dev("d", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+  DeviceStreamStore<WccAlgorithm> store(h.pool, layout, SmallDeviceOpts(true), dev, dev, dev,
+                                        "input");
+  StreamingPhaseDriver<WccAlgorithm, DeviceStreamStore<WccAlgorithm>> driver(store, {});
+  WccAlgorithm algo;
+  driver.Run(algo);
+  driver.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  MemoryStreamStore<WccAlgorithm> mstore(h.pool, layout, 4, edges);
+  StreamingPhaseDriver<WccAlgorithm, MemoryStreamStore<WccAlgorithm>> mdriver(mstore, {});
+  mdriver.LoadVertexStates(ckpt, "wcc.ckpt");
+
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+  mdriver.VertexMap([&](VertexId v, WccAlgorithm::VertexState& s) {
+    EXPECT_EQ(s.label, expected[v]) << "vertex " << v;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// StreamWriter::Close error propagation (the spill/checkpoint write path).
+
+// A device whose appends start failing on command; exercises error flow from
+// the I/O thread back to the submitting thread.
+class FailingDevice : public SimDevice {
+ public:
+  FailingDevice() : SimDevice("failing", DeviceProfile::Instant()) {}
+
+  uint64_t Append(FileId f, std::span<const std::byte> data) override {
+    if (fail_appends) {
+      throw std::runtime_error("injected append failure");
+    }
+    return SimDevice::Append(f, data);
+  }
+
+  bool fail_appends = false;
+};
+
+TEST(StreamWriterCloseTest, ClosePropagatesAsyncWriteErrors) {
+  FailingDevice dev;
+  FileId f = dev.Create("out");
+  StreamWriter writer(dev, f, 64);
+  std::vector<std::byte> payload(256);
+  writer.Append(payload);  // several async flushes
+  dev.fail_appends = true;
+  writer.Append(payload);
+  EXPECT_THROW(writer.Close(), std::runtime_error);
+  // After a throwing Close the retained error is cleared; destruction is
+  // quiet.
+}
+
+TEST(StreamWriterCloseTest, CloseSucceedsQuietlyOnHealthyDevice) {
+  SimDevice dev("d", DeviceProfile::Instant());
+  FileId f = dev.Create("out");
+  StreamWriter writer(dev, f, 64);
+  std::vector<std::byte> payload(1000);
+  writer.Append(payload);
+  EXPECT_NO_THROW(writer.Close());
+  EXPECT_EQ(dev.FileSize(f), 1000u);
+}
+
+}  // namespace
+}  // namespace xstream
