@@ -7,9 +7,11 @@
 #ifndef XSTREAM_BENCH_BENCH_COMMON_H_
 #define XSTREAM_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/edge_io.h"
@@ -59,6 +61,43 @@ inline EdgeList MakeRmat(uint32_t scale, uint32_t edge_factor, bool undirected, 
   PermuteEdges(edges, seed + 1);
   return edges;
 }
+
+// SimDevice that spends each request's modeled service time on the calling
+// thread. I/O issued through the device's IoExecutor therefore occupies the
+// I/O thread for a realistic wall duration, so compute/I-O overlap effects
+// (the §3.3 async spill, the hybrid engine's avoided device traffic) are
+// measurable and reproducible on any host — a laptop's page cache would
+// absorb buffered writes at memcpy speed and bury them in scheduling noise.
+class WallClockSimDevice : public SimDevice {
+ public:
+  using SimDevice::SimDevice;
+
+  void Read(FileId f, uint64_t offset, std::span<std::byte> out) override {
+    double before = ClockSeconds();
+    SimDevice::Read(f, offset, out);
+    SleepFor(ClockSeconds() - before);
+  }
+
+  void Write(FileId f, uint64_t offset, std::span<const std::byte> data) override {
+    double before = ClockSeconds();
+    SimDevice::Write(f, offset, data);
+    SleepFor(ClockSeconds() - before);
+  }
+
+  uint64_t Append(FileId f, std::span<const std::byte> data) override {
+    double before = ClockSeconds();
+    uint64_t at = SimDevice::Append(f, data);
+    SleepFor(ClockSeconds() - before);
+    return at;
+  }
+
+ private:
+  static void SleepFor(double seconds) {
+    if (seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+};
 
 inline std::vector<int> ThreadSweep(const Options& opts) {
   int max_threads = static_cast<int>(opts.GetInt("max-threads", NumCores() >= 2 ? NumCores() : 1));

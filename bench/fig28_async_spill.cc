@@ -19,9 +19,6 @@
 // optimization disabled so every iteration spills.
 #include "bench_common.h"
 
-#include <chrono>
-#include <thread>
-
 #include "algorithms/pagerank.h"
 #include "core/ooc_engine.h"
 #include "graph/transforms.h"
@@ -29,40 +26,9 @@
 namespace xstream {
 namespace {
 
-// SimDevice that spends each request's modeled service time on the calling
-// thread. I/O issued through the device's IoExecutor therefore occupies the
-// I/O thread for a realistic wall duration, exactly what the §3.3 overlap
+// The wall-clock SSD model lives in bench_common.h (WallClockSimDevice):
+// modeled service time is spent in wall time, exactly what the §3.3 overlap
 // hides — or, in sync-spill mode, fails to hide.
-class WallClockSimDevice : public SimDevice {
- public:
-  using SimDevice::SimDevice;
-
-  void Read(FileId f, uint64_t offset, std::span<std::byte> out) override {
-    double before = ClockSeconds();
-    SimDevice::Read(f, offset, out);
-    SleepFor(ClockSeconds() - before);
-  }
-
-  void Write(FileId f, uint64_t offset, std::span<const std::byte> data) override {
-    double before = ClockSeconds();
-    SimDevice::Write(f, offset, data);
-    SleepFor(ClockSeconds() - before);
-  }
-
-  uint64_t Append(FileId f, std::span<const std::byte> data) override {
-    double before = ClockSeconds();
-    uint64_t at = SimDevice::Append(f, data);
-    SleepFor(ClockSeconds() - before);
-    return at;
-  }
-
- private:
-  static void SleepFor(double seconds) {
-    if (seconds > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    }
-  }
-};
 
 struct BenchResult {
   double wall_seconds = 0.0;       // best-of-reps iteration wall time

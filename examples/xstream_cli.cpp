@@ -16,6 +16,7 @@
 
 #include "algorithms/algorithms.h"
 #include "algorithms/kcores.h"
+#include "core/hybrid_engine.h"
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
@@ -49,12 +50,19 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
   --root=V                  bfs/sssp source (default 0)
   --iterations=N            pagerank/bp rounds (default 5)
   --k=N                     kcore threshold (default 8)
-  --out-of-core             stream from files instead of memory
+  --engine=in-memory|out-of-core|hybrid   (default in-memory)
+  --out-of-core             legacy alias for --engine=out-of-core
     --workdir=<dir>         scratch directory (default: a temp dir)
-    --budget-mb=N           memory budget (default 256)
+    --budget-mb=N           out-of-core working budget, MB (default 256)
     --io-unit-kb=N          I/O unit (default 1024)
     --sync-spill            serialize update-spill writes (default: async,
                             double-buffered on the device I/O thread)
+  --memory-budget=BYTES     hybrid engine: byte budget for pinning hot
+                            partitions in RAM (default: auto-detect, half of
+                            physical memory; 0 pins nothing); requests above
+                            physical memory are clamped with a warning
+    --no-replan             hybrid: freeze the pin set chosen at setup
+                            instead of re-planning between iterations
 )";
 
 EdgeList LoadOrGenerate(const Options& opts) {
@@ -109,10 +117,18 @@ void PrintStats(const RunStats& stats) {
               HumanDuration(stats.RuntimeSeconds()).c_str(),
               HumanDuration(stats.setup_seconds).c_str());
   if (stats.update_file_bytes > 0) {
-    std::printf("spill: %s update-file bytes, %s written async, waited %s on spill writes\n",
+    std::printf("spill: %s update-file bytes, %s written async, waited %s on spill writes, "
+                "%s on gather reads\n",
                 HumanBytes(stats.update_file_bytes).c_str(),
                 HumanBytes(stats.async_spill_bytes).c_str(),
-                HumanDuration(stats.spill_wait_seconds).c_str());
+                HumanDuration(stats.spill_wait_seconds).c_str(),
+                HumanDuration(stats.gather_wait_seconds).c_str());
+  }
+  if (stats.resident_partition_count > 0 || stats.avoided_spill_bytes > 0) {
+    std::printf("residency: %llu partitions pinned (%s accounted), %s device traffic avoided\n",
+                static_cast<unsigned long long>(stats.resident_partition_count),
+                HumanBytes(stats.resident_bytes).c_str(),
+                HumanBytes(stats.avoided_spill_bytes).c_str());
   }
 }
 
@@ -146,13 +162,15 @@ void MaybePrintPartitionStats(const Options& opts, const PartitionLayout& layout
               q.edge_balance);
 }
 
-// Dispatches `run` with a constructed engine of either flavour.
+// Dispatches `run` with a constructed engine of any of the three flavours.
 template <typename Algo, typename Run>
 void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertices, Run&& run) {
   int threads = static_cast<int>(opts.GetInt("threads", 0));
   std::unique_ptr<Partitioner> partitioner = PartitionerFromFlags(opts);
   uint32_t partitions = static_cast<uint32_t>(opts.GetUint("partitions", 0));
-  if (!opts.GetBool("out-of-core", false)) {
+  std::string engine_name =
+      opts.GetString("engine", opts.GetBool("out-of-core", false) ? "out-of-core" : "in-memory");
+  if (engine_name == "in-memory") {
     InMemoryConfig config;
     config.threads = threads;
     config.num_partitions = partitions;
@@ -164,6 +182,10 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     run(engine);
     return;
   }
+  if (engine_name != "out-of-core" && engine_name != "hybrid") {
+    std::fprintf(stderr, "unknown --engine=%s\n%s", engine_name.c_str(), kUsage);
+    std::exit(2);
+  }
   std::unique_ptr<ScratchDir> scratch;
   std::string workdir = opts.GetString("workdir", "");
   if (workdir.empty()) {
@@ -174,6 +196,29 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   WriteEdgeFile(disk, "cli.input", edges);
   GraphInfo info = ScanEdges(edges);
   info.num_vertices = num_vertices;
+  if (engine_name == "hybrid") {
+    HybridConfig config;
+    config.threads = threads;
+    config.streaming_budget_bytes = opts.GetUint("budget-mb", 256) << 20;
+    config.io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
+    config.num_partitions = partitions;
+    config.async_spill = !opts.GetBool("sync-spill", false);
+    config.replan_between_iterations = !opts.GetBool("no-replan", false);
+    config.partitioner = partitioner.get();
+    if (opts.Has("memory-budget")) {
+      config.memory_budget_bytes = opts.GetUint("memory-budget", 0);
+    }
+    HybridEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
+    std::printf("engine: hybrid in %s, %u partitions (%s), pin budget %s, "
+                "%u/%u partitions resident at start\n",
+                workdir.c_str(), engine.num_partitions(),
+                partitioner ? partitioner->name() : "range",
+                HumanBytes(engine.pin_budget_bytes()).c_str(), engine.resident_partitions(),
+                engine.num_partitions());
+    MaybePrintPartitionStats(opts, engine.layout(), edges);
+    run(engine);
+    return;
+  }
   OutOfCoreConfig config;
   config.threads = threads;
   config.memory_budget_bytes = opts.GetUint("budget-mb", 256) << 20;

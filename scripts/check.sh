@@ -5,6 +5,9 @@
 #   1. tier-1: configure, build everything, run the full test suite
 #   2. partition-quality smoke: fig27 at smoke scale, so partitioner and
 #      update-traffic regressions show up as diffable numbers
+#   3. hybrid-residency smoke: fig29 at smoke scale — budget 0 must match
+#      the out-of-core engine, full budget must stop writing update files,
+#      and the runtime curve must stay monotone
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -33,3 +36,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo
 echo "== partition-quality smoke benchmark =="
 "./$BUILD_DIR/fig27_partitioners" --smoke
+
+echo
+echo "== hybrid-residency smoke benchmark =="
+"./$BUILD_DIR/fig29_hybrid_residency" --smoke

@@ -1,0 +1,32 @@
+#include "core/hybrid_store.h"
+
+namespace xstream {
+
+std::vector<PartitionResidencyStats> BuildHybridPlanInputs(
+    const PartitionLayout& layout, size_t vertex_state_bytes, size_t update_bytes,
+    const std::vector<uint64_t>& dst_edge_counts,
+    const std::vector<uint64_t>& local_edge_counts, bool absorb_local_updates) {
+  uint32_t k = layout.num_partitions();
+  XS_CHECK_EQ(dst_edge_counts.size(), size_t{k});
+  XS_CHECK_EQ(local_edge_counts.size(), size_t{k});
+  std::vector<PartitionResidencyStats> inputs(k);
+  for (uint32_t p = 0; p < k; ++p) {
+    uint64_t vbytes = layout.Size(p) * vertex_state_bytes;
+    // Worst case one update per incoming edge: the RAM buffer a pin must be
+    // prepared to hold.
+    uint64_t buffer = dst_edge_counts[p] * update_bytes;
+    // Updates already absorbed into the scatter partition's shadow never hit
+    // the update file, so with absorption on only cross-partition incoming
+    // edges count toward the traffic a pin avoids.
+    uint64_t crossing = absorb_local_updates
+                            ? dst_edge_counts[p] - local_edge_counts[p]
+                            : dst_edge_counts[p];
+    inputs[p].vertex_bytes = vbytes;
+    inputs[p].update_buffer_bytes = buffer;
+    inputs[p].avoided_bytes_per_iteration =
+        PricePinSavings(vbytes, crossing * update_bytes);
+  }
+  return inputs;
+}
+
+}  // namespace xstream

@@ -1,0 +1,454 @@
+// HybridStreamStore: a partially resident StreamStore — the planner-chosen
+// hot partitions live in RAM, the rest stream through the device path.
+//
+// X-Stream's two engines are the endpoints of a residency spectrum: the
+// in-memory engine pins everything, the out-of-core engine pins nothing and
+// pays device speed even when most of the working set would fit in RAM.
+// This store interpolates: a ResidencyPlanner (core/residency.h) solves a
+// byte-budgeted pin set from per-partition locality tallies, and for every
+// pinned partition
+//
+//  * vertex states are held in RAM (vertex-file loads/stores become
+//    memcpys in/out of the pin — the partition "file" is RAM), and
+//  * updates destined to it are appended to an in-RAM buffer during the
+//    spill shuffle instead of being written to — and later read back
+//    from — its update file, exactly the §3.2 memory-gather optimization
+//    applied per partition instead of all-or-nothing.
+//
+// Unpinned partitions keep the full DeviceStreamStore behavior, including
+// local-update absorption and the async double-buffered spill. The
+// StreamingPhaseDriver runs unchanged: this class derives from
+// DeviceStreamStore and *shadows* (static dispatch through the driver's
+// Store parameter, never virtual) the methods whose behavior the resident
+// set changes. With an empty pin set every shadowed method degenerates to
+// the base behavior, so budget 0 reproduces the out-of-core engine exactly.
+//
+// Between iterations the store re-plans from the observed per-partition
+// update volume: algorithms whose active set shrinks (BFS/SSSP) shed
+// update-buffer cost and let more partitions pin; newly pinned partitions
+// load their states from the vertex file once, evicted ones write theirs
+// back.
+#ifndef XSTREAM_CORE_HYBRID_STORE_H_
+#define XSTREAM_CORE_HYBRID_STORE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/residency.h"
+#include "core/stream_store.h"
+
+namespace xstream {
+
+struct HybridStoreOptions : DeviceStoreOptions {
+  // Byte budget for the pin set (vertex states + worst-case update buffers
+  // of the resident partitions). A planning target, not an enforced cap: an
+  // iteration that out-produces the estimate grows a pinned buffer past it.
+  uint64_t pin_budget_bytes = 0;
+  // Re-plan the pin set at each iteration boundary from the previous
+  // iteration's observed update volume.
+  bool replan_between_iterations = true;
+};
+
+// Builds the planner inputs from the store's edge tallies: the destination
+// and same-partition counts are the per-partition decomposition of the
+// PartitionQuality edge cut — the locality signal the streaming partitioners
+// optimize. When absorption is on, updates local to their source partition
+// never hit the update file anyway, so only cross-partition incoming edges
+// count toward a pin's avoided traffic.
+std::vector<PartitionResidencyStats> BuildHybridPlanInputs(
+    const PartitionLayout& layout, size_t vertex_state_bytes, size_t update_bytes,
+    const std::vector<uint64_t>& dst_edge_counts,
+    const std::vector<uint64_t>& local_edge_counts, bool absorb_local_updates);
+
+template <EdgeCentricAlgorithm Algo>
+class HybridStreamStore : public DeviceStreamStore<Algo> {
+ public:
+  using Base = DeviceStreamStore<Algo>;
+  using VertexState = typename Algo::VertexState;
+  using Update = typename Algo::Update;
+  using GatherPlan = typename Base::GatherPlan;
+  using Options = HybridStoreOptions;
+  static constexpr bool kPartitionParallel = false;
+
+  HybridStreamStore(ThreadPool& pool, PartitionLayout layout, const Options& opts,
+                    StorageDevice& edge_dev, StorageDevice& update_dev,
+                    StorageDevice& vertex_dev, const std::string& input_edge_file)
+      : Base(pool, std::move(layout), FileResidentBase(opts), edge_dev, update_dev,
+             vertex_dev, input_edge_file),
+        hopts_(opts),
+        planner_(opts.pin_budget_bytes) {
+    // Residency is planner-controlled: the base store must keep vertices in
+    // files so pinning (and eviction) is a per-partition decision.
+    XS_CHECK(!this->vertices_in_memory());
+    uint32_t k = layout_.num_partitions();
+    pinned_.resize(k);
+    pinned_updates_.resize(k);
+    observed_updates_.assign(k, 0);
+    plan_.resident.assign(k, false);
+    ApplyPlan(planner_.Plan(InitialPlanInputs()));
+    replans_ = 0;  // the construction-time plan is not a re-plan
+  }
+
+  const ResidencyPlan& residency_plan() const { return plan_; }
+  const ResidencyPlanner& planner() const { return planner_; }
+  uint64_t replans() const { return replans_; }
+
+  // Accounted cost of pinning every partition (the planner inputs' total):
+  // the budget at which the store is fully resident. Benches sweep fractions
+  // of this.
+  uint64_t FullPinBytes() const {
+    uint64_t total = 0;
+    for (const PartitionResidencyStats& p : InitialPlanInputs()) {
+      total += p.vertex_bytes + p.update_buffer_bytes;
+    }
+    return total;
+  }
+
+  // Re-plans against explicit inputs (tests; operators with external
+  // knowledge). Automatic re-planning uses the observed update volume — see
+  // BeginIteration.
+  void Replan(const std::vector<PartitionResidencyStats>& inputs) {
+    ApplyPlan(planner_.Plan(inputs));
+    PushResidencyStats();
+  }
+
+  // ---- Shadowed store surface --------------------------------------------
+
+  void BindStats(RunStats* stats) {
+    Base::BindStats(stats);
+    PushResidencyStats();
+  }
+
+  void BeginIteration() {
+    Base::BeginIteration();
+    if (hopts_.replan_between_iterations && iterations_seen_ > 0) {
+      ApplyPlan(planner_.Plan(ObservedPlanInputs()));
+    }
+    ++iterations_seen_;
+    std::fill(observed_updates_.begin(), observed_updates_.end(), 0);
+    PushResidencyStats();
+  }
+
+  // Pinned partitions' vertex "file" is RAM: loads and stores are memcpys
+  // between the pin and the one-partition scratch the driver works in.
+  void LoadPartition(uint32_t p) {
+    uint64_t bytes = layout_.Size(p) * sizeof(VertexState);
+    if (plan_.resident[p]) {
+      std::memcpy(part_states_.data(), pinned_[p].data(), bytes);
+      CountAvoided(bytes);
+      return;
+    }
+    Base::LoadPartition(p);
+  }
+
+  void StorePartition(uint32_t p) {
+    uint64_t bytes = layout_.Size(p) * sizeof(VertexState);
+    if (plan_.resident[p]) {
+      std::memcpy(pinned_[p].data(), part_states_.data(), bytes);
+      CountAvoided(bytes);
+      return;
+    }
+    Base::StorePartition(p);
+  }
+
+  // Absorption stays armed for unpinned scatter partitions only: a pinned
+  // partition's own updates go to its RAM buffer anyway, so the shadow pass
+  // would only duplicate work.
+  void BeginPartitionScatter(uint32_t s) {
+    LoadPartition(s);
+    if (!plan_.resident[s] && opts_.absorb_local_updates) {
+      std::memcpy(shadow_states_.data(), part_states_.data(),
+                  layout_.Size(s) * sizeof(VertexState));
+      shadow_dirty_ = false;
+      absorb_partition_ = s;
+    }
+  }
+
+  void EndPartitionScatter(Algo& algo, ConcurrentAppender& appender) {
+    uint32_t s = absorb_partition_;
+    uint64_t drained_before = this->drained_updates_;
+    Base::EndPartitionScatter(algo, appender);
+    if (s != Base::kNoAbsorbPartition) {
+      observed_updates_[s] += this->drained_updates_ - drained_before;
+    }
+  }
+
+  // The spill path with a third destination class: chunks for pinned
+  // partitions are appended to their RAM buffers on the compute thread
+  // (before the async write is submitted, like the absorption gather, so
+  // both threads only ever read the shuffled buffer) and excluded from the
+  // update-file write.
+  void SpillUpdates(Algo& algo, ConcurrentAppender& appender) {
+    appender.FlushAll();
+    uint64_t n = appender.records();
+    if (n == 0) {
+      return;
+    }
+    int slot = write_slot_;
+    WaitWriteSlot(slot);
+    this->spilled_ = true;
+    this->spilled_updates_ += n;
+    this->drain_watermark_ = 0;
+
+    Update* src = fill_.template records<Update>();
+    Update* dst = alt_[slot].template records<Update>();
+    ShuffleOutput<Update> shuffled;
+    if (layout_.num_partitions() == 1) {
+      std::memcpy(dst, src, n * sizeof(Update));
+      shuffled.data = dst;
+      shuffled.num_partitions = 1;
+      shuffled.slices = {{ChunkRef{0, n}}};
+    } else {
+      shuffled = ShuffleRecords(pool_, src, dst, n, layout_.num_partitions(),
+                                layout_.num_partitions(),
+                                [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+      XS_CHECK(shuffled.data == dst);
+    }
+
+    const uint32_t absorb = absorb_partition_;
+    if (absorb != Base::kNoAbsorbPartition) {
+      VertexId part_base = layout_.Begin(absorb);
+      uint64_t absorbed = 0;
+      for (const auto& slice : shuffled.slices) {
+        const ChunkRef& c = slice[absorb];
+        const Update* rec = shuffled.data + c.begin;
+        for (uint64_t i = 0; i < c.count; ++i) {
+          if (algo.Gather(shadow_states_[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
+            ++this->absorbed_changed_;
+          }
+        }
+        absorbed += c.count;
+      }
+      if (absorbed > 0) {
+        this->shadow_dirty_ = true;
+        this->absorbed_updates_ += absorbed;
+      }
+    }
+
+    uint64_t submitted_bytes = 0;
+    uint64_t kept_bytes = 0;
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t routed = 0;
+      for (const auto& slice : shuffled.slices) {
+        routed += slice[p].count;
+      }
+      observed_updates_[p] += routed;
+      if (p == absorb) {
+        continue;
+      }
+      if (plan_.resident[p]) {
+        for (const auto& slice : shuffled.slices) {
+          const ChunkRef& c = slice[p];
+          pinned_updates_[p].insert(pinned_updates_[p].end(), shuffled.data + c.begin,
+                                    shuffled.data + c.begin + c.count);
+        }
+        kept_bytes += routed * sizeof(Update);
+      } else {
+        submitted_bytes += routed * sizeof(Update);
+      }
+    }
+    stats_->update_file_bytes += submitted_bytes;
+    // A kept byte skips both the update-file append and the gather read-back.
+    stats_->avoided_spill_bytes += 2 * kept_bytes;
+
+    const Update* data = shuffled.data;
+    auto slices =
+        std::make_shared<std::vector<std::vector<ChunkRef>>>(std::move(shuffled.slices));
+    pending_write_[slot] = update_dev_.executor().Submit([this, data, slices, absorb] {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        if (p == absorb || plan_.resident[p]) {
+          continue;  // gathered into the shadow / kept in the RAM buffer
+        }
+        for (const auto& slice : *slices) {
+          const ChunkRef& c = slice[p];
+          if (c.count > 0) {
+            update_dev_.Append(update_files_[p],
+                               std::span<const std::byte>(
+                                   reinterpret_cast<const std::byte*>(data + c.begin),
+                                   c.count * sizeof(Update)));
+          }
+        }
+      }
+    });
+    write_slot_ ^= 1;
+    if (opts_.async_spill) {
+      stats_->async_spill_bytes += submitted_bytes;
+    } else {
+      WaitWriteSlot(slot);
+    }
+  }
+
+  // Identical to the base transition except that the tail spill must go
+  // through the hybrid spill path (base methods dispatch statically, so the
+  // base FinishScatter would route pinned partitions' tails to their files).
+  GatherPlan FinishScatter(Algo& algo, ConcurrentAppender& appender) {
+    GatherPlan plan;
+    appender.FlushAll();
+    plan.tail_records = appender.records();
+    plan.memory_gather = !this->spilled_ && opts_.allow_update_memory_opt;
+    if (plan.memory_gather) {
+      if (plan.tail_records > 0) {
+        plan.resident = ShuffleRecords(
+            pool_, fill_.template records<Update>(), alt_[0].template records<Update>(),
+            plan.tail_records, layout_.num_partitions(), layout_.num_partitions(),
+            [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+        for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+          for (const auto& slice : plan.resident.slices) {
+            observed_updates_[p] += slice[p].count;
+          }
+        }
+      }
+    } else if (plan.tail_records > 0) {
+      SpillUpdates(algo, appender);
+    }
+    WaitAllWrites();
+
+    if (plan.memory_gather && plan.resident.data == alt_[0].template records<Update>()) {
+      plan.tmp_a = fill_.template records<Update>();
+      plan.tmp_b = alt_[1].template records<Update>();
+    } else if (plan.memory_gather && plan.tail_records > 0) {
+      plan.tmp_a = alt_[0].template records<Update>();
+      plan.tmp_b = alt_[1].template records<Update>();
+    } else {
+      plan.tmp_a = fill_.template records<Update>();
+      plan.tmp_b = alt_[0].template records<Update>();
+    }
+    return plan;
+  }
+
+  void BeginPartitionGather(uint32_t p) { LoadPartition(p); }
+
+  // A pinned partition's update stream is its RAM buffer, chunked at the
+  // I/O unit so the driver's gather sub-partitioning sees the same shape as
+  // a file stream.
+  template <typename F>
+  void ForEachUpdateChunk(uint32_t p, F&& f) {
+    if (plan_.resident[p]) {
+      const std::vector<Update>& buf = pinned_updates_[p];
+      uint64_t chunk = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Update));
+      for (uint64_t i = 0; i < buf.size(); i += chunk) {
+        f(buf.data() + i, std::min<uint64_t>(chunk, buf.size() - i));
+      }
+      return;
+    }
+    Base::ForEachUpdateChunk(p, std::forward<F>(f));
+  }
+
+  void EndPartitionGather(uint32_t p, bool memory_gather) {
+    StorePartition(p);
+    if (plan_.resident[p]) {
+      pinned_updates_[p].clear();  // consumed; capacity kept for next iteration
+    } else if (!memory_gather && opts_.eager_update_truncate) {
+      update_dev_.Truncate(update_files_[p], 0);
+    }
+    uint64_t occupancy = 0;
+    for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
+      occupancy += update_dev_.FileSize(update_files_[q]);
+    }
+    stats_->peak_update_bytes = std::max(stats_->peak_update_bytes, occupancy);
+  }
+
+ private:
+  static DeviceStoreOptions FileResidentBase(DeviceStoreOptions opts) {
+    opts.allow_vertex_memory_opt = false;
+    opts.collect_dst_tallies = true;  // the planner prices pins from these
+    return opts;
+  }
+
+  std::vector<PartitionResidencyStats> InitialPlanInputs() const {
+    return BuildHybridPlanInputs(layout_, sizeof(VertexState), sizeof(Update),
+                                 this->dst_edge_counts(), this->local_edge_counts(),
+                                 opts_.absorb_local_updates);
+  }
+
+  // Re-plan inputs: the worst-case one-update-per-edge buffer estimate is
+  // replaced by last iteration's observed per-partition volume. Slightly
+  // optimistic on the avoided side for unpinned partitions (absorbed
+  // updates are counted although they never hit the file), which only makes
+  // the planner favor locality-heavy partitions it would pin anyway.
+  std::vector<PartitionResidencyStats> ObservedPlanInputs() const {
+    std::vector<PartitionResidencyStats> inputs(layout_.num_partitions());
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t vbytes = layout_.Size(p) * sizeof(VertexState);
+      uint64_t ubytes = observed_updates_[p] * sizeof(Update);
+      inputs[p].vertex_bytes = vbytes;
+      inputs[p].update_buffer_bytes = ubytes;
+      inputs[p].avoided_bytes_per_iteration = PricePinSavings(vbytes, ubytes);
+    }
+    return inputs;
+  }
+
+  void ApplyPlan(ResidencyPlan next) {
+    bool changed = false;
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t n = layout_.Size(p);
+      if (next.resident[p] && !plan_.resident[p]) {
+        pinned_[p].resize(n);
+        if (n > 0) {
+          vertex_dev_.Read(vertex_files_[p], 0,
+                           std::span<std::byte>(reinterpret_cast<std::byte*>(pinned_[p].data()),
+                                                n * sizeof(VertexState)));
+        }
+        changed = true;
+      } else if (!next.resident[p] && plan_.resident[p]) {
+        if (n > 0) {
+          this->StorePartitionFrom(p, pinned_[p].data());
+        }
+        pinned_[p] = {};
+        pinned_updates_[p] = {};
+        changed = true;
+      }
+    }
+    if (changed) {
+      ++replans_;
+    }
+    plan_ = std::move(next);
+  }
+
+  void PushResidencyStats() {
+    stats_->resident_partition_count = plan_.resident_count();
+    stats_->resident_bytes = plan_.resident_bytes;
+  }
+
+  void CountAvoided(uint64_t bytes) { stats_->avoided_spill_bytes += bytes; }
+
+  using Base::absorb_partition_;
+  using Base::alt_;
+  using Base::fill_;
+  using Base::layout_;
+  using Base::opts_;
+  using Base::part_states_;
+  using Base::pending_write_;
+  using Base::pool_;
+  using Base::shadow_dirty_;
+  using Base::shadow_states_;
+  using Base::stats_;
+  using Base::update_dev_;
+  using Base::update_files_;
+  using Base::vertex_dev_;
+  using Base::vertex_files_;
+  using Base::WaitAllWrites;
+  using Base::WaitWriteSlot;
+  using Base::write_slot_;
+
+  HybridStoreOptions hopts_;
+  ResidencyPlanner planner_;
+  ResidencyPlan plan_;
+  // Pinned vertex states (by partition, dense order within each) and the
+  // in-RAM update buffers of the pinned partitions.
+  std::vector<std::vector<VertexState>> pinned_;
+  std::vector<std::vector<Update>> pinned_updates_;
+  // Updates routed to each destination partition this iteration (spilled,
+  // kept in RAM, absorbed and drained alike) — next iteration's buffer
+  // estimate.
+  std::vector<uint64_t> observed_updates_;
+  uint64_t iterations_seen_ = 0;
+  uint64_t replans_ = 0;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_HYBRID_STORE_H_

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "buffers/shuffler.h"
@@ -49,6 +50,28 @@
 #include "util/timer.h"
 
 namespace xstream {
+
+// Vertex-state checkpoints (version 2): a fixed header, then — when the
+// engine runs under a streaming partitioner — the active vertex->partition
+// assignment, then the states in the layout's dense order. Storing the
+// mapping makes restores validatable: dense order depends on the mapping,
+// so loading a checkpoint into an engine with a different `--partitioner`
+// used to scramble states silently; now it fails with a clear error. Range
+// layouts (the paper's contiguous ranges) write no mapping — their dense
+// order is the identity for every partition count, so those checkpoints
+// stay portable across partition counts.
+struct CheckpointHeader {
+  static constexpr uint64_t kMagic = 0x58532D434B505432ull;  // "XS-CKPT2"
+  static constexpr uint32_t kVersion = 2;
+
+  uint64_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint32_t num_partitions = 0;
+  uint64_t num_vertices = 0;
+  uint64_t state_bytes = 0;
+  uint64_t mapping_entries = 0;  // num_vertices when mapped, else 0
+};
+static_assert(std::is_trivially_copyable_v<CheckpointHeader>);
 
 struct PhaseDriverOptions {
   // Multi-stage shuffler fanout for the partition-parallel shape (§4.2).
@@ -246,14 +269,26 @@ class StreamingPhaseDriver {
 
   // Persists all vertex state (one sequential write stream) so a long
   // computation can resume in a fresh engine. States are written in the
-  // layout's dense order, so a checkpoint is only portable to an engine
-  // configured with the same partitioner and partition count. Write errors
-  // raised on the checkpoint device's I/O thread propagate (StreamWriter
-  // Close, not the quiet Finish).
+  // layout's dense order behind a CheckpointHeader that also records the
+  // active vertex mapping, so a restore under a different `--partitioner`
+  // fails loudly instead of scrambling states. Write errors raised on the
+  // checkpoint device's I/O thread propagate (StreamWriter Close, not the
+  // quiet Finish).
   void SaveVertexStates(StorageDevice& dev, const std::string& file) {
     const PartitionLayout& layout = store_.layout();
     FileId f = dev.Create(file);
     StreamWriter writer(dev, f, kCheckpointChunkBytes);
+    CheckpointHeader hdr;
+    hdr.num_partitions = layout.num_partitions();
+    hdr.num_vertices = layout.num_vertices();
+    hdr.state_bytes = sizeof(VertexState);
+    hdr.mapping_entries = layout.mapped() ? layout.num_vertices() : 0;
+    writer.AppendRecord(hdr);
+    if (layout.mapped()) {
+      const std::vector<uint32_t>& po = layout.mapping()->partition_of;
+      writer.Append(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(po.data()), po.size() * sizeof(uint32_t)));
+    }
     if (store_.all_resident()) {
       writer.Append(std::span<const std::byte>(
           reinterpret_cast<const std::byte*>(store_.resident_states()),
@@ -272,20 +307,53 @@ class StreamingPhaseDriver {
     writer.Close();
   }
 
-  // Restores states saved by SaveVertexStates. The graph (vertex count and
-  // state type) must match; aborts otherwise.
+  // Restores states saved by SaveVertexStates. The graph (vertex count,
+  // state type) and the vertex mapping must match the checkpoint; aborts
+  // with a clear message otherwise — a mapping mismatch would otherwise
+  // restore every state into the wrong vertex silently.
   void LoadVertexStates(StorageDevice& dev, const std::string& file) {
     const PartitionLayout& layout = store_.layout();
     FileId f = dev.Open(file);
-    XS_CHECK_EQ(dev.FileSize(f), layout.num_vertices() * sizeof(VertexState))
-        << "checkpoint does not match this graph/algorithm";
+    XS_CHECK_GE(dev.FileSize(f), sizeof(CheckpointHeader))
+        << "checkpoint does not match: file smaller than a checkpoint header";
+    CheckpointHeader hdr;
+    dev.Read(f, 0,
+             std::span<std::byte>(reinterpret_cast<std::byte*>(&hdr), sizeof(hdr)));
+    XS_CHECK_EQ(hdr.magic, CheckpointHeader::kMagic)
+        << "checkpoint does not match: bad magic (not an xstream checkpoint, or one "
+           "written before the mapping-aware format)";
+    XS_CHECK_EQ(hdr.version, CheckpointHeader::kVersion)
+        << "checkpoint does not match: unsupported checkpoint version";
+    XS_CHECK_EQ(hdr.num_vertices, layout.num_vertices())
+        << "checkpoint does not match this graph (vertex count)";
+    XS_CHECK_EQ(hdr.state_bytes, sizeof(VertexState))
+        << "checkpoint does not match this algorithm (vertex state size)";
+    uint64_t base = sizeof(CheckpointHeader) + hdr.mapping_entries * sizeof(uint32_t);
+    XS_CHECK_EQ(dev.FileSize(f), base + layout.num_vertices() * sizeof(VertexState))
+        << "checkpoint does not match: truncated or trailing bytes";
+    if (layout.mapped() || hdr.mapping_entries > 0) {
+      XS_CHECK_EQ(hdr.mapping_entries, layout.mapped() ? layout.num_vertices() : 0)
+          << "checkpoint does not match: it was written under a "
+          << (hdr.mapping_entries > 0 ? "streaming-partitioner mapping" : "range layout")
+          << " but this engine runs the other; restore with the same --partitioner";
+      XS_CHECK_EQ(hdr.num_partitions, layout.num_partitions())
+          << "checkpoint does not match: partition count differs under a mapped layout";
+      std::vector<uint32_t> saved(hdr.mapping_entries);
+      dev.Read(f, sizeof(CheckpointHeader),
+               std::span<std::byte>(reinterpret_cast<std::byte*>(saved.data()),
+                                    saved.size() * sizeof(uint32_t)));
+      XS_CHECK(saved == layout.mapping()->partition_of)
+          << "checkpoint does not match: it was written under a different vertex "
+             "mapping (same --partitioner family but a different assignment); states "
+             "would restore into the wrong vertices";
+    }
     if (store_.all_resident()) {
-      dev.Read(f, 0,
+      dev.Read(f, base,
                std::span<std::byte>(reinterpret_cast<std::byte*>(store_.resident_states()),
                                     layout.num_vertices() * sizeof(VertexState)));
       return;
     }
-    uint64_t offset = 0;
+    uint64_t offset = base;
     for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
       uint64_t n = layout.Size(p);
       if (n == 0) {

@@ -1,0 +1,53 @@
+#include "core/residency.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xstream {
+
+ResidencyPlan ResidencyPlanner::Plan(
+    const std::vector<PartitionResidencyStats>& partitions) const {
+  ResidencyPlan plan;
+  plan.resident.assign(partitions.size(), false);
+  if (budget_bytes_ == 0 || partitions.empty()) {
+    return plan;
+  }
+
+  std::vector<uint32_t> order(partitions.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Density = avoided / cost, compared cross-multiplied so the order is
+  // exact in integers. An empty partition (cost 0) with savings sorts first
+  // and costs nothing to pin; ties break to the lower partition id so equal
+  // inputs always produce equal plans.
+  auto cost = [&partitions](uint32_t p) -> uint64_t {
+    return partitions[p].vertex_bytes + partitions[p].update_buffer_bytes;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    __uint128_t lhs = static_cast<__uint128_t>(partitions[a].avoided_bytes_per_iteration) *
+                      (cost(b) > 0 ? cost(b) : 1);
+    __uint128_t rhs = static_cast<__uint128_t>(partitions[b].avoided_bytes_per_iteration) *
+                      (cost(a) > 0 ? cost(a) : 1);
+    if (lhs != rhs) {
+      return lhs > rhs;
+    }
+    return a < b;
+  });
+
+  uint64_t remaining = budget_bytes_;
+  for (uint32_t p : order) {
+    if (partitions[p].avoided_bytes_per_iteration == 0) {
+      continue;  // nothing to save; the rest of the order may still fit
+    }
+    uint64_t c = cost(p);
+    if (c > remaining) {
+      continue;  // skip, don't stop: smaller candidates may follow
+    }
+    plan.resident[p] = true;
+    plan.resident_bytes += c;
+    plan.avoided_bytes_per_iteration += partitions[p].avoided_bytes_per_iteration;
+    remaining -= c;
+  }
+  return plan;
+}
+
+}  // namespace xstream

@@ -1,0 +1,94 @@
+// ResidencyPlanner: which streaming partitions should live in RAM.
+//
+// X-Stream offers two extremes: the in-memory engine (everything resident)
+// and the out-of-core engine (everything streamed from devices). The common
+// case on real hardware sits between them — a graph slightly larger than
+// RAM still has a working set that mostly fits. The hybrid store
+// (core/hybrid_store.h) keeps a chosen subset of partitions fully resident
+// (vertex states pinned, incoming updates buffered in RAM) while the rest
+// spill through the device path; this planner chooses that subset under a
+// byte budget.
+//
+// The model is a density greedy over a knapsack: pinning partition p costs
+// its vertex-state bytes plus a worst-case in-RAM update buffer (one update
+// per incoming edge, shrinking to the observed update volume once the run
+// supplies per-iteration feedback), and saves the per-iteration device
+// traffic the pin removes — vertex-file loads/stores and the write+read of
+// p's update stream. Partitions are pinned in decreasing
+// saved-bytes-per-resident-byte order until the budget runs out; candidates
+// that no longer fit are skipped, not terminal (a later, smaller partition
+// may still fit). Greedy-by-density is the standard knapsack heuristic and
+// is exact here in the fractional sense that matters: partition sizes are
+// small relative to realistic budgets.
+//
+// Plans are cheap (O(k log k)), so the hybrid store re-plans between
+// iterations from observed update volumes — algorithms whose active set
+// shrinks (BFS/SSSP) shed update-buffer cost and let more partitions pin.
+#ifndef XSTREAM_CORE_RESIDENCY_H_
+#define XSTREAM_CORE_RESIDENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xstream {
+
+// Planner inputs for one partition. All byte figures are per iteration
+// except the two pinned costs, which are held for the whole run (or until
+// the next re-plan).
+struct PartitionResidencyStats {
+  // Pinned cost: the partition's vertex states, held resident.
+  uint64_t vertex_bytes = 0;
+  // Pinned cost: worst-case in-RAM buffer for updates destined to this
+  // partition (one per incoming edge, or the observed volume on re-plans).
+  uint64_t update_buffer_bytes = 0;
+  // Per-iteration device traffic a pin removes: skipped vertex-file
+  // loads/stores plus the update bytes that never touch the update file.
+  uint64_t avoided_bytes_per_iteration = 0;
+};
+
+struct ResidencyPlan {
+  std::vector<bool> resident;             // by partition id
+  uint64_t resident_bytes = 0;            // accounted cost of the pin set
+  uint64_t avoided_bytes_per_iteration = 0;  // planned savings of the pin set
+
+  uint32_t resident_count() const {
+    uint32_t n = 0;
+    for (bool r : resident) {
+      n += r ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// The shared pin-savings pricing: per iteration a pinned partition skips
+// the scatter-side vertex load, the gather-side load and the gather-side
+// store (~3x its states) and keeps its update stream's write + read-back in
+// RAM (2x the crossing update bytes). Setup-time plans (edge-tally
+// estimates) and re-plans (observed volumes) must price identically or the
+// two modes drift.
+inline uint64_t PricePinSavings(uint64_t vertex_bytes, uint64_t crossing_update_bytes) {
+  return vertex_bytes > 0 ? 3 * vertex_bytes + 2 * crossing_update_bytes : 0;
+}
+
+class ResidencyPlanner {
+ public:
+  // `budget_bytes` bounds the accounted cost of the pin set; it is a
+  // planning target, not an enforced allocation cap (an iteration that
+  // generates more updates than predicted grows a pinned buffer past its
+  // estimate rather than failing).
+  explicit ResidencyPlanner(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  // Greedy pin-set selection: decreasing avoided-per-resident-byte density,
+  // skipping candidates that exceed the remaining budget. Partitions with
+  // zero avoided bytes are never pinned (pinning them buys nothing).
+  ResidencyPlan Plan(const std::vector<PartitionResidencyStats>& partitions) const;
+
+ private:
+  uint64_t budget_bytes_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_RESIDENCY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace xstream {
@@ -53,6 +54,19 @@ uint32_t ChooseOutOfCorePartitions(uint64_t vertex_state_bytes, uint64_t memory_
                   << " budget=" << memory_budget_bytes << " io unit=" << io_unit_bytes
                   << " (minimum budget is 2*sqrt(5*N*S))";
   return 0;
+}
+
+uint64_t ResolveMemoryBudget(uint64_t requested_bytes) {
+  uint64_t physical = PhysicalMemoryBytes();
+  if (requested_bytes == 0) {
+    return physical > 0 ? physical / 2 : 256ull << 20;
+  }
+  if (physical > 0 && requested_bytes > physical) {
+    XS_LOG(Warning) << "memory budget " << requested_bytes
+                    << " exceeds physical memory " << physical << "; clamping";
+    return physical;
+  }
+  return requested_bytes;
 }
 
 uint32_t ChooseShuffleFanout(uint32_t num_partitions, size_t cache_bytes,

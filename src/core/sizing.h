@@ -38,6 +38,14 @@ uint32_t ChooseOutOfCorePartitions(uint64_t vertex_state_bytes, uint64_t memory_
 bool OutOfCorePartitionsViable(uint64_t vertex_state_bytes, uint64_t memory_budget_bytes,
                                size_t io_unit_bytes);
 
+// Hybrid engine residency budget (core/residency.h). Resolves the
+// user-requested pin budget against the host: 0 means auto-detect (half of
+// physical memory, falling back to 256 MB when the probe fails), and a
+// request above the host's physical memory is clamped to it with a warning
+// rather than aborting — an oversized budget is a plan that will thrash, not
+// a programmer error.
+uint64_t ResolveMemoryBudget(uint64_t requested_bytes);
+
 // Multi-stage shuffler fanout (§4.2): the largest power of two not exceeding
 // the number of cachelines in the cache (each output chunk needs a resident
 // cacheline-sized cursor), capped at the partition count.

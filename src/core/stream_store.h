@@ -177,6 +177,10 @@ struct DeviceStoreOptions {
   // Double-buffered asynchronous spill writes (§3.3). Off = each spill
   // waits for its own update-file write (the fig28 sync baseline).
   bool async_spill = true;
+  // Tally incoming/local edges per partition during the setup and ingest
+  // shuffles (one extra PartitionOf per edge). Only the hybrid store's
+  // residency planner consumes the tallies, so it alone turns this on.
+  bool collect_dst_tallies = false;
   std::string file_prefix = "xs";
 };
 
@@ -228,6 +232,8 @@ class DeviceStreamStore {
     update_files_.resize(k);
     vertex_files_.resize(k);
     edge_counts_.assign(k, 0);
+    dst_edge_counts_.assign(k, 0);
+    local_edge_counts_.assign(k, 0);
     for (uint32_t p = 0; p < k; ++p) {
       edge_files_[p] = edge_dev_.Create(PartFile("edges", p));
       update_files_[p] = update_dev_.Create(PartFile("updates", p));
@@ -289,6 +295,14 @@ class DeviceStreamStore {
     absorbed_changed_ = 0;
     drain_watermark_ = 0;
   }
+
+  // Per-partition edge tallies from the setup/ingest shuffle passes, by
+  // source (edge file sizes), by destination (worst-case incoming updates)
+  // and edges whose endpoints share a partition (absorbable locally). The
+  // hybrid store's residency planner prices pin candidates with these.
+  const std::vector<uint64_t>& src_edge_counts() const { return edge_counts_; }
+  const std::vector<uint64_t>& dst_edge_counts() const { return dst_edge_counts_; }
+  const std::vector<uint64_t>& local_edge_counts() const { return local_edge_counts_; }
 
   // Names of the per-partition edge files, for partitioned semi-streaming
   // runs (RunSemiStreamingPartitioned) over this store.
@@ -534,7 +548,9 @@ class DeviceStreamStore {
     }
   }
 
-  // Streams partition p's update file in I/O-unit chunks.
+  // Streams partition p's update file in I/O-unit chunks. Time spent blocked
+  // on reads the prefetch missed is charged to gather_wait_seconds — the
+  // read-side half of the stall story spill_wait_seconds tells for writes.
   template <typename F>
   void ForEachUpdateChunk(uint32_t p, F&& f) {
     uint64_t chunk_updates = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Update));
@@ -542,6 +558,7 @@ class DeviceStreamStore {
     for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
       f(reinterpret_cast<const Update*>(chunk.data()), chunk.size() / sizeof(Update));
     }
+    stats_->gather_wait_seconds += reader.wait_seconds();
   }
 
   void EndPartitionGather(uint32_t p, bool memory_gather) {
@@ -620,7 +637,12 @@ class DeviceStreamStore {
     }
   }
 
- private:
+ protected:
+  // Protected rather than private: HybridStreamStore (core/hybrid_store.h)
+  // extends this store with a planner-chosen resident partition set and
+  // needs direct access to the buffer/file/spill machinery. Methods are
+  // dispatched statically through the driver's Store template parameter, so
+  // the subclass shadows (never overrides) the methods it changes.
   std::string PartFile(const char* kind, uint32_t p) const {
     return opts_.file_prefix + "." + kind + "." + std::to_string(p);
   }
@@ -675,6 +697,18 @@ class DeviceStreamStore {
                                reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
                                c.count * sizeof(Edge)));
           edge_counts_[p] += c.count;
+          // Destination tallies for the residency planner: within p's slice
+          // every edge has source partition p, so one PartitionOf per edge
+          // classifies it as local (absorbable) or cross-partition.
+          if (opts_.collect_dst_tallies) {
+            for (uint64_t i = 0; i < c.count; ++i) {
+              uint32_t pd = layout_.PartitionOf(shuffled.data[c.begin + i].dst);
+              ++dst_edge_counts_[pd];
+              if (pd == p) {
+                ++local_edge_counts_[p];
+              }
+            }
+          }
         }
       }
     }
@@ -732,7 +766,9 @@ class DeviceStreamStore {
   std::vector<FileId> edge_files_;
   std::vector<FileId> update_files_;
   std::vector<FileId> vertex_files_;
-  std::vector<uint64_t> edge_counts_;
+  std::vector<uint64_t> edge_counts_;        // by source partition
+  std::vector<uint64_t> dst_edge_counts_;    // by destination partition
+  std::vector<uint64_t> local_edge_counts_;  // src and dst share the partition
 
   bool spilled_ = false;
   uint64_t spilled_updates_ = 0;   // this iteration, via spill shuffles
@@ -742,7 +778,11 @@ class DeviceStreamStore {
   uint64_t drain_watermark_ = 0;   // records of fill_ already drain-scanned
 
   std::map<StorageDevice*, DeviceStats> baselines_;
-  RunStats* stats_ = nullptr;
+  // Counter sink. The driver rebinds this to its own RunStats (BindStats);
+  // until then counters land in the fallback so a store driven directly —
+  // the stores are a first-class API — never dereferences null mid-spill.
+  RunStats fallback_stats_;
+  RunStats* stats_ = &fallback_stats_;
 };
 
 }  // namespace xstream

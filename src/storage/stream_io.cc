@@ -5,6 +5,7 @@
 
 #include "storage/io_executor.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace xstream {
 
@@ -51,7 +52,9 @@ std::span<const std::byte> StreamReader::Next() {
     return {};
   }
   if (pending_[current_].valid()) {
+    WallTimer timer;
     pending_[current_].wait();
+    wait_seconds_ += timer.Seconds();
   }
   return {buffers_[current_].data(), lengths_[current_]};
 }

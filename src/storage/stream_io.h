@@ -36,6 +36,10 @@ class StreamReader {
 
   uint64_t file_size() const { return file_size_; }
 
+  // Wall time Next() spent blocked on reads the prefetch had not finished —
+  // the read-side analogue of the spill path's spill_wait_seconds.
+  double wait_seconds() const { return wait_seconds_; }
+
  private:
   void Issue(int buf);
 
@@ -50,6 +54,7 @@ class StreamReader {
   std::future<void> pending_[2];
   int current_ = 0;
   bool started_ = false;
+  double wait_seconds_ = 0.0;
 };
 
 class StreamWriter {

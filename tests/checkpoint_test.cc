@@ -7,6 +7,7 @@
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
 #include "graph/generators.h"
+#include "partitioning/partitioner.h"
 #include "storage/sim_device.h"
 
 namespace xstream {
@@ -121,6 +122,95 @@ TEST(CheckpointTest, OutOfCoreFileResidentVertices) {
   engine.SaveVertexStates(ckpt, "wcc.ckpt");
 
   OutOfCoreEngine<WccAlgorithm> fresh(config, dev, dev, dev, "input", info);
+  fresh.LoadVertexStates(ckpt, "wcc.ckpt");
+  std::vector<VertexId> restored(info.num_vertices);
+  fresh.VertexFold(0, [&restored](int acc, VertexId v, const WccAlgorithm::VertexState& s) {
+    restored[v] = s.label;
+    return acc;
+  });
+  EXPECT_EQ(restored, done.labels);
+}
+
+// Checkpoints carry the active vertex mapping: restoring under the same
+// partitioner (same seed => same deterministic mapping) works, restoring
+// under a different one fails loudly instead of scrambling states.
+TEST(CheckpointTest, MappedCheckpointRestoresUnderSameMapping) {
+  EdgeList edges = TestGraph(13);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("d", DeviceProfile::Instant());
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+
+  auto partitioner = MakePartitioner("greedy");
+  OutOfCoreConfig config;
+  config.threads = 2;
+  config.io_unit_bytes = 8 << 10;
+  config.num_partitions = 4;
+  config.partitioner = partitioner.get();
+  OutOfCoreEngine<WccAlgorithm> engine(config, dev, dev, dev, "input", info);
+  WccResult done = RunWcc(engine);
+  engine.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  auto same = MakePartitioner("greedy");
+  OutOfCoreConfig config2 = config;
+  config2.partitioner = same.get();
+  OutOfCoreEngine<WccAlgorithm> fresh(config2, dev, dev, dev, "input", info);
+  fresh.LoadVertexStates(ckpt, "wcc.ckpt");
+  std::vector<VertexId> restored(info.num_vertices);
+  fresh.VertexMap([&restored](VertexId v, const WccAlgorithm::VertexState& s) {
+    restored[v] = s.label;
+  });
+  EXPECT_EQ(restored, done.labels);
+}
+
+TEST(CheckpointTest, MappedCheckpointRejectsDifferentPartitioner) {
+  EdgeList edges = TestGraph(15);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("d", DeviceProfile::Instant());
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+
+  auto greedy = MakePartitioner("greedy");
+  OutOfCoreConfig config;
+  config.threads = 1;
+  config.io_unit_bytes = 8 << 10;
+  config.num_partitions = 4;
+  config.partitioner = greedy.get();
+  OutOfCoreEngine<WccAlgorithm> engine(config, dev, dev, dev, "input", info);
+  RunWcc(engine);
+  engine.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  // Same family of layouts (mapped) but a different assignment.
+  auto hash = MakePartitioner("hash");
+  OutOfCoreConfig hash_config = config;
+  hash_config.partitioner = hash.get();
+  OutOfCoreEngine<WccAlgorithm> other(hash_config, dev, dev, dev, "input", info);
+  EXPECT_DEATH(other.LoadVertexStates(ckpt, "wcc.ckpt"), "different vertex mapping");
+
+  // Range layout (no mapping at all) is also a mismatch.
+  OutOfCoreConfig range_config = config;
+  range_config.partitioner = nullptr;
+  OutOfCoreEngine<WccAlgorithm> range_engine(range_config, dev, dev, dev, "input", info);
+  EXPECT_DEATH(range_engine.LoadVertexStates(ckpt, "wcc.ckpt"),
+               "restore with the same --partitioner");
+}
+
+TEST(CheckpointTest, RangeCheckpointPortableAcrossPartitionCounts) {
+  // Range layouts' dense order is the identity for every partition count,
+  // so those checkpoints restore across counts (and across engines).
+  EdgeList edges = TestGraph(17);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+  InMemoryConfig config;
+  config.threads = 2;
+  config.num_partitions = 8;
+  InMemoryEngine<WccAlgorithm> engine(config, edges, info.num_vertices);
+  WccResult done = RunWcc(engine);
+  engine.SaveVertexStates(ckpt, "wcc.ckpt");
+
+  InMemoryConfig other = config;
+  other.num_partitions = 2;
+  InMemoryEngine<WccAlgorithm> fresh(other, edges, info.num_vertices);
   fresh.LoadVertexStates(ckpt, "wcc.ckpt");
   std::vector<VertexId> restored(info.num_vertices);
   fresh.VertexFold(0, [&restored](int acc, VertexId v, const WccAlgorithm::VertexState& s) {

@@ -12,9 +12,12 @@
 #include <vector>
 
 #include "algorithms/algorithms.h"
+#include "core/hybrid_engine.h"
+#include "core/hybrid_store.h"
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "core/phase_runtime.h"
+#include "core/residency.h"
 #include "core/stream_store.h"
 #include "graph/edge_io.h"
 #include "graph/generators.h"
@@ -28,8 +31,10 @@ namespace {
 
 static_assert(StreamStoreFor<MemoryStreamStore<WccAlgorithm>>);
 static_assert(StreamStoreFor<DeviceStreamStore<WccAlgorithm>>);
+static_assert(StreamStoreFor<HybridStreamStore<WccAlgorithm>>);
 static_assert(MemoryStreamStore<WccAlgorithm>::kPartitionParallel);
 static_assert(!DeviceStreamStore<WccAlgorithm>::kPartitionParallel);
+static_assert(!HybridStreamStore<WccAlgorithm>::kPartitionParallel);
 
 EdgeList TestGraph(uint64_t seed, uint32_t scale = 9) {
   RmatParams params;
@@ -75,6 +80,21 @@ struct RuntimeHarness {
     return Extract(driver, layout);
   }
 
+  std::vector<typename Algo::VertexState> RunHybrid(Algo algo, const EdgeList& edges,
+                                                    PartitionLayout layout,
+                                                    const HybridStoreOptions& opts,
+                                                    uint64_t max_iters = UINT64_MAX) {
+    SimDevice dev("d", DeviceProfile::Instant());
+    WriteEdgeFile(dev, "input", edges);
+    HybridStreamStore<Algo> store(pool, layout, opts, dev, dev, dev, "input");
+    StreamingPhaseDriver<Algo, HybridStreamStore<Algo>> driver(store, {});
+    stats = driver.Run(algo, max_iters);
+    resident_at_end = store.residency_plan().resident_count();
+    replans = store.replans();
+    EXPECT_EQ(dev.executor().in_flight(), 0u);
+    return Extract(driver, layout);
+  }
+
   template <typename Driver>
   std::vector<typename Algo::VertexState> Extract(Driver& driver, const PartitionLayout& layout) {
     std::vector<typename Algo::VertexState> by_original(layout.num_vertices());
@@ -85,6 +105,8 @@ struct RuntimeHarness {
 
   ThreadPool pool;
   RunStats stats;
+  uint32_t resident_at_end = 0;
+  uint64_t replans = 0;
 };
 
 DeviceStoreOptions SmallDeviceOpts(bool spill_heavy = false) {
@@ -237,6 +259,216 @@ TEST(PhaseRuntimeTest, DriverCheckpointRoundtripAcrossStores) {
   mdriver.VertexMap([&](VertexId v, WccAlgorithm::VertexState& s) {
     EXPECT_EQ(s.label, expected[v]) << "vertex " << v;
   });
+}
+
+// ---------------------------------------------------------------------------
+// HybridStreamStore: the partially resident store, swept across pin budgets.
+
+HybridStoreOptions SmallHybridOpts(uint64_t pin_budget) {
+  HybridStoreOptions opts;
+  static_cast<DeviceStoreOptions&>(opts) = SmallDeviceOpts(/*spill_heavy=*/true);
+  opts.pin_budget_bytes = pin_budget;
+  return opts;
+}
+
+// Accounted cost of pinning everything, via a probe store over the same
+// input (the planner inputs depend on the setup pass's edge tallies).
+template <EdgeCentricAlgorithm Algo>
+uint64_t FullPinBytes(ThreadPool& pool, const EdgeList& edges, PartitionLayout layout) {
+  SimDevice dev("probe", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+  HybridStreamStore<Algo> store(pool, layout, SmallHybridOpts(0), dev, dev, dev, "input");
+  return store.FullPinBytes();
+}
+
+TEST(HybridStoreTest, WccMatchesReferenceAtBudgetsZeroHalfFull) {
+  EdgeList edges = TestGraph(23);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  uint64_t full = FullPinBytes<WccAlgorithm>(h.pool, edges, layout);
+  ASSERT_GT(full, 0u);
+  for (uint64_t budget : {uint64_t{0}, full / 2, full}) {
+    auto got = h.RunHybrid(WccAlgorithm{}, edges, layout, SmallHybridOpts(budget));
+    for (uint64_t v = 0; v < info.num_vertices; ++v) {
+      ASSERT_EQ(got[v].label, expected[v]) << "budget " << budget << ", vertex " << v;
+    }
+    if (budget == 0) {
+      EXPECT_EQ(h.resident_at_end, 0u);
+      EXPECT_EQ(h.stats.avoided_spill_bytes, 0u);
+      EXPECT_EQ(h.stats.resident_partition_count, 0u);
+    } else {
+      EXPECT_GT(h.stats.resident_partition_count, 0u);
+      EXPECT_GT(h.stats.resident_bytes, 0u);
+      EXPECT_GT(h.stats.avoided_spill_bytes, 0u);
+    }
+    if (budget == full) {
+      // Every partition pins, so no update bytes ever reach the files.
+      EXPECT_EQ(h.resident_at_end, layout.num_partitions());
+      EXPECT_EQ(h.stats.update_file_bytes, 0u);
+    }
+  }
+}
+
+TEST(HybridStoreTest, BfsMatchesReferenceAtBudgetsZeroHalfFull) {
+  EdgeList edges = TestGraph(29);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<uint32_t> expected = ReferenceBfsLevels(g, 0);
+
+  RuntimeHarness<BfsAlgorithm> h(2);
+  uint64_t full = FullPinBytes<BfsAlgorithm>(h.pool, edges, layout);
+  for (uint64_t budget : {uint64_t{0}, full / 2, full}) {
+    auto got = h.RunHybrid(BfsAlgorithm(0), edges, layout, SmallHybridOpts(budget));
+    for (uint64_t v = 0; v < info.num_vertices; ++v) {
+      ASSERT_EQ(got[v].level, expected[v]) << "budget " << budget << ", vertex " << v;
+    }
+  }
+}
+
+TEST(HybridStoreTest, PageRankMatchesMemoryStoreAtBudgetsZeroHalfFull) {
+  EdgeList edges = TestGraph(31);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  RuntimeHarness<PageRankAlgorithm> h(2);
+  PageRankAlgorithm algo(info.num_vertices, 4);
+  auto mem = h.RunMemory(algo, edges, layout, 4);
+  uint64_t full = FullPinBytes<PageRankAlgorithm>(h.pool, edges, layout);
+  for (uint64_t budget : {uint64_t{0}, full / 2, full}) {
+    auto got = h.RunHybrid(algo, edges, layout, SmallHybridOpts(budget), 4);
+    for (uint64_t v = 0; v < info.num_vertices; ++v) {
+      ASSERT_NEAR(got[v].rank, mem[v].rank, 1e-5) << "budget " << budget << ", vertex " << v;
+    }
+  }
+}
+
+TEST(HybridStoreTest, BudgetZeroMatchesDeviceStoreBitForBit) {
+  // With an empty pin set every shadowed method degenerates to the base
+  // behavior: even floating-point results must be bit-identical because the
+  // gather order is the same.
+  EdgeList edges = TestGraph(37);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  RuntimeHarness<PageRankAlgorithm> h(2);
+  PageRankAlgorithm algo(info.num_vertices, 3);
+  auto dev = h.RunDevice(algo, edges, layout, SmallDeviceOpts(true), 3);
+  RunStats dev_stats = h.stats;
+  auto hyb = h.RunHybrid(algo, edges, layout, SmallHybridOpts(0), 3);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(hyb[v].rank, dev[v].rank) << "vertex " << v;
+  }
+  EXPECT_EQ(h.stats.update_file_bytes, dev_stats.update_file_bytes);
+  EXPECT_EQ(h.stats.updates_generated, dev_stats.updates_generated);
+}
+
+TEST(HybridStoreTest, MidRunReplanMigratesPinsAndStaysCorrect) {
+  EdgeList edges = TestGraph(41);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  SimDevice dev("d", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+  HybridStoreOptions opts = SmallHybridOpts(uint64_t{1} << 30);  // pins everything
+  opts.replan_between_iterations = false;  // only the explicit re-plan below
+  HybridStreamStore<WccAlgorithm> store(h.pool, layout, opts, dev, dev, dev, "input");
+  StreamingPhaseDriver<WccAlgorithm, HybridStreamStore<WccAlgorithm>> driver(store, {});
+  ASSERT_EQ(store.residency_plan().resident_count(), layout.num_partitions());
+
+  WccAlgorithm algo;
+  driver.InitVertices(algo);
+  driver.RunIteration(algo);
+  driver.RunIteration(algo);
+
+  // Mid-run: demote everything except partition 0 (its states flush back to
+  // the vertex files), then run to convergence over the shrunk pin set.
+  std::vector<PartitionResidencyStats> inputs(layout.num_partitions());
+  for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+    inputs[p].vertex_bytes = layout.Size(p) * sizeof(WccAlgorithm::VertexState);
+    inputs[p].avoided_bytes_per_iteration = p == 0 ? 1 : 0;
+  }
+  store.Replan(inputs);
+  EXPECT_EQ(store.residency_plan().resident_count(), 1u);
+  EXPECT_EQ(store.replans(), 1u);
+
+  while (driver.RunIteration(algo).updates_generated > 0) {
+  }
+  std::vector<VertexId> got(info.num_vertices);
+  driver.VertexMap(
+      [&](VertexId v, WccAlgorithm::VertexState& s) { got[v] = s.label; });
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(got[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(HybridStoreTest, AutomaticReplanKeepsBfsCorrectAtHalfBudget) {
+  // BFS's update volume moves with the frontier, so the per-iteration
+  // re-plan migrates pins mid-run; correctness must survive the migrations.
+  EdgeList edges = TestGraph(43, 10);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 8);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<uint32_t> expected = ReferenceBfsLevels(g, 0);
+
+  RuntimeHarness<BfsAlgorithm> h(2);
+  uint64_t full = FullPinBytes<BfsAlgorithm>(h.pool, edges, layout);
+  HybridStoreOptions opts = SmallHybridOpts(full / 2);
+  ASSERT_TRUE(opts.replan_between_iterations);
+  auto got = h.RunHybrid(BfsAlgorithm(0), edges, layout, opts);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(got[v].level, expected[v]) << "vertex " << v;
+  }
+  EXPECT_GT(h.stats.avoided_spill_bytes, 0u);
+}
+
+TEST(HybridStoreTest, CheckpointRoundtripsAcrossHybridAndDeviceStores) {
+  EdgeList edges = TestGraph(47);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+  RuntimeHarness<WccAlgorithm> h(2);
+  SimDevice ckpt("ckpt", DeviceProfile::Instant());
+
+  // Hybrid (half budget) -> checkpoint -> device store.
+  {
+    SimDevice dev("d1", DeviceProfile::Instant());
+    WriteEdgeFile(dev, "input", edges);
+    uint64_t full = FullPinBytes<WccAlgorithm>(h.pool, edges, layout);
+    HybridStreamStore<WccAlgorithm> store(h.pool, layout, SmallHybridOpts(full / 2), dev, dev,
+                                          dev, "input");
+    StreamingPhaseDriver<WccAlgorithm, HybridStreamStore<WccAlgorithm>> driver(store, {});
+    WccAlgorithm algo;
+    driver.Run(algo);
+    driver.SaveVertexStates(ckpt, "hybrid.ckpt");
+  }
+  {
+    SimDevice dev("d2", DeviceProfile::Instant());
+    WriteEdgeFile(dev, "input", edges);
+    DeviceStreamStore<WccAlgorithm> store(h.pool, layout, SmallDeviceOpts(true), dev, dev, dev,
+                                          "input");
+    StreamingPhaseDriver<WccAlgorithm, DeviceStreamStore<WccAlgorithm>> driver(store, {});
+    driver.LoadVertexStates(ckpt, "hybrid.ckpt");
+    driver.VertexMap([&](VertexId v, WccAlgorithm::VertexState& s) {
+      ASSERT_EQ(s.label, expected[v]) << "device restore, vertex " << v;
+    });
+    // And back the other way: device -> checkpoint -> hybrid.
+    driver.SaveVertexStates(ckpt, "device.ckpt");
+  }
+  {
+    SimDevice dev("d3", DeviceProfile::Instant());
+    WriteEdgeFile(dev, "input", edges);
+    HybridStreamStore<WccAlgorithm> store(h.pool, layout, SmallHybridOpts(uint64_t{1} << 30),
+                                          dev, dev, dev, "input");
+    StreamingPhaseDriver<WccAlgorithm, HybridStreamStore<WccAlgorithm>> driver(store, {});
+    driver.LoadVertexStates(ckpt, "device.ckpt");
+    driver.VertexMap([&](VertexId v, WccAlgorithm::VertexState& s) {
+      ASSERT_EQ(s.label, expected[v]) << "hybrid restore, vertex " << v;
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

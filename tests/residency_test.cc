@@ -1,0 +1,101 @@
+// ResidencyPlanner (core/residency.h): the greedy budgeted pin-set solver
+// behind the hybrid engine, plus the sizing-level budget resolution.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_store.h"
+#include "core/partition.h"
+#include "core/residency.h"
+#include "core/sizing.h"
+#include "util/env.h"
+
+namespace xstream {
+namespace {
+
+PartitionResidencyStats Part(uint64_t vertex_bytes, uint64_t update_bytes,
+                             uint64_t avoided) {
+  PartitionResidencyStats s;
+  s.vertex_bytes = vertex_bytes;
+  s.update_buffer_bytes = update_bytes;
+  s.avoided_bytes_per_iteration = avoided;
+  return s;
+}
+
+TEST(ResidencyPlannerTest, ZeroBudgetPinsNothing) {
+  ResidencyPlanner planner(0);
+  ResidencyPlan plan = planner.Plan({Part(10, 10, 1000), Part(10, 10, 1000)});
+  EXPECT_EQ(plan.resident_count(), 0u);
+  EXPECT_EQ(plan.resident_bytes, 0u);
+  EXPECT_EQ(plan.avoided_bytes_per_iteration, 0u);
+}
+
+TEST(ResidencyPlannerTest, AmpleBudgetPinsEverythingUseful) {
+  ResidencyPlanner planner(1 << 20);
+  ResidencyPlan plan =
+      planner.Plan({Part(10, 10, 100), Part(20, 0, 50), Part(5, 5, 0)});
+  EXPECT_TRUE(plan.resident[0]);
+  EXPECT_TRUE(plan.resident[1]);
+  EXPECT_FALSE(plan.resident[2]);  // zero avoided bytes: pinning buys nothing
+  EXPECT_EQ(plan.resident_bytes, 40u);
+  EXPECT_EQ(plan.avoided_bytes_per_iteration, 150u);
+}
+
+TEST(ResidencyPlannerTest, GreedyPrefersDensityNotRawSavings) {
+  // Partition 1 saves the most in absolute terms but is 100x the cost;
+  // under a tight budget the two dense partitions win.
+  ResidencyPlanner planner(200);
+  ResidencyPlan plan =
+      planner.Plan({Part(100, 0, 1000), Part(10000, 0, 2000), Part(100, 0, 900)});
+  EXPECT_TRUE(plan.resident[0]);
+  EXPECT_FALSE(plan.resident[1]);
+  EXPECT_TRUE(plan.resident[2]);
+  EXPECT_EQ(plan.resident_bytes, 200u);
+}
+
+TEST(ResidencyPlannerTest, OversizedCandidateIsSkippedNotTerminal) {
+  // The densest partition does not fit; the budget must flow past it to the
+  // smaller ones instead of stopping.
+  ResidencyPlanner planner(50);
+  ResidencyPlan plan = planner.Plan({Part(1000, 0, 100000), Part(25, 0, 100), Part(25, 0, 90)});
+  EXPECT_FALSE(plan.resident[0]);
+  EXPECT_TRUE(plan.resident[1]);
+  EXPECT_TRUE(plan.resident[2]);
+}
+
+TEST(ResidencyPlannerTest, DeterministicTieBreakByPartitionId) {
+  ResidencyPlanner planner(10);
+  ResidencyPlan plan = planner.Plan({Part(10, 0, 100), Part(10, 0, 100)});
+  EXPECT_TRUE(plan.resident[0]);
+  EXPECT_FALSE(plan.resident[1]);
+}
+
+TEST(BuildHybridPlanInputsTest, PricesVertexAndCrossTraffic) {
+  PartitionLayout layout(100, 2);  // partitions of 50 vertices each
+  std::vector<uint64_t> dst = {40, 10};
+  std::vector<uint64_t> local = {30, 5};
+  auto inputs = BuildHybridPlanInputs(layout, /*vertex_state_bytes=*/8,
+                                      /*update_bytes=*/8, dst, local,
+                                      /*absorb_local_updates=*/true);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0].vertex_bytes, 400u);
+  EXPECT_EQ(inputs[0].update_buffer_bytes, 320u);  // worst case: every in-edge
+  // 3 vertex-array passes + write-and-read-back of the 10 crossing updates.
+  EXPECT_EQ(inputs[0].avoided_bytes_per_iteration, 3 * 400u + 2 * 10 * 8u);
+  // Without absorption every incoming update would have hit the file.
+  auto no_absorb = BuildHybridPlanInputs(layout, 8, 8, dst, local, false);
+  EXPECT_EQ(no_absorb[0].avoided_bytes_per_iteration, 3 * 400u + 2 * 40 * 8u);
+}
+
+TEST(ResolveMemoryBudgetTest, AutoDetectsAndClampsToPhysicalMemory) {
+  uint64_t physical = PhysicalMemoryBytes();
+  uint64_t auto_budget = ResolveMemoryBudget(0);
+  EXPECT_GT(auto_budget, 0u);
+  if (physical > 0) {
+    EXPECT_LE(auto_budget, physical);
+    // An absurd request is clamped (with a warning), never fatal.
+    EXPECT_EQ(ResolveMemoryBudget(UINT64_MAX), physical);
+  }
+  EXPECT_EQ(ResolveMemoryBudget(1 << 20), uint64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace xstream
