@@ -25,7 +25,11 @@
 #include "graph/generators.h"
 #include "graph/text_io.h"
 #include "graph/transforms.h"
+#include "scheduler/algo_jobs.h"
+#include "scheduler/scan_source.h"
+#include "scheduler/scheduler.h"
 #include "storage/posix_device.h"
+#include "util/env.h"
 #include "util/format.h"
 #include "util/options.h"
 
@@ -57,12 +61,24 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
     --io-unit-kb=N          I/O unit (default 1024)
     --sync-spill            serialize update-spill writes (default: async,
                             double-buffered on the device I/O thread)
+    --spill-depth=N         spill write-pipeline slots (default 2; raise for
+                            RAID update devices)
   --memory-budget=BYTES     hybrid engine: byte budget for pinning hot
                             partitions in RAM (default: auto-detect, half of
                             physical memory; 0 pins nothing); requests above
                             physical memory are clamped with a warning
     --no-replan             hybrid: freeze the pin set chosen at setup
                             instead of re-planning between iterations
+  --jobs=SPEC[,SPEC...]     batch mode: run concurrent jobs under the
+                            multi-job scheduler, sharing one edge scan.
+                            SPEC = algo[:key=value...], algos wcc|bfs|sssp|
+                            pagerank|spmv, keys src= iters= seed= name=.
+                              --jobs=pagerank,wcc,bfs:src=0
+                            --engine picks the substrate (in-memory shares
+                            the RAM edge chunks; out-of-core/hybrid share
+                            the partitioned edge files). With hybrid jobs,
+                            --memory-budget is split across active jobs and
+                            re-split as jobs come and go.
 )";
 
 EdgeList LoadOrGenerate(const Options& opts) {
@@ -162,6 +178,17 @@ void MaybePrintPartitionStats(const Options& opts, const PartitionLayout& layout
               q.edge_balance);
 }
 
+// Resolves --workdir, creating a scratch directory when unset. Shared by the
+// solo engine paths and the --jobs batch mode.
+std::string ResolveWorkdir(const Options& opts, std::unique_ptr<ScratchDir>& scratch) {
+  std::string workdir = opts.GetString("workdir", "");
+  if (workdir.empty()) {
+    scratch = std::make_unique<ScratchDir>("xstream-cli");
+    workdir = scratch->path();
+  }
+  return workdir;
+}
+
 // Dispatches `run` with a constructed engine of any of the three flavours.
 template <typename Algo, typename Run>
 void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertices, Run&& run) {
@@ -187,11 +214,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     std::exit(2);
   }
   std::unique_ptr<ScratchDir> scratch;
-  std::string workdir = opts.GetString("workdir", "");
-  if (workdir.empty()) {
-    scratch = std::make_unique<ScratchDir>("xstream-cli");
-    workdir = scratch->path();
-  }
+  std::string workdir = ResolveWorkdir(opts, scratch);
   PosixDevice disk("disk", workdir);
   WriteEdgeFile(disk, "cli.input", edges);
   GraphInfo info = ScanEdges(edges);
@@ -203,6 +226,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     config.io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
     config.num_partitions = partitions;
     config.async_spill = !opts.GetBool("sync-spill", false);
+    config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
     config.replan_between_iterations = !opts.GetBool("no-replan", false);
     config.partitioner = partitioner.get();
     if (opts.Has("memory-budget")) {
@@ -225,6 +249,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   config.io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
   config.num_partitions = partitions;
   config.async_spill = !opts.GetBool("sync-spill", false);
+  config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
   config.partitioner = partitioner.get();
   OutOfCoreEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
   std::printf("engine: out-of-core in %s, %u partitions (%s), vertices %s\n", workdir.c_str(),
@@ -234,15 +259,138 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   run(engine);
 }
 
+// Batch mode (--jobs): submit every requested job to one JobScheduler over
+// a shared scan source, run them concurrently, and print per-job results
+// plus the scan-sharing statistics.
+int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& info) {
+  std::vector<JobSpec> specs = ParseJobList(opts.GetString("jobs", ""));
+  int threads = static_cast<int>(opts.GetInt("threads", 0));
+  ThreadPool pool(threads > 0 ? threads : NumCores());
+  std::string engine_name =
+      opts.GetString("engine", opts.GetBool("out-of-core", false) ? "out-of-core" : "in-memory");
+
+  std::unique_ptr<Partitioner> partitioner = PartitionerFromFlags(opts);
+  size_t io_unit_bytes = static_cast<size_t>(opts.GetUint("io-unit-kb", 1024)) << 10;
+  uint32_t k = static_cast<uint32_t>(opts.GetUint("partitions", 0));
+  if (k == 0) {
+    // One layout serves every job, so auto-sizing uses the largest vertex
+    // state among the job algorithms (16 bytes covers them all) against the
+    // per-job streaming budget — the same §3.4 inequality the solo
+    // out-of-core path applies per algorithm.
+    k = engine_name == "in-memory"
+            ? 8
+            : ChooseOutOfCorePartitions(info.num_vertices * 16,
+                                        opts.GetUint("budget-mb", 256) << 20, io_unit_bytes);
+  }
+  PartitionLayout layout;
+  if (partitioner != nullptr) {
+    auto mapping = std::make_shared<VertexMapping>(
+        partitioner->Partition(MakeEdgeStream(edges), info.num_vertices, k));
+    layout = PartitionLayout(std::move(mapping));
+  } else {
+    layout = PartitionLayout(info.num_vertices, k);
+  }
+
+  SchedulerOptions sched_opts;
+  if (opts.Has("memory-budget")) {
+    uint64_t requested = opts.GetUint("memory-budget", 0);
+    sched_opts.memory_budget_bytes = requested > 0 ? ResolveMemoryBudget(requested) : 0;
+  } else if (engine_name == "hybrid") {
+    // Mirror the solo hybrid default (half of physical memory) so hybrid
+    // batch jobs actually get pin budget instead of degenerating to the
+    // plain device path.
+    sched_opts.memory_budget_bytes = ResolveMemoryBudget(0);
+  }
+
+  // Declaration order doubles as teardown order: the scheduler (whose
+  // destructor abandons jobs, draining I/O on `disk`) must be destroyed
+  // before the device and scratch dir — including when RunAll throws.
+  std::unique_ptr<ScratchDir> scratch;
+  std::unique_ptr<PosixDevice> disk;
+  std::vector<std::shared_ptr<JobOutput>> outputs;
+  std::vector<JobId> ids;
+  std::unique_ptr<ScanSource> source;
+  std::unique_ptr<JobScheduler> scheduler;
+
+  if (engine_name == "in-memory") {
+    auto mem = std::make_unique<MemoryScanSource>(pool, layout, edges);
+    std::printf("scheduler: %zu jobs over shared in-RAM edge chunks, %u partitions (%s)\n",
+                specs.size(), layout.num_partitions(),
+                partitioner ? partitioner->name() : "range");
+    scheduler = std::make_unique<JobScheduler>(*mem, sched_opts);
+    for (const JobSpec& spec : specs) {
+      outputs.push_back(std::make_shared<JobOutput>());
+      ids.push_back(scheduler->Submit(MakeMemoryJob(spec, *mem, outputs.back())));
+    }
+    source = std::move(mem);
+  } else if (engine_name == "out-of-core" || engine_name == "hybrid") {
+    std::string workdir = ResolveWorkdir(opts, scratch);
+    disk = std::make_unique<PosixDevice>("disk", workdir);
+    WriteEdgeFile(*disk, "cli.input", edges);
+    DeviceScanSource::Options sopts;
+    sopts.io_unit_bytes = io_unit_bytes;
+    sopts.file_prefix = "scan";
+    // Only hybrid job stores consume the residency-planner tallies.
+    sopts.collect_dst_tallies = engine_name == "hybrid";
+    auto dev = std::make_unique<DeviceScanSource>(pool, layout, sopts, *disk, "cli.input");
+    std::printf("scheduler: %zu jobs over shared edge files in %s, %u partitions (%s)%s\n",
+                specs.size(), workdir.c_str(), layout.num_partitions(),
+                partitioner ? partitioner->name() : "range",
+                engine_name == "hybrid" ? ", hybrid job stores" : "");
+    scheduler = std::make_unique<JobScheduler>(*dev, sched_opts);
+    DeviceJobConfig jcfg;
+    jcfg.memory_budget_bytes = opts.GetUint("budget-mb", 256) << 20;
+    jcfg.io_unit_bytes = sopts.io_unit_bytes;
+    jcfg.async_spill = !opts.GetBool("sync-spill", false);
+    jcfg.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
+    jcfg.hybrid = engine_name == "hybrid";
+    for (size_t i = 0; i < specs.size(); ++i) {
+      outputs.push_back(std::make_shared<JobOutput>());
+      ids.push_back(scheduler->Submit(MakeDeviceJob(specs[i], *dev, *disk, *disk, jcfg,
+                                                    "job" + std::to_string(i),
+                                                    outputs.back())));
+    }
+    source = std::move(dev);
+  } else {
+    std::fprintf(stderr, "unknown --engine=%s\n%s", engine_name.c_str(), kUsage);
+    return 2;
+  }
+
+  scheduler->RunAll();
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    JobReport report = scheduler->report(ids[i]);
+    std::printf("job %-24s %s: %s (%llu rounds, queued %s, ran %s)\n",
+                report.name.c_str(), JobStateName(report.state),
+                outputs[i]->summary.c_str(),
+                static_cast<unsigned long long>(report.rounds),
+                HumanDuration(report.queue_seconds).c_str(),
+                HumanDuration(report.run_seconds).c_str());
+  }
+  SchedulerStats ss = scheduler->stats();
+  std::printf("scan sharing: %s edge bytes streamed once for %llu partition scans; "
+              "%llu extra scatter passes served (%s of naive re-reads avoided)\n",
+              HumanBytes(ss.shared_scan_bytes).c_str(),
+              static_cast<unsigned long long>(ss.partition_scans),
+              static_cast<unsigned long long>(ss.scans_saved),
+              HumanBytes(ss.saved_scan_bytes).c_str());
+  if (ss.budget_resplits > 0) {
+    std::printf("admission: %llu budget re-splits across active jobs\n",
+                static_cast<unsigned long long>(ss.budget_resplits));
+  }
+  scheduler.reset();  // retire before the source/devices it scans
+  return 0;
+}
+
 }  // namespace
 }  // namespace xstream
 
 int main(int argc, char** argv) {
   using namespace xstream;
   Options opts(argc, argv);
-  if (opts.GetBool("help", false) || !opts.Has("algorithm")) {
+  if (opts.GetBool("help", false) || (!opts.Has("algorithm") && !opts.Has("jobs"))) {
     std::fputs(kUsage, stdout);
-    return opts.Has("algorithm") ? 0 : 2;
+    return opts.Has("algorithm") || opts.Has("jobs") ? 0 : 2;
   }
 
   EdgeList edges = LoadOrGenerate(opts);
@@ -258,6 +406,10 @@ int main(int argc, char** argv) {
   GraphInfo info = ScanEdges(edges);
   std::printf("graph: %s vertices, %s edge records\n", HumanCount(info.num_vertices).c_str(),
               HumanCount(info.num_edges).c_str());
+
+  if (opts.Has("jobs")) {
+    return RunJobBatch(opts, edges, info);
+  }
 
   std::string algo = opts.GetString("algorithm", "");
   VertexId root = static_cast<VertexId>(opts.GetUint("root", 0));

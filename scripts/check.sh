@@ -8,6 +8,9 @@
 #   3. hybrid-residency smoke: fig29 at smoke scale — budget 0 must match
 #      the out-of-core engine, full budget must stop writing update files,
 #      and the runtime curve must stay monotone
+#   4. scan-sharing smoke: fig30 at smoke scale — concurrent scheduler jobs
+#      must produce solo-identical results while the shared scan keeps the
+#      edge-read volume ~flat in the job count
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -40,3 +43,7 @@ echo "== partition-quality smoke benchmark =="
 echo
 echo "== hybrid-residency smoke benchmark =="
 "./$BUILD_DIR/fig29_hybrid_residency" --smoke
+
+echo
+echo "== scan-sharing smoke benchmark =="
+"./$BUILD_DIR/fig30_scan_sharing" --smoke

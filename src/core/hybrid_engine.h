@@ -60,6 +60,7 @@ struct HybridConfig {
   bool eager_update_truncate = true;
   bool absorb_local_updates = true;
   bool async_spill = true;
+  int spill_queue_depth = 2;  // rotating spill write buffers (>= 2)
   bool replan_between_iterations = true;
   bool keep_iteration_log = true;
   Partitioner* partitioner = nullptr;  // not owned; must outlive the engine
@@ -103,6 +104,7 @@ class HybridEngine {
     opts.eager_update_truncate = config.eager_update_truncate;
     opts.absorb_local_updates = config.absorb_local_updates;
     opts.async_spill = config.async_spill;
+    opts.spill_queue_depth = config.spill_queue_depth;
     opts.file_prefix = config.file_prefix;
     opts.replan_between_iterations = config.replan_between_iterations;
     uint64_t budget = config.memory_budget_bytes;
@@ -141,6 +143,11 @@ class HybridEngine {
 
   RunStats& stats() { return driver_->stats(); }
   const RunStats& stats() const { return driver_->stats(); }
+
+  // The engine's store and driver, for advanced callers (the multi-job
+  // scheduler drives stores/drivers directly; see src/scheduler/).
+  Store& store() { return *store_; }
+  Driver& driver() { return *driver_; }
 
   void IngestEdges(const EdgeList& batch) {
     WallTimer timer;

@@ -19,9 +19,13 @@
 // local-update absorption and the async double-buffered spill. The
 // StreamingPhaseDriver runs unchanged: this class derives from
 // DeviceStreamStore and *shadows* (static dispatch through the driver's
-// Store parameter, never virtual) the methods whose behavior the resident
-// set changes. With an empty pin set every shadowed method degenerates to
-// the base behavior, so budget 0 reproduces the out-of-core engine exactly.
+// Store parameter) the load/store/gather methods whose behavior the
+// resident set changes, while the spill path is customized through the
+// base store's virtual routing hooks (KeepUpdatesResident /
+// AppendResidentUpdates / ObserveRoutedUpdates) so the
+// shuffle/absorb/append machinery exists exactly once. With an empty pin
+// set every customization degenerates to the base behavior, so budget 0
+// reproduces the out-of-core engine exactly.
 //
 // Between iterations the store re-plans from the observed per-partition
 // update volume: algorithms whose active set shrinks (BFS/SSSP) shed
@@ -115,6 +119,17 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     PushResidencyStats();
   }
 
+  // Budget handed down by the multi-job scheduler as jobs come and go. Takes
+  // effect at the next iteration boundary — including a first boundary with
+  // no observations yet (scheduler admission), which re-plans against the
+  // setup-time inputs — never mid-iteration (the pinned update buffers hold
+  // mid-iteration state, so re-planning immediately would drop updates).
+  // Honored even when automatic re-planning is off.
+  void SetPinBudget(uint64_t bytes) {
+    planner_.set_budget_bytes(bytes);
+    budget_dirty_ = true;
+  }
+
   // ---- Shadowed store surface --------------------------------------------
 
   void BindStats(RunStats* stats) {
@@ -124,8 +139,16 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
 
   void BeginIteration() {
     Base::BeginIteration();
-    if (hopts_.replan_between_iterations && iterations_seen_ > 0) {
-      ApplyPlan(planner_.Plan(ObservedPlanInputs()));
+    if (iterations_seen_ > 0) {
+      if (hopts_.replan_between_iterations || budget_dirty_) {
+        ApplyPlan(planner_.Plan(ObservedPlanInputs()));
+        budget_dirty_ = false;
+      }
+    } else if (budget_dirty_) {
+      // A budget assigned before the first iteration (scheduler admission):
+      // no update volumes observed yet, so re-plan from the setup tallies.
+      ApplyPlan(planner_.Plan(InitialPlanInputs()));
+      budget_dirty_ = false;
     }
     ++iterations_seen_;
     std::fill(observed_updates_.begin(), observed_updates_.end(), 0);
@@ -176,147 +199,29 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     }
   }
 
-  // The spill path with a third destination class: chunks for pinned
-  // partitions are appended to their RAM buffers on the compute thread
-  // (before the async write is submitted, like the absorption gather, so
-  // both threads only ever read the shuffled buffer) and excluded from the
-  // update-file write.
-  void SpillUpdates(Algo& algo, ConcurrentAppender& appender) {
-    appender.FlushAll();
-    uint64_t n = appender.records();
-    if (n == 0) {
-      return;
-    }
-    int slot = write_slot_;
-    WaitWriteSlot(slot);
-    this->spilled_ = true;
-    this->spilled_updates_ += n;
-    this->drain_watermark_ = 0;
+  // The spill path itself lives in the base store; the hybrid routing — a
+  // third destination class where chunks for pinned partitions are appended
+  // to their RAM buffers on the compute thread and excluded from the
+  // update-file write — plugs into its virtual hooks, so the base
+  // SpillUpdates / FinishScatter (including the tail spill) serve both
+  // stores from one copy.
+  bool KeepUpdatesResident(uint32_t p) const override { return plan_.resident[p]; }
 
-    Update* src = fill_.template records<Update>();
-    Update* dst = alt_[slot].template records<Update>();
-    ShuffleOutput<Update> shuffled;
-    if (layout_.num_partitions() == 1) {
-      std::memcpy(dst, src, n * sizeof(Update));
-      shuffled.data = dst;
-      shuffled.num_partitions = 1;
-      shuffled.slices = {{ChunkRef{0, n}}};
-    } else {
-      shuffled = ShuffleRecords(pool_, src, dst, n, layout_.num_partitions(),
-                                layout_.num_partitions(),
-                                [this](const Update& u) { return layout_.PartitionOf(u.dst); });
-      XS_CHECK(shuffled.data == dst);
-    }
-
-    const uint32_t absorb = absorb_partition_;
-    if (absorb != Base::kNoAbsorbPartition) {
-      VertexId part_base = layout_.Begin(absorb);
-      uint64_t absorbed = 0;
-      for (const auto& slice : shuffled.slices) {
-        const ChunkRef& c = slice[absorb];
-        const Update* rec = shuffled.data + c.begin;
-        for (uint64_t i = 0; i < c.count; ++i) {
-          if (algo.Gather(shadow_states_[layout_.DenseId(rec[i].dst) - part_base], rec[i])) {
-            ++this->absorbed_changed_;
-          }
-        }
-        absorbed += c.count;
-      }
-      if (absorbed > 0) {
-        this->shadow_dirty_ = true;
-        this->absorbed_updates_ += absorbed;
-      }
-    }
-
-    uint64_t submitted_bytes = 0;
-    uint64_t kept_bytes = 0;
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      uint64_t routed = 0;
-      for (const auto& slice : shuffled.slices) {
-        routed += slice[p].count;
-      }
-      observed_updates_[p] += routed;
-      if (p == absorb) {
-        continue;
-      }
-      if (plan_.resident[p]) {
-        for (const auto& slice : shuffled.slices) {
-          const ChunkRef& c = slice[p];
-          pinned_updates_[p].insert(pinned_updates_[p].end(), shuffled.data + c.begin,
-                                    shuffled.data + c.begin + c.count);
-        }
-        kept_bytes += routed * sizeof(Update);
-      } else {
-        submitted_bytes += routed * sizeof(Update);
-      }
-    }
-    stats_->update_file_bytes += submitted_bytes;
-    // A kept byte skips both the update-file append and the gather read-back.
-    stats_->avoided_spill_bytes += 2 * kept_bytes;
-
-    const Update* data = shuffled.data;
-    auto slices =
-        std::make_shared<std::vector<std::vector<ChunkRef>>>(std::move(shuffled.slices));
-    pending_write_[slot] = update_dev_.executor().Submit([this, data, slices, absorb] {
-      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-        if (p == absorb || plan_.resident[p]) {
-          continue;  // gathered into the shadow / kept in the RAM buffer
-        }
-        for (const auto& slice : *slices) {
-          const ChunkRef& c = slice[p];
-          if (c.count > 0) {
-            update_dev_.Append(update_files_[p],
-                               std::span<const std::byte>(
-                                   reinterpret_cast<const std::byte*>(data + c.begin),
-                                   c.count * sizeof(Update)));
-          }
-        }
-      }
-    });
-    write_slot_ ^= 1;
-    if (opts_.async_spill) {
-      stats_->async_spill_bytes += submitted_bytes;
-    } else {
-      WaitWriteSlot(slot);
-    }
+  void AppendResidentUpdates(uint32_t p, const Update* rec, uint64_t count) override {
+    pinned_updates_[p].insert(pinned_updates_[p].end(), rec, rec + count);
   }
 
-  // Identical to the base transition except that the tail spill must go
-  // through the hybrid spill path (base methods dispatch statically, so the
-  // base FinishScatter would route pinned partitions' tails to their files).
-  GatherPlan FinishScatter(Algo& algo, ConcurrentAppender& appender) {
-    GatherPlan plan;
-    appender.FlushAll();
-    plan.tail_records = appender.records();
-    plan.memory_gather = !this->spilled_ && opts_.allow_update_memory_opt;
-    if (plan.memory_gather) {
-      if (plan.tail_records > 0) {
-        plan.resident = ShuffleRecords(
-            pool_, fill_.template records<Update>(), alt_[0].template records<Update>(),
-            plan.tail_records, layout_.num_partitions(), layout_.num_partitions(),
-            [this](const Update& u) { return layout_.PartitionOf(u.dst); });
-        for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-          for (const auto& slice : plan.resident.slices) {
-            observed_updates_[p] += slice[p].count;
-          }
-        }
-      }
-    } else if (plan.tail_records > 0) {
-      SpillUpdates(algo, appender);
-    }
-    WaitAllWrites();
+  void ObserveRoutedUpdates(uint32_t p, uint64_t count) override {
+    observed_updates_[p] += count;
+  }
 
-    if (plan.memory_gather && plan.resident.data == alt_[0].template records<Update>()) {
-      plan.tmp_a = fill_.template records<Update>();
-      plan.tmp_b = alt_[1].template records<Update>();
-    } else if (plan.memory_gather && plan.tail_records > 0) {
-      plan.tmp_a = alt_[0].template records<Update>();
-      plan.tmp_b = alt_[1].template records<Update>();
-    } else {
-      plan.tmp_a = fill_.template records<Update>();
-      plan.tmp_b = alt_[0].template records<Update>();
+  // Cancelled mid-scatter: drain the base spill state, then discard the
+  // pinned partitions' partially collected RAM buffers too.
+  void AbortScatter() {
+    Base::AbortScatter();
+    for (auto& buf : pinned_updates_) {
+      buf.clear();
     }
-    return plan;
   }
 
   void BeginPartitionGather(uint32_t p) { LoadPartition(p); }
@@ -337,18 +242,17 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     Base::ForEachUpdateChunk(p, std::forward<F>(f));
   }
 
+  // A pinned partition's gather stores the states back into the pin and
+  // recycles its RAM update buffer; unpinned partitions keep the base
+  // store/TRIM/occupancy path unchanged (pinned gathers never touch the
+  // update files, so skipping them cannot miss a peak-occupancy sample).
   void EndPartitionGather(uint32_t p, bool memory_gather) {
+    if (!plan_.resident[p]) {
+      Base::EndPartitionGather(p, memory_gather);
+      return;
+    }
     StorePartition(p);
-    if (plan_.resident[p]) {
-      pinned_updates_[p].clear();  // consumed; capacity kept for next iteration
-    } else if (!memory_gather && opts_.eager_update_truncate) {
-      update_dev_.Truncate(update_files_[p], 0);
-    }
-    uint64_t occupancy = 0;
-    for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
-      occupancy += update_dev_.FileSize(update_files_[q]);
-    }
-    stats_->peak_update_bytes = std::max(stats_->peak_update_bytes, occupancy);
+    pinned_updates_[p].clear();  // consumed; capacity kept for next iteration
   }
 
  private:
@@ -416,13 +320,9 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   void CountAvoided(uint64_t bytes) { stats_->avoided_spill_bytes += bytes; }
 
   using Base::absorb_partition_;
-  using Base::alt_;
-  using Base::fill_;
   using Base::layout_;
   using Base::opts_;
   using Base::part_states_;
-  using Base::pending_write_;
-  using Base::pool_;
   using Base::shadow_dirty_;
   using Base::shadow_states_;
   using Base::stats_;
@@ -430,9 +330,6 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   using Base::update_files_;
   using Base::vertex_dev_;
   using Base::vertex_files_;
-  using Base::WaitAllWrites;
-  using Base::WaitWriteSlot;
-  using Base::write_slot_;
 
   HybridStoreOptions hopts_;
   ResidencyPlanner planner_;
@@ -447,6 +344,7 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   std::vector<uint64_t> observed_updates_;
   uint64_t iterations_seen_ = 0;
   uint64_t replans_ = 0;
+  bool budget_dirty_ = false;  // SetPinBudget awaiting the next boundary
 };
 
 }  // namespace xstream

@@ -120,6 +120,11 @@ class InMemoryEngine {
   RunStats& stats() { return driver_->stats(); }
   const RunStats& stats() const { return driver_->stats(); }
 
+  // The engine's store and driver, for advanced callers (the multi-job
+  // scheduler drives stores/drivers directly; see src/scheduler/).
+  Store& store() { return *store_; }
+  Driver& driver() { return *driver_; }
+
   // Vertex iteration (§2.5): applies f(v, state) to every vertex, in
   // parallel over partition-aligned (dense) ranges.
   template <typename F>

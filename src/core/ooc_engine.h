@@ -94,6 +94,10 @@ struct OutOfCoreConfig {
   // §3.3 compute/write overlap on the spill path (fig 28). False makes
   // every spill wait for its own update-file write — the sync baseline.
   bool async_spill = true;
+  // Spill write-pipeline depth (number of rotating shuffle/write buffers).
+  // 2 = the paper's double buffering; RAID update devices that absorb
+  // several concurrent streams benefit from more slots. Clamped to >= 2.
+  int spill_queue_depth = 2;
   // Optional streaming partitioner (src/partitioning/). Null keeps the
   // paper's equal contiguous ranges. When set, its passes stream the input
   // edge file during setup and vertex state is sliced in the mapping's
@@ -147,6 +151,7 @@ class OutOfCoreEngine {
     opts.eager_update_truncate = config.eager_update_truncate;
     opts.absorb_local_updates = config.absorb_local_updates;
     opts.async_spill = config.async_spill;
+    opts.spill_queue_depth = config.spill_queue_depth;
     opts.file_prefix = config.file_prefix;
     store_ = std::make_unique<Store>(pool_, std::move(layout), opts, edge_dev, update_dev,
                                      vertex_dev, input_edge_file);
@@ -169,6 +174,11 @@ class OutOfCoreEngine {
 
   RunStats& stats() { return driver_->stats(); }
   const RunStats& stats() const { return driver_->stats(); }
+
+  // The engine's store and driver, for advanced callers (the multi-job
+  // scheduler drives stores/drivers directly; see src/scheduler/).
+  Store& store() { return *store_; }
+  Driver& driver() { return *driver_; }
 
   // Appends more raw edges to the partitioned store (the Fig 17 ingest
   // path): each batch goes through the same in-memory shuffle and is

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -194,33 +195,184 @@ class StreamingPhaseDriver {
 
   // ---- The streaming loop -------------------------------------------------
 
-  // One synchronous scatter -> shuffle -> gather round (Fig 4 / Fig 6).
+  // One synchronous scatter -> shuffle -> gather round (Fig 4 / Fig 6),
+  // assembled from the externally drivable pieces below so the single-job
+  // loop and the scheduler's shared-scan mode cannot drift.
   IterationStats RunIteration(Algo& algo) {
-    IterationStats iter;
-    iter.iteration = stats_.iterations;
-    WallTimer iter_timer;
+    BeginIterationScatter(algo);
+    if constexpr (Store::kPartitionParallel) {
+      ScatterAllPartitionsParallel(algo);
+    } else {
+      const PartitionLayout& layout = store_.layout();
+      for (uint32_t s = 0; s < layout.num_partitions(); ++s) {
+        if (!PartitionNeedsScatter(s)) {
+          continue;
+        }
+        BeginScatterPartition(s);
+        store_.ForEachEdgeChunk(s,
+                                [&](const Edge* es, uint64_t n) { ScatterChunk(algo, es, n); });
+        EndScatterPartition(algo);
+      }
+    }
+    return FinishIterationScatter(algo);
+  }
 
+  // ---- Multi-job (externally driven) scatter mode -------------------------
+  //
+  // The JobScheduler (src/scheduler/) owns the edge scan: it streams each
+  // partition's edge chunks once and feeds them to every active job's
+  // driver, so N concurrent jobs pay for one sequential pass instead of N.
+  // Protocol per iteration:
+  //
+  //   BeginIterationScatter(algo)
+  //   for each partition s with PartitionNeedsScatter(s):
+  //     BeginScatterPartition(s)
+  //     ScatterChunk(algo, es, n)*     // chunks come from the scan owner
+  //     EndScatterPartition(algo)
+  //   FinishIterationScatter(algo)     // spill tail + gather + stats fold
+  //
+  // Every partition must be visited exactly once per iteration, but any
+  // rotation works — updates are unordered within an iteration (§2.3), so a
+  // job admitted mid-round simply starts its cycle at the next partition
+  // boundary. CancelIterationScatter() abandons a half-done iteration (job
+  // cancellation), draining any in-flight spill writes.
+
+  void BeginIterationScatter(Algo& algo) {
+    XS_CHECK(!in_iteration_scatter_) << "iteration scatter already in progress";
+    in_iteration_scatter_ = true;
+    cur_iter_ = IterationStats{};
+    cur_iter_.iteration = stats_.iterations;
+    iter_timer_.Reset();
+    streaming_.Clear();
     if constexpr (HasBeforeIteration<Algo>) {
       algo.BeforeIteration(stats_.iterations);
     }
     store_.BeginIteration();
-
     if constexpr (Store::kPartitionParallel) {
-      RunIterationPartitionParallel(algo, iter);
+      scatter_appender_ = std::make_unique<ConcurrentAppender>(
+          store_.update_append_span(), sizeof(Update), store_.pool().num_threads());
     } else {
-      RunIterationPartitionSequential(algo, iter);
+      scatter_appender_ = std::make_unique<ConcurrentAppender>(
+          store_.fill_span(), sizeof(Update), store_.pool().num_threads());
     }
+  }
 
-    iter.seconds = iter_timer.Seconds();
-    stats_.edges_streamed += iter.edges_streamed;
-    stats_.updates_generated += iter.updates_generated;
-    stats_.wasted_edges += iter.wasted_edges;
-    stats_.updates_absorbed += iter.updates_absorbed;
+  // Whether partition s takes part in this iteration's scatter (empty
+  // partitions with file-resident vertices are skipped, like the single-job
+  // loop always has).
+  bool PartitionNeedsScatter(uint32_t s) const {
+    if constexpr (Store::kPartitionParallel) {
+      (void)s;
+      return true;
+    } else {
+      return store_.all_resident() || store_.layout().Size(s) > 0;
+    }
+  }
+
+  void BeginScatterPartition(uint32_t s) {
+    XS_CHECK(in_iteration_scatter_);
+    if constexpr (Store::kPartitionParallel) {
+      (void)s;
+      scatter_state_base_ = store_.resident_states();
+      scatter_part_base_ = 0;
+    } else {
+      store_.BeginPartitionScatter(s);
+      scatter_state_base_ =
+          store_.all_resident() ? store_.resident_states() : store_.partition_states();
+      scatter_part_base_ = store_.all_resident() ? 0 : store_.layout().Begin(s);
+    }
+  }
+
+  // Streams one loaded span of the current partition's edges: spill when the
+  // worst-case output may not fit (device shape), scatter the span in
+  // parallel, flush. Chunks may come from the store's own reader (solo runs)
+  // or from a scheduler's shared scan.
+  void ScatterChunk(Algo& algo, const Edge* es, uint64_t n) {
+    ConcurrentAppender& appender = *scatter_appender_;
+    if constexpr (!Store::kPartitionParallel) {
+      if (appender.bytes() + n * sizeof(Update) > store_.buffer_bytes()) {
+        store_.SpillUpdates(algo, appender);
+        appender.Reset();  // scatter continues into the drained fill buffer
+      }
+    }
+    std::atomic<uint64_t> wasted{0};
+    store_.pool().ParallelForTid(0, n, 2048, [&](int tid, uint64_t lo, uint64_t hi) {
+      uint64_t w = ScatterSpan(algo, es + lo, hi - lo, scatter_state_base_,
+                               scatter_part_base_, tid, appender);
+      wasted.fetch_add(w, std::memory_order_relaxed);
+    });
+    appender.FlushAll();
+    cur_iter_.edges_streamed += n;
+    cur_iter_.wasted_edges += wasted.load();
+  }
+
+  void EndScatterPartition(Algo& algo) {
+    if constexpr (!Store::kPartitionParallel) {
+      store_.EndPartitionScatter(algo, *scatter_appender_);
+    }
+  }
+
+  // Ends the scatter phase (tail spill or §3.2 memory gather), runs the full
+  // gather phase, and folds the iteration into stats().
+  IterationStats FinishIterationScatter(Algo& algo) {
+    XS_CHECK(in_iteration_scatter_);
+    ConcurrentAppender& appender = *scatter_appender_;
+    if constexpr (Store::kPartitionParallel) {
+      const PartitionLayout& layout = store_.layout();
+      appender.FlushAll();
+      cur_iter_.updates_generated = appender.records();
+      ShuffleOutput<Update> shuffled;
+      if (cur_iter_.updates_generated > 0) {
+        ScopedInterval si(streaming_);
+        shuffled = ShuffleRecords(
+            store_.pool(), store_.update_records(), store_.scratch_records(),
+            cur_iter_.updates_generated, layout.num_partitions(), opts_.shuffle_fanout,
+            [&layout](const Update& u) { return layout.PartitionOf(u.dst); });
+        store_.CommitUpdateShuffle(shuffled);
+      }
+      GatherPartitionParallel(algo, shuffled);
+      stats_.streaming_seconds += streaming_.TotalSeconds();
+    } else {
+      auto plan = store_.FinishScatter(algo, appender);
+      // Drained updates were removed from the buffer before the tail count,
+      // but they were generated (and gathered) all the same. A spilled tail
+      // is already inside spilled_updates(); only a memory-resident tail
+      // needs adding on top.
+      cur_iter_.updates_generated = store_.spilled_updates() + store_.drained_updates() +
+                                    (plan.memory_gather ? plan.tail_records : 0);
+      cur_iter_.updates_absorbed = store_.absorbed_updates() + store_.drained_updates();
+      GatherPartitionSequential(algo, plan);
+    }
+    scatter_appender_.reset();
+    in_iteration_scatter_ = false;
+
+    cur_iter_.seconds = iter_timer_.Seconds();
+    stats_.edges_streamed += cur_iter_.edges_streamed;
+    stats_.updates_generated += cur_iter_.updates_generated;
+    stats_.wasted_edges += cur_iter_.wasted_edges;
+    stats_.updates_absorbed += cur_iter_.updates_absorbed;
     ++stats_.iterations;
     if (opts_.keep_iteration_log) {
-      stats_.per_iteration.push_back(iter);
+      stats_.per_iteration.push_back(cur_iter_);
     }
-    return iter;
+    return cur_iter_;
+  }
+
+  // Abandons a half-done iteration (the scheduler cancelled this job
+  // mid-round): in-flight spill writes are drained and already spilled
+  // updates discarded; stats() keeps only completed iterations. Vertex
+  // state is NOT rewound — partitions scattered before the cancel may hold
+  // absorbed mid-iteration updates — so a cancelled driver/store pair is
+  // only safe to destroy, not to resume.
+  void CancelIterationScatter() {
+    if (!in_iteration_scatter_) {
+      return;
+    }
+    if constexpr (!Store::kPartitionParallel) {
+      store_.AbortScatter();
+    }
+    scatter_appender_.reset();
+    in_iteration_scatter_ = false;
   }
 
   // Runs Init + iterations until a scatter emits no updates, the algorithm
@@ -391,23 +543,20 @@ class StreamingPhaseDriver {
 
   // ---- Partition-parallel shape (memory store, §4) ------------------------
 
-  void RunIterationPartitionParallel(Algo& algo, IterationStats& iter)
+  // Scatter phase: stream every partition's edge chunks concurrently under
+  // work stealing, appending updates to the shared update buffer.
+  void ScatterAllPartitionsParallel(Algo& algo)
     requires(Store::kPartitionParallel)
   {
     const PartitionLayout& layout = store_.layout();
     ThreadPool& pool = store_.pool();
-    IntervalAccumulator streaming;
-
-    // --- Scatter phase: stream every partition's edge chunk, appending
-    // updates to the shared update buffer.
-    ConcurrentAppender appender(store_.update_append_span(), sizeof(Update),
-                                pool.num_threads());
+    ConcurrentAppender& appender = *scatter_appender_;
     const ShuffleOutput<Edge>& edge_chunks = store_.edge_chunks();
     std::atomic<uint64_t> edges_streamed{0};
     std::atomic<uint64_t> wasted{0};
     queues_.Distribute(layout.num_partitions());
     {
-      ScopedInterval si(streaming);
+      ScopedInterval si(streaming_);
       const VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_edges = 0;
@@ -426,35 +575,28 @@ class StreamingPhaseDriver {
       });
       appender.FlushAll();
     }
-    iter.edges_streamed = edges_streamed.load();
-    iter.wasted_edges = wasted.load();
-    iter.updates_generated = appender.records();
+    cur_iter_.edges_streamed = edges_streamed.load();
+    cur_iter_.wasted_edges = wasted.load();
+  }
 
-    // --- Shuffle phase: group updates by destination partition (multi-stage
-    // when the partition count warrants it, §4.2).
-    ShuffleOutput<Update> shuffled;
-    if (iter.updates_generated > 0) {
-      ScopedInterval si(streaming);
-      shuffled = ShuffleRecords(pool, store_.update_records(), store_.scratch_records(),
-                                iter.updates_generated, layout.num_partitions(),
-                                opts_.shuffle_fanout,
-                                [&layout](const Update& u) { return layout.PartitionOf(u.dst); });
-      store_.CommitUpdateShuffle(shuffled);
-    }
-
-    // --- Gather phase: stream each partition's update chunk into its vertex
-    // states; EndVertex runs per partition right after its gather (legal
-    // because gather only touches the partition's own vertices).
+  // Gather phase: stream each partition's update chunk into its vertex
+  // states; EndVertex runs per partition right after its gather (legal
+  // because gather only touches the partition's own vertices).
+  void GatherPartitionParallel(Algo& algo, const ShuffleOutput<Update>& shuffled)
+    requires(Store::kPartitionParallel)
+  {
+    const PartitionLayout& layout = store_.layout();
+    ThreadPool& pool = store_.pool();
     std::atomic<uint64_t> changed{0};
     queues_.Distribute(layout.num_partitions());
     {
-      ScopedInterval si(streaming);
+      ScopedInterval si(streaming_);
       VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_changed = 0;
         uint32_t p = 0;
         while (queues_.Pop(tid, p, opts_.enable_work_stealing)) {
-          if (iter.updates_generated > 0) {
+          if (cur_iter_.updates_generated > 0) {
             for (const auto& slice : shuffled.slices) {
               const ChunkRef& c = slice[p];
               const Update* us = shuffled.data + c.begin;
@@ -474,62 +616,19 @@ class StreamingPhaseDriver {
         changed.fetch_add(local_changed, std::memory_order_relaxed);
       });
     }
-    iter.vertices_changed = changed.load();
-    stats_.streaming_seconds += streaming.TotalSeconds();
+    cur_iter_.vertices_changed = changed.load();
   }
 
   // ---- Partition-sequential shape (device store, §3) ----------------------
 
-  void RunIterationPartitionSequential(Algo& algo, IterationStats& iter)
+  // Gather phase: absorbed updates already mutated their partition's stored
+  // state during scatter; count them with the file/memory gathers.
+  template <typename Plan>
+  void GatherPartitionSequential(Algo& algo, const Plan& plan)
     requires(!Store::kPartitionParallel)
   {
     const PartitionLayout& layout = store_.layout();
     ThreadPool& pool = store_.pool();
-
-    // ---- Merged scatter/shuffle phase: scatter accumulates into the
-    // store's fill buffer; the store spills (shuffle + async chunk writes)
-    // whenever a chunk's worst-case output may not fit.
-    ConcurrentAppender appender(store_.fill_span(), sizeof(Update), pool.num_threads());
-    for (uint32_t s = 0; s < layout.num_partitions(); ++s) {
-      if (!store_.all_resident() && layout.Size(s) == 0) {
-        continue;
-      }
-      store_.BeginPartitionScatter(s);
-      const VertexState* state_base =
-          store_.all_resident() ? store_.resident_states() : store_.partition_states();
-      VertexId part_base = store_.all_resident() ? 0 : layout.Begin(s);
-
-      store_.ForEachEdgeChunk(s, [&](const Edge* es, uint64_t n) {
-        if (appender.bytes() + n * sizeof(Update) > store_.buffer_bytes()) {
-          store_.SpillUpdates(algo, appender);
-          appender.Reset();  // scatter continues into the drained fill buffer
-        }
-        std::atomic<uint64_t> local_wasted{0};
-        pool.ParallelForTid(0, n, 2048, [&](int tid, uint64_t lo, uint64_t hi) {
-          uint64_t w = ScatterSpan(algo, es + lo, hi - lo, state_base, part_base, tid, appender);
-          local_wasted.fetch_add(w, std::memory_order_relaxed);
-        });
-        appender.FlushAll();
-        iter.edges_streamed += n;
-        iter.wasted_edges += local_wasted.load();
-      });
-      store_.EndPartitionScatter(algo, appender);
-    }
-
-    // End of scatter: either keep the whole update set in memory (§3.2
-    // optimization 2) or spill the tail like any other buffer, then drain
-    // the outstanding writes.
-    auto plan = store_.FinishScatter(algo, appender);
-    // Drained updates were removed from the buffer before the tail count,
-    // but they were generated (and gathered) all the same. A spilled tail is
-    // already inside spilled_updates(); only a memory-resident tail needs
-    // adding on top.
-    iter.updates_generated = store_.spilled_updates() + store_.drained_updates() +
-                             (plan.memory_gather ? plan.tail_records : 0);
-    iter.updates_absorbed = store_.absorbed_updates() + store_.drained_updates();
-
-    // ---- Gather phase. Absorbed updates already mutated their partition's
-    // stored state during scatter; count them with the file/memory gathers.
     std::atomic<uint64_t> changed{store_.absorbed_changed()};
     for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
       if (layout.Size(p) == 0) {
@@ -568,7 +667,7 @@ class StreamingPhaseDriver {
       store_.EndPartitionGather(p, plan.memory_gather);
     }
     store_.FinishGather(plan.memory_gather);
-    iter.vertices_changed = changed.load();
+    cur_iter_.vertices_changed = changed.load();
   }
 
   // Gathers one loaded chunk of updates. With multiple threads the chunk is
@@ -624,6 +723,16 @@ class StreamingPhaseDriver {
   PhaseDriverOptions opts_;
   WorkStealingQueues queues_;
   RunStats stats_;
+
+  // In-flight iteration state for the drivable scatter pieces (RunIteration
+  // and the scheduler's shared-scan mode alike).
+  std::unique_ptr<ConcurrentAppender> scatter_appender_;
+  IterationStats cur_iter_;
+  WallTimer iter_timer_;
+  IntervalAccumulator streaming_;
+  const VertexState* scatter_state_base_ = nullptr;
+  VertexId scatter_part_base_ = 0;
+  bool in_iteration_scatter_ = false;
 };
 
 }  // namespace xstream

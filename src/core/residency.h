@@ -80,6 +80,11 @@ class ResidencyPlanner {
 
   uint64_t budget_bytes() const { return budget_bytes_; }
 
+  // Budgets move at runtime: the multi-job scheduler re-splits one memory
+  // budget across the active jobs as they come and go. Takes effect at the
+  // next Plan() call.
+  void set_budget_bytes(uint64_t bytes) { budget_bytes_ = bytes; }
+
   // Greedy pin-set selection: decreasing avoided-per-resident-byte density,
   // skipping candidates that exceed the remaining budget. Partitions with
   // zero avoided bytes are never pinned (pinning them buys nothing).

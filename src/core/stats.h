@@ -36,6 +36,9 @@ struct RunStats {
   double setup_seconds = 0.0;      // partitioning the unordered edge list
   double compute_seconds = 0.0;    // wall time of the iteration loop
   double streaming_seconds = 0.0;  // time inside scatter/shuffle/gather
+  // Multi-job scheduler runs: time between submission and admission (budget
+  // slot + next partition boundary). Zero for solo engine runs.
+  double queue_seconds = 0.0;
 
   // Out-of-core runs on SimDevices: max busy time across devices. The
   // modelled runtime is the max of compute wall time and device busy time

@@ -75,6 +75,124 @@ concept StreamStoreFor = requires(S s, const S cs, uint32_t p, RunStats stats) {
 };
 
 // ---------------------------------------------------------------------------
+// Shared edge-partitioning plumbing.
+//
+// The device store's setup and ingest paths, and the multi-job scheduler's
+// shared-scan substrate (src/scheduler/scan_source.h), all run the same
+// pass: stream unordered edges, shuffle each loaded stretch by source
+// partition, append the chunks to per-partition files, and optionally tally
+// destination/local edges for the residency planner.
+
+struct EdgeShuffleTallies {
+  std::vector<uint64_t>* src = nullptr;    // edges by source partition
+  std::vector<uint64_t>* dst = nullptr;    // edges by destination partition
+  std::vector<uint64_t>* local = nullptr;  // src and dst share the partition
+  bool collect_dst = false;                // one extra PartitionOf per edge
+};
+
+// Shuffles `count` edges sitting at the start of `data` by source partition
+// (`scratch` must also hold `count` records) and appends each partition's
+// spans to its file. Callers guarantee no spill write owns `scratch`.
+inline void ShuffleAppendEdgeBlock(ThreadPool& pool, const PartitionLayout& layout,
+                                   StorageDevice& dev, const std::vector<FileId>& files,
+                                   Edge* data, Edge* scratch, uint64_t count,
+                                   const EdgeShuffleTallies& tallies) {
+  if (count == 0) {
+    return;
+  }
+  auto shuffled =
+      ShuffleRecords(pool, data, scratch, count, layout.num_partitions(),
+                     layout.num_partitions(),
+                     [&layout](const Edge& e) { return layout.PartitionOf(e.src); });
+  for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
+    for (const auto& slice : shuffled.slices) {
+      const ChunkRef& c = slice[p];
+      if (c.count > 0) {
+        dev.Append(files[p],
+                   std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
+                       c.count * sizeof(Edge)));
+        if (tallies.src != nullptr) {
+          (*tallies.src)[p] += c.count;
+        }
+        // Within p's slice every edge has source partition p, so one
+        // PartitionOf per edge classifies it as local or cross-partition.
+        if (tallies.collect_dst) {
+          for (uint64_t i = 0; i < c.count; ++i) {
+            uint32_t pd = layout.PartitionOf(shuffled.data[c.begin + i].dst);
+            ++(*tallies.dst)[pd];
+            if (pd == p) {
+              ++(*tallies.local)[p];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Streams the unordered input file and partitions it through the block
+// shuffle above, batching up to `capacity_bytes` of edges per shuffle.
+inline void PartitionEdgeFileToParts(ThreadPool& pool, const PartitionLayout& layout,
+                                     StorageDevice& in_dev, const std::string& input_file,
+                                     StorageDevice& out_dev, const std::vector<FileId>& files,
+                                     Edge* fill, Edge* scratch, uint64_t capacity_bytes,
+                                     size_t io_unit_bytes,
+                                     const EdgeShuffleTallies& tallies) {
+  FileId input = in_dev.Open(input_file);
+  size_t read_chunk =
+      std::max<size_t>(sizeof(Edge), io_unit_bytes / sizeof(Edge) * sizeof(Edge));
+  XS_CHECK_LE(read_chunk, capacity_bytes)
+      << "edge-partitioning buffer smaller than one read chunk";
+  StreamReader reader(in_dev, input, read_chunk);
+  uint64_t buffered = 0;
+  for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+    XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
+    uint64_t n = chunk.size() / sizeof(Edge);
+    if ((buffered + n) * sizeof(Edge) > capacity_bytes) {
+      ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies);
+      buffered = 0;
+    }
+    std::memcpy(reinterpret_cast<std::byte*>(fill) + buffered * sizeof(Edge), chunk.data(),
+                chunk.size());
+    buffered += n;
+  }
+  ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies);
+}
+
+// Partitioned in-RAM edges shared by several MemoryStreamStores (the
+// scheduler's memory-engine scan sharing): the setup shuffle runs once and
+// every job's store references the same chunk array instead of copying it.
+struct SharedEdgeChunks {
+  StreamBuffer buffer;         // the buffer the shuffled edges ended up in
+  ShuffleOutput<Edge> chunks;  // per-slice, per-partition index into it
+  uint64_t num_edges = 0;
+};
+
+inline std::shared_ptr<const SharedEdgeChunks> MakeSharedEdgeChunks(
+    ThreadPool& pool, const PartitionLayout& layout, uint32_t shuffle_fanout,
+    const EdgeList& edges) {
+  auto shared = std::make_shared<SharedEdgeChunks>();
+  shared->num_edges = edges.size();
+  size_t capacity = std::max<size_t>(1, edges.size()) * sizeof(Edge);
+  shared->buffer = StreamBuffer(capacity);
+  StreamBuffer scratch(capacity);
+  if (!edges.empty()) {
+    std::memcpy(shared->buffer.data(), edges.data(), edges.size() * sizeof(Edge));
+  }
+  shared->chunks = ShuffleRecords(pool, shared->buffer.records<Edge>(),
+                                  scratch.records<Edge>(), edges.size(),
+                                  layout.num_partitions(), shuffle_fanout,
+                                  [&layout](const Edge& e) { return layout.PartitionOf(e.src); });
+  if (shared->chunks.data == scratch.records<Edge>()) {
+    // The shuffle may land in either buffer; keep the resting one. The move
+    // transfers the allocation, so chunks.data stays valid.
+    shared->buffer = std::move(scratch);
+  }
+  return shared;
+}
+
+// ---------------------------------------------------------------------------
 // MemoryStreamStore: chunked in-RAM edge/update streams (paper §4).
 //
 // Exactly three stream buffers, each big enough for the edge list or the
@@ -118,6 +236,34 @@ class MemoryStreamStore {
     states_.resize(layout_.num_vertices());
   }
 
+  // Shared-edges mode (multi-job scheduler): the partitioned edges live in a
+  // SharedEdgeChunks owned by the scan source; this store allocates only its
+  // own update and shuffle-scratch buffers (sized for one update per edge)
+  // and its own vertex states.
+  MemoryStreamStore(ThreadPool& pool, PartitionLayout layout,
+                    std::shared_ptr<const SharedEdgeChunks> shared_edges)
+      : pool_(pool), layout_(std::move(layout)), shared_edges_(std::move(shared_edges)) {
+    XS_CHECK(shared_edges_ != nullptr);
+    edge_chunks_ = shared_edges_->chunks;
+    size_t capacity = std::max<uint64_t>(1, shared_edges_->num_edges) * sizeof(Update);
+    buffers_[0] = StreamBuffer(capacity);
+    buffers_[1] = StreamBuffer(capacity);
+    update_buf_ = &buffers_[0];
+    scratch_buf_ = &buffers_[1];
+    states_.resize(layout_.num_vertices());
+  }
+
+  // Approximate RAM held for this store's lifetime (admission pricing for
+  // the multi-job scheduler). Shared edge chunks are charged to their owner,
+  // not to each attached store.
+  uint64_t ResidentFootprintBytes() const {
+    uint64_t total = layout_.num_vertices() * sizeof(VertexState);
+    for (const auto& buf : buffers_) {
+      total += buf.capacity_bytes();
+    }
+    return total;
+  }
+
   ThreadPool& pool() { return pool_; }
   const PartitionLayout& layout() const { return layout_; }
 
@@ -156,9 +302,12 @@ class MemoryStreamStore {
  private:
   ThreadPool& pool_;
   PartitionLayout layout_;
+  // Owns the edge buffer in solo mode (buffers_[0..2]); in shared-edges mode
+  // only buffers_[0..1] are allocated and the edges live in shared_edges_.
   StreamBuffer buffers_[3];
   StreamBuffer* update_buf_ = nullptr;
   StreamBuffer* scratch_buf_ = nullptr;
+  std::shared_ptr<const SharedEdgeChunks> shared_edges_;
   ShuffleOutput<Edge> edge_chunks_;
   std::vector<VertexState> states_;
 };
@@ -177,11 +326,28 @@ struct DeviceStoreOptions {
   // Double-buffered asynchronous spill writes (§3.3). Off = each spill
   // waits for its own update-file write (the fig28 sync baseline).
   bool async_spill = true;
+  // Spill write-pipeline depth: how many shuffle/write buffers the spill
+  // path rotates through. 2 = the paper's double buffering; RAID update
+  // devices that absorb several streams can take more writes in flight.
+  // Clamped to >= 2 (the gather scratch logic needs two non-fill buffers).
+  int spill_queue_depth = 2;
   // Tally incoming/local edges per partition during the setup and ingest
   // shuffles (one extra PartitionOf per edge). Only the hybrid store's
   // residency planner consumes the tallies, so it alone turns this on.
   bool collect_dst_tallies = false;
   std::string file_prefix = "xs";
+  // Shared-scan attach mode (src/scheduler/): open the existing per-
+  // partition edge files named "<edge_file_prefix>.edges.N" instead of
+  // creating them and partitioning `input_edge_file` (ignored, may be
+  // empty). Update and vertex files are still created under file_prefix.
+  // IngestEdges is disabled — the scan source owns the edge streams.
+  bool attach_edge_files = false;
+  std::string edge_file_prefix;  // empty = file_prefix
+  // Setup-pass tallies supplied by the owner of the shared edge files
+  // (attach mode never runs its own tally pass). Not owned; read once at
+  // construction.
+  const std::vector<uint64_t>* shared_dst_tallies = nullptr;
+  const std::vector<uint64_t>* shared_local_tallies = nullptr;
 };
 
 template <EdgeCentricAlgorithm Algo>
@@ -224,10 +390,15 @@ class DeviceStreamStore {
         std::max<uint64_t>(static_cast<uint64_t>(opts_.io_unit_bytes) * k, floor_bytes);
     buffer_bytes_ = std::max<uint64_t>(buffer_bytes_, record * 1024);
     fill_ = StreamBuffer(buffer_bytes_);
-    alt_[0] = StreamBuffer(buffer_bytes_);
-    alt_[1] = StreamBuffer(buffer_bytes_);
+    int spill_slots = std::max(2, opts_.spill_queue_depth);
+    alt_.reserve(static_cast<size_t>(spill_slots));
+    for (int i = 0; i < spill_slots; ++i) {
+      alt_.emplace_back(buffer_bytes_);
+    }
+    pending_write_.resize(static_cast<size_t>(spill_slots));
 
-    // Create the per-partition files.
+    // Create (or, in attach mode, open the scan source's) per-partition
+    // files.
     edge_files_.resize(k);
     update_files_.resize(k);
     vertex_files_.resize(k);
@@ -235,7 +406,8 @@ class DeviceStreamStore {
     dst_edge_counts_.assign(k, 0);
     local_edge_counts_.assign(k, 0);
     for (uint32_t p = 0; p < k; ++p) {
-      edge_files_[p] = edge_dev_.Create(PartFile("edges", p));
+      edge_files_[p] = opts_.attach_edge_files ? edge_dev_.Open(EdgeFileName(p))
+                                               : edge_dev_.Create(EdgeFileName(p));
       update_files_[p] = update_dev_.Create(PartFile("updates", p));
       if (!vertices_in_memory_) {
         vertex_files_[p] = vertex_dev_.Create(PartFile("vertices", p));
@@ -264,8 +436,25 @@ class DeviceStreamStore {
     // on, which includes the input-partitioning pass below (X-Stream
     // charges its own pre-processing to the run).
     CaptureDeviceBaselines();
-    PartitionInputEdges(input_edge_file);
+    if (opts_.attach_edge_files) {
+      // The scan source already partitioned the input; recover the edge
+      // counts from the file sizes and the planner tallies from the source.
+      for (uint32_t p = 0; p < k; ++p) {
+        edge_counts_[p] = edge_dev_.FileSize(edge_files_[p]) / sizeof(Edge);
+      }
+      if (opts_.shared_dst_tallies != nullptr) {
+        dst_edge_counts_ = *opts_.shared_dst_tallies;
+      }
+      if (opts_.shared_local_tallies != nullptr) {
+        local_edge_counts_ = *opts_.shared_local_tallies;
+      }
+    } else {
+      PartitionInputEdges(input_edge_file);
+    }
   }
+
+  // Subclasses customize spill routing through the virtual hooks below.
+  virtual ~DeviceStreamStore() { WaitAllWritesQuietly(); }
 
   ThreadPool& pool() { return pool_; }
   const PartitionLayout& layout() const { return layout_; }
@@ -310,7 +499,7 @@ class DeviceStreamStore {
     std::vector<std::string> names;
     names.reserve(layout_.num_partitions());
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      names.push_back(PartFile("edges", p));
+      names.push_back(EdgeFileName(p));
     }
     return names;
   }
@@ -351,15 +540,19 @@ class DeviceStreamStore {
 
   // In-memory shuffle of the filled output buffer + asynchronous appends of
   // the per-partition chunks to the update files (the folded shuffle phase,
-  // Fig 6). Destination buffers alternate so the shuffle of this batch
-  // overlaps the write of the previous one; the only wait is for the write
-  // two batches back, which still owns the destination about to be reused.
+  // Fig 6). Destination buffers rotate through spill_queue_depth slots so
+  // the shuffle of this batch overlaps the writes of the previous ones; the
+  // only wait is for the write `depth` batches back, which still owns the
+  // destination about to be reused.
   //
   // When a scatter partition is active (absorb_partition_), its own chunks
   // are gathered straight into its shadow next-state here — synchronously,
   // before the async write is submitted, so the writer thread and this
   // thread only ever read the shuffled buffer — and never reach its update
-  // file. The caller must Reset() the appender afterwards.
+  // file. Partially resident subclasses route further partitions to RAM via
+  // the KeepUpdatesResident / AppendResidentUpdates hooks; the write lambda
+  // works off a routing snapshot, so a later re-plan can never race it.
+  // The caller must Reset() the appender afterwards.
   void SpillUpdates(Algo& algo, ConcurrentAppender& appender) {
     appender.FlushAll();
     uint64_t n = appender.records();
@@ -373,7 +566,7 @@ class DeviceStreamStore {
     drain_watermark_ = 0;  // the fill buffer is fresh after this returns
 
     Update* src = fill_.template records<Update>();
-    Update* dst = alt_[slot].template records<Update>();
+    Update* dst = alt_[static_cast<size_t>(slot)].template records<Update>();
     ShuffleOutput<Update> shuffled;
     if (layout_.num_partitions() == 1) {
       // ShuffleRecords would leave a single partition's records in place in
@@ -410,37 +603,62 @@ class DeviceStreamStore {
       }
     }
 
+    // Route every destination partition: the scatter partition's chunks were
+    // gathered into the shadow above, resident partitions' chunks go to
+    // their RAM buffers (subclass hook), the rest to the update files.
     uint64_t submitted_bytes = 0;
+    uint64_t kept_bytes = 0;
+    std::vector<uint8_t> to_file(layout_.num_partitions(), 0);
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      uint64_t routed = 0;
+      for (const auto& slice : shuffled.slices) {
+        routed += slice[p].count;
+      }
+      ObserveRoutedUpdates(p, routed);
       if (p == absorb) {
         continue;
       }
-      for (const auto& slice : shuffled.slices) {
-        submitted_bytes += slice[p].count * sizeof(Update);
+      if (KeepUpdatesResident(p)) {
+        for (const auto& slice : shuffled.slices) {
+          const ChunkRef& c = slice[p];
+          if (c.count > 0) {
+            AppendResidentUpdates(p, shuffled.data + c.begin, c.count);
+          }
+        }
+        kept_bytes += routed * sizeof(Update);
+      } else {
+        to_file[p] = 1;
+        submitted_bytes += routed * sizeof(Update);
       }
     }
     stats_->update_file_bytes += submitted_bytes;
+    if (kept_bytes > 0) {
+      // A kept byte skips both the update-file append and the gather
+      // read-back.
+      stats_->avoided_spill_bytes += 2 * kept_bytes;
+    }
 
     const Update* data = shuffled.data;
     auto slices =
         std::make_shared<std::vector<std::vector<ChunkRef>>>(std::move(shuffled.slices));
-    pending_write_[slot] = update_dev_.executor().Submit([this, data, slices, absorb] {
-      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-        if (p == absorb) {
-          continue;  // gathered into the shadow above
-        }
-        for (const auto& slice : *slices) {
-          const ChunkRef& c = slice[p];
-          if (c.count > 0) {
-            update_dev_.Append(update_files_[p],
-                               std::span<const std::byte>(
-                                   reinterpret_cast<const std::byte*>(data + c.begin),
-                                   c.count * sizeof(Update)));
+    pending_write_[static_cast<size_t>(slot)] = update_dev_.executor().Submit(
+        [this, data, slices, routing = std::move(to_file)] {
+          for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+            if (!routing[p]) {
+              continue;  // gathered into the shadow / kept resident above
+            }
+            for (const auto& slice : *slices) {
+              const ChunkRef& c = slice[p];
+              if (c.count > 0) {
+                update_dev_.Append(update_files_[p],
+                                   std::span<const std::byte>(
+                                       reinterpret_cast<const std::byte*>(data + c.begin),
+                                       c.count * sizeof(Update)));
+              }
+            }
           }
-        }
-      }
-    });
-    write_slot_ ^= 1;
+        });
+    write_slot_ = (write_slot_ + 1) % static_cast<int>(alt_.size());
     if (opts_.async_spill) {
       stats_->async_spill_bytes += submitted_bytes;
     } else {
@@ -519,6 +737,15 @@ class DeviceStreamStore {
             pool_, fill_.template records<Update>(), alt_[0].template records<Update>(),
             plan.tail_records, layout_.num_partitions(), layout_.num_partitions(),
             [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+        // Memory-gathered tails still count as routed volume for partially
+        // resident subclasses' re-plan feedback (no-op in the base store).
+        for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+          uint64_t routed = 0;
+          for (const auto& slice : plan.resident.slices) {
+            routed += slice[p].count;
+          }
+          ObserveRoutedUpdates(p, routed);
+        }
       }
     } else if (plan.tail_records > 0) {
       SpillUpdates(algo, appender);
@@ -591,12 +818,52 @@ class DeviceStreamStore {
   uint64_t absorbed_updates() const { return absorbed_updates_; }
   uint64_t absorbed_changed() const { return absorbed_changed_; }
 
+  // Cancelled mid-scatter (multi-job scheduler cancellation / teardown):
+  // drop the absorption shadow, drain outstanding spill writes, and discard
+  // anything already spilled so nothing references the store's buffers and
+  // teardown is safe. Runs on destructor paths (a dropped job), so write
+  // errors are logged, never thrown — the job's results are being discarded
+  // anyway. This does NOT rewind vertex state: partitions whose scatter
+  // already completed this iteration may have persisted absorbed updates,
+  // so an aborted store's results are mid-iteration — discard the store
+  // (as the scheduler does) rather than resuming computation on it.
+  void AbortScatter() {
+    absorb_partition_ = kNoAbsorbPartition;
+    WaitAllWritesQuietly();
+    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+      update_dev_.Truncate(update_files_[p], 0);
+    }
+    spilled_ = false;
+    spilled_updates_ = 0;
+    absorbed_updates_ = 0;
+    drained_updates_ = 0;
+    absorbed_changed_ = 0;
+    drain_watermark_ = 0;
+  }
+
+  // Approximate RAM held for this store's lifetime: stream buffers plus
+  // whichever vertex arrays the residency mode keeps (admission pricing for
+  // the multi-job scheduler; a hybrid subclass's pin set is priced by its
+  // pin budget, not here).
+  uint64_t ResidentFootprintBytes() const {
+    uint64_t total = fill_.capacity_bytes();
+    for (const auto& buf : alt_) {
+      total += buf.capacity_bytes();
+    }
+    total += mem_states_.size() * sizeof(VertexState);
+    total += (part_states_.size() + shadow_states_.size()) * sizeof(VertexState);
+    return total;
+  }
+
   // ---- Ingest / setup -----------------------------------------------------
 
   // Appends more raw edges to the partitioned store (the Fig 17 ingest
   // path): each batch goes through the same in-memory shuffle and is
   // appended to the per-partition edge files.
   void IngestEdges(const EdgeList& batch) {
+    XS_CHECK(!opts_.attach_edge_files)
+        << "attached stores share their edge files with a scan source; ingest "
+           "through the source instead";
     for (const Edge& e : batch) {
       XS_CHECK_LT(e.src, layout_.num_vertices());
       XS_CHECK_LT(e.dst, layout_.num_vertices());
@@ -640,11 +907,33 @@ class DeviceStreamStore {
  protected:
   // Protected rather than private: HybridStreamStore (core/hybrid_store.h)
   // extends this store with a planner-chosen resident partition set and
-  // needs direct access to the buffer/file/spill machinery. Methods are
-  // dispatched statically through the driver's Store template parameter, so
-  // the subclass shadows (never overrides) the methods it changes.
+  // needs direct access to the buffer/file/spill machinery. The driver
+  // dispatches statically through its Store template parameter, so most
+  // subclass customizations shadow base methods; the spill path is the
+  // exception — it routes through the three virtual hooks below so the
+  // shuffle/absorb/append machinery exists exactly once.
+
+  // True if partition p's incoming updates stay in RAM instead of going to
+  // its update file.
+  virtual bool KeepUpdatesResident(uint32_t /*p*/) const { return false; }
+  // Appends a shuffled chunk destined to resident partition p. Runs on the
+  // compute thread, before the async write is submitted.
+  virtual void AppendResidentUpdates(uint32_t /*p*/, const Update* /*rec*/,
+                                     uint64_t /*count*/) {}
+  // Called once per destination partition per spill (and per memory-gather
+  // tail) with the updates routed there — subclass re-plan feedback.
+  virtual void ObserveRoutedUpdates(uint32_t /*p*/, uint64_t /*count*/) {}
+
   std::string PartFile(const char* kind, uint32_t p) const {
     return opts_.file_prefix + "." + kind + "." + std::to_string(p);
+  }
+
+  // Edge files may belong to a shared scan source (attach mode), in which
+  // case they carry the source's prefix rather than this store's.
+  std::string EdgeFileName(uint32_t p) const {
+    const std::string& prefix =
+        opts_.edge_file_prefix.empty() ? opts_.file_prefix : opts_.edge_file_prefix;
+    return prefix + ".edges." + std::to_string(p);
   }
 
   void StorePartitionFrom(uint32_t p, const VertexState* states) {
@@ -654,80 +943,66 @@ class DeviceStreamStore {
                                                  n * sizeof(VertexState)));
   }
 
+  EdgeShuffleTallies SetupTallies() {
+    EdgeShuffleTallies tallies;
+    tallies.src = &edge_counts_;
+    tallies.dst = &dst_edge_counts_;
+    tallies.local = &local_edge_counts_;
+    tallies.collect_dst = opts_.collect_dst_tallies;
+    return tallies;
+  }
+
   // Setup: stream the unordered input file, shuffle each loaded stretch by
   // source partition, append chunks to the per-partition edge files (§3.2).
   void PartitionInputEdges(const std::string& input_edge_file) {
-    FileId input = edge_dev_.Open(input_edge_file);
-    size_t read_chunk =
-        std::max<size_t>(sizeof(Edge), opts_.io_unit_bytes / sizeof(Edge) * sizeof(Edge));
-    StreamReader reader(edge_dev_, input, read_chunk);
-    uint64_t buffered = 0;
-    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
-      XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
-      uint64_t n = chunk.size() / sizeof(Edge);
-      if ((buffered + n) * sizeof(Edge) > buffer_bytes_) {
-        ShuffleAndAppendEdges(buffered);
-        buffered = 0;
-      }
-      std::memcpy(fill_.data() + buffered * sizeof(Edge), chunk.data(), chunk.size());
-      buffered += n;
-    }
-    if (buffered > 0) {
-      ShuffleAndAppendEdges(buffered);
-    }
+    EdgeShuffleTallies tallies = SetupTallies();
+    PartitionEdgeFileToParts(pool_, layout_, edge_dev_, input_edge_file, edge_dev_,
+                             edge_files_, fill_.template records<Edge>(),
+                             alt_[0].template records<Edge>(), buffer_bytes_,
+                             opts_.io_unit_bytes, tallies);
   }
 
   // Shuffles `count` edges sitting at the start of the fill buffer by source
   // partition and appends each partition's spans to its edge file. Only
   // called at setup/ingest time, when no spill writes are outstanding.
   void ShuffleAndAppendEdges(uint64_t count) {
-    if (count == 0) {
-      return;
-    }
-    auto shuffled = ShuffleRecords(pool_, fill_.template records<Edge>(),
-                                   alt_[0].template records<Edge>(), count,
-                                   layout_.num_partitions(), layout_.num_partitions(),
-                                   [this](const Edge& e) { return layout_.PartitionOf(e.src); });
-    for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      for (const auto& slice : shuffled.slices) {
-        const ChunkRef& c = slice[p];
-        if (c.count > 0) {
-          edge_dev_.Append(edge_files_[p],
-                           std::span<const std::byte>(
-                               reinterpret_cast<const std::byte*>(shuffled.data + c.begin),
-                               c.count * sizeof(Edge)));
-          edge_counts_[p] += c.count;
-          // Destination tallies for the residency planner: within p's slice
-          // every edge has source partition p, so one PartitionOf per edge
-          // classifies it as local (absorbable) or cross-partition.
-          if (opts_.collect_dst_tallies) {
-            for (uint64_t i = 0; i < c.count; ++i) {
-              uint32_t pd = layout_.PartitionOf(shuffled.data[c.begin + i].dst);
-              ++dst_edge_counts_[pd];
-              if (pd == p) {
-                ++local_edge_counts_[p];
-              }
-            }
-          }
-        }
-      }
-    }
+    EdgeShuffleTallies tallies = SetupTallies();
+    ShuffleAppendEdgeBlock(pool_, layout_, edge_dev_, edge_files_,
+                           fill_.template records<Edge>(), alt_[0].template records<Edge>(),
+                           count, tallies);
   }
 
   // Waits for the spill write holding `slot`'s buffer; .get() rather than
   // .wait() so failures raised on the I/O thread propagate to the caller
   // instead of being dropped with the future.
   void WaitWriteSlot(int slot) {
-    if (pending_write_[slot].valid()) {
+    if (pending_write_[static_cast<size_t>(slot)].valid()) {
       WallTimer timer;
-      pending_write_[slot].get();
+      pending_write_[static_cast<size_t>(slot)].get();
       stats_->spill_wait_seconds += timer.Seconds();
     }
   }
 
   void WaitAllWrites() {
-    WaitWriteSlot(0);
-    WaitWriteSlot(1);
+    for (int slot = 0; slot < static_cast<int>(pending_write_.size()); ++slot) {
+      WaitWriteSlot(slot);
+    }
+  }
+
+  // Destructor-safe drain: the spill lambdas capture `this`, so a store
+  // destroyed mid-scatter (a cancelled scheduler job) must wait for them;
+  // errors are swallowed (destructors must not throw) — durable paths drain
+  // through FinishScatter/AbortScatter, which propagate.
+  void WaitAllWritesQuietly() {
+    for (auto& pending : pending_write_) {
+      if (pending.valid()) {
+        try {
+          pending.get();
+        } catch (const std::exception& e) {
+          XS_LOG(Error) << "dropped spill-write error during store teardown: " << e.what();
+        }
+      }
+    }
   }
 
   std::vector<StorageDevice*> UniqueDevices() {
@@ -743,13 +1018,14 @@ class DeviceStreamStore {
   StorageDevice& vertex_dev_;
 
   uint64_t buffer_bytes_ = 0;
-  // Scatter output accumulates in fill_; spills shuffle it into alternating
-  // alt_ buffers whose contents the async update-file write owns until the
-  // matching WaitWriteSlot. alt_[0] doubles as shuffle scratch at setup /
-  // ingest / memory-gather time, when no writes are outstanding.
+  // Scatter output accumulates in fill_; spills shuffle it into rotating
+  // alt_ buffers (spill_queue_depth of them, >= 2) whose contents the async
+  // update-file write owns until the matching WaitWriteSlot. alt_[0] doubles
+  // as shuffle scratch at setup / ingest / memory-gather time, when no
+  // writes are outstanding.
   StreamBuffer fill_;
-  StreamBuffer alt_[2];
-  std::future<void> pending_write_[2];
+  std::vector<StreamBuffer> alt_;
+  std::vector<std::future<void>> pending_write_;
   int write_slot_ = 0;
 
   bool vertices_in_memory_ = false;

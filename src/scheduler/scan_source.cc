@@ -1,0 +1,80 @@
+#include "scheduler/scan_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "buffers/stream_buffer.h"
+#include "storage/stream_io.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+DeviceScanSource::DeviceScanSource(ThreadPool& pool, PartitionLayout layout,
+                                   const Options& opts, StorageDevice& edge_dev,
+                                   const std::string& input_edge_file)
+    : pool_(pool), layout_(std::move(layout)), opts_(opts), edge_dev_(edge_dev) {
+  uint32_t k = layout_.num_partitions();
+  edge_files_.resize(k);
+  edge_counts_.assign(k, 0);
+  dst_edge_counts_.assign(k, 0);
+  local_edge_counts_.assign(k, 0);
+  for (uint32_t p = 0; p < k; ++p) {
+    edge_files_[p] = edge_dev_.Create(opts_.file_prefix + ".edges." + std::to_string(p));
+  }
+
+  uint64_t capacity = opts_.buffer_bytes > 0
+                          ? opts_.buffer_bytes
+                          : std::max<uint64_t>(static_cast<uint64_t>(opts_.io_unit_bytes) * k,
+                                               sizeof(Edge) * 1024);
+  // The shuffle batch must hold at least one reader chunk.
+  capacity = std::max<uint64_t>(capacity, opts_.io_unit_bytes);
+  StreamBuffer fill(capacity);
+  StreamBuffer scratch(capacity);
+  EdgeShuffleTallies tallies;
+  tallies.src = &edge_counts_;
+  tallies.dst = &dst_edge_counts_;
+  tallies.local = &local_edge_counts_;
+  tallies.collect_dst = opts_.collect_dst_tallies;
+  PartitionEdgeFileToParts(pool_, layout_, edge_dev_, input_edge_file, edge_dev_,
+                           edge_files_, fill.records<Edge>(), scratch.records<Edge>(),
+                           capacity, opts_.io_unit_bytes, tallies);
+}
+
+void DeviceScanSource::ForEachEdgeChunk(uint32_t s,
+                                        const std::function<void(const Edge*, uint64_t)>& f) {
+  uint64_t chunk_edges = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge));
+  StreamReader reader(edge_dev_, edge_files_[s], chunk_edges * sizeof(Edge));
+  for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+    f(reinterpret_cast<const Edge*>(chunk.data()), chunk.size() / sizeof(Edge));
+  }
+}
+
+uint64_t DeviceScanSource::PartitionEdgeBytes(uint32_t s) const {
+  return edge_counts_[s] * sizeof(Edge);
+}
+
+MemoryScanSource::MemoryScanSource(ThreadPool& pool, PartitionLayout layout,
+                                   const EdgeList& edges, uint32_t shuffle_fanout)
+    : pool_(pool), layout_(std::move(layout)) {
+  shared_ = MakeSharedEdgeChunks(pool_, layout_, shuffle_fanout, edges);
+}
+
+void MemoryScanSource::ForEachEdgeChunk(uint32_t s,
+                                        const std::function<void(const Edge*, uint64_t)>& f) {
+  for (const auto& slice : shared_->chunks.slices) {
+    const ChunkRef& c = slice[s];
+    if (c.count > 0) {
+      f(shared_->chunks.data + c.begin, c.count);
+    }
+  }
+}
+
+uint64_t MemoryScanSource::PartitionEdgeBytes(uint32_t s) const {
+  uint64_t records = 0;
+  for (const auto& slice : shared_->chunks.slices) {
+    records += slice[s].count;
+  }
+  return records * sizeof(Edge);
+}
+
+}  // namespace xstream

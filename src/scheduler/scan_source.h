@@ -1,0 +1,138 @@
+// Shared edge-stream scan sources for the multi-job scheduler.
+//
+// X-Stream's one unavoidable cost is the sequential pass over every
+// partition's edge stream (paper §2-3): each algorithm iteration streams all
+// edges, and the edge list dwarfs vertex and update data on real graphs. N
+// concurrent jobs over the same graph therefore should not pay for N scans.
+// A ScanSource owns the partitioned edge representation exactly once — the
+// per-partition edge files of the device path, or the shuffled in-RAM chunk
+// array of the memory path — and the JobScheduler (scheduler.h) streams it
+// once per round on behalf of every active job. Per-job stores *attach* to
+// the source (DeviceStoreOptions::attach_edge_files, MemoryStreamStore's
+// SharedEdgeChunks constructor) instead of partitioning the input
+// themselves, so both the setup pass and the per-iteration scans are shared.
+#ifndef XSTREAM_SCHEDULER_SCAN_SOURCE_H_
+#define XSTREAM_SCHEDULER_SCAN_SOURCE_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/stream_store.h"
+#include "graph/types.h"
+#include "storage/device.h"
+#include "threads/thread_pool.h"
+
+namespace xstream {
+
+// Type-erased provider of per-partition edge streams. One scan = one call to
+// ForEachEdgeChunk; the scheduler fans each loaded chunk out to every active
+// job's driver.
+class ScanSource {
+ public:
+  virtual ~ScanSource() = default;
+
+  virtual const PartitionLayout& layout() const = 0;
+  virtual ThreadPool& pool() = 0;
+
+  // Streams partition s's edges once, in chunks.
+  virtual void ForEachEdgeChunk(uint32_t s,
+                                const std::function<void(const Edge*, uint64_t)>& f) = 0;
+
+  // Bytes one pass over partition s's edge stream moves (scan accounting).
+  virtual uint64_t PartitionEdgeBytes(uint32_t s) const = 0;
+
+  // Upper bound on the edges one ForEachEdgeChunk callback delivers. Job
+  // factories check it against their stores' fill buffers so a mismatched
+  // source/job I/O-unit pairing fails at submit time, not mid-scatter.
+  virtual uint64_t MaxChunkEdges() const = 0;
+};
+
+// Device-backed scan source: partitions the unordered input file into
+// per-partition edge files once — the same setup pass a DeviceStreamStore
+// runs, including the residency planner's destination tallies — and streams
+// them with the same double-buffered chunked reader.
+class DeviceScanSource : public ScanSource {
+ public:
+  struct Options {
+    size_t io_unit_bytes = 1 << 20;
+    // Shuffle-batch capacity for the setup pass; 0 = io_unit * partitions
+    // (the store's stream-buffer sizing).
+    uint64_t buffer_bytes = 0;
+    std::string file_prefix = "scan";
+    // Tally destination/local edges during setup (one extra PartitionOf per
+    // edge) so attached hybrid jobs can price pins without their own pass.
+    bool collect_dst_tallies = true;
+  };
+
+  DeviceScanSource(ThreadPool& pool, PartitionLayout layout, const Options& opts,
+                   StorageDevice& edge_dev, const std::string& input_edge_file);
+
+  const PartitionLayout& layout() const override { return layout_; }
+  ThreadPool& pool() override { return pool_; }
+  void ForEachEdgeChunk(uint32_t s,
+                        const std::function<void(const Edge*, uint64_t)>& f) override;
+  uint64_t PartitionEdgeBytes(uint32_t s) const override;
+  uint64_t MaxChunkEdges() const override {
+    return std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge));
+  }
+
+  StorageDevice& edge_device() { return edge_dev_; }
+  const std::string& file_prefix() const { return opts_.file_prefix; }
+  const std::vector<uint64_t>& edge_counts() const { return edge_counts_; }
+  const std::vector<uint64_t>& dst_edge_counts() const { return dst_edge_counts_; }
+  const std::vector<uint64_t>& local_edge_counts() const { return local_edge_counts_; }
+
+  // Fills the attach-mode fields of a job store's options so it opens this
+  // source's edge files instead of partitioning its own.
+  void ConfigureAttachedStore(DeviceStoreOptions& opts) const {
+    opts.attach_edge_files = true;
+    opts.edge_file_prefix = opts_.file_prefix;
+    opts.shared_dst_tallies = &dst_edge_counts_;
+    opts.shared_local_tallies = &local_edge_counts_;
+  }
+
+ private:
+  ThreadPool& pool_;
+  PartitionLayout layout_;
+  Options opts_;
+  StorageDevice& edge_dev_;
+  std::vector<FileId> edge_files_;
+  std::vector<uint64_t> edge_counts_;
+  std::vector<uint64_t> dst_edge_counts_;
+  std::vector<uint64_t> local_edge_counts_;
+};
+
+// In-RAM scan source: the edges are shuffled into per-partition chunks once
+// (SharedEdgeChunks); attached MemoryStreamStores reference the same chunk
+// array, and the shared scan walks it partition by partition so N jobs make
+// one pass through memory instead of N.
+class MemoryScanSource : public ScanSource {
+ public:
+  MemoryScanSource(ThreadPool& pool, PartitionLayout layout, const EdgeList& edges,
+                   uint32_t shuffle_fanout = 4);
+
+  const PartitionLayout& layout() const override { return layout_; }
+  ThreadPool& pool() override { return pool_; }
+  void ForEachEdgeChunk(uint32_t s,
+                        const std::function<void(const Edge*, uint64_t)>& f) override;
+  uint64_t PartitionEdgeBytes(uint32_t s) const override;
+  // A chunk is one slice's span of a partition; never more than the whole
+  // edge set, which memory-store update buffers are sized for anyway.
+  uint64_t MaxChunkEdges() const override { return std::max<uint64_t>(1, shared_->num_edges); }
+
+  // The shared chunk array a job's MemoryStreamStore attaches to.
+  std::shared_ptr<const SharedEdgeChunks> shared_edges() const { return shared_; }
+
+ private:
+  ThreadPool& pool_;
+  PartitionLayout layout_;
+  std::shared_ptr<const SharedEdgeChunks> shared_;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_SCHEDULER_SCAN_SOURCE_H_

@@ -1,0 +1,361 @@
+#include "scheduler/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+JobScheduler::JobScheduler(ScanSource& source, SchedulerOptions opts)
+    : source_(source), opts_(opts) {}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    XS_CHECK(!driving_) << "JobScheduler destroyed while a thread is driving it";
+  }
+  for (ActiveJob& aj : active_) {
+    aj.job->Abandon();
+  }
+}
+
+JobId JobScheduler::Submit(std::unique_ptr<ScheduledJob> job) {
+  XS_CHECK(job != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  JobId id = next_id_++;
+  Record rec;
+  rec.name = job->name();
+  rec.state = JobState::kQueued;
+  rec.submit_seconds = clock_.Seconds();
+  records_.emplace(id, std::move(rec));
+  pending_.push_back(PendingJob{id, std::move(job)});
+  ++stats_.jobs_submitted;
+  cv_.notify_all();
+  return id;
+}
+
+JobState JobScheduler::Poll(JobId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(id);
+  XS_CHECK(it != records_.end()) << "unknown job id " << id;
+  return it->second.state;
+}
+
+void JobScheduler::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end() || it->second.state == JobState::kDone ||
+      it->second.state == JobState::kCancelled) {
+    return;
+  }
+  cancel_requests_.insert(id);
+}
+
+bool JobScheduler::Wait(JobId id) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = records_.find(id);
+      XS_CHECK(it != records_.end()) << "unknown job id " << id;
+      if (it->second.state == JobState::kDone) {
+        return true;
+      }
+      if (it->second.state == JobState::kCancelled) {
+        return false;
+      }
+    }
+    PumpOne();
+  }
+}
+
+void JobScheduler::RunAll() {
+  while (PumpOne()) {
+  }
+}
+
+bool JobScheduler::PumpOne() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (driving_) {
+    // Another thread owns the rounds; wait for its boundary to land rather
+    // than interleaving two drivers. active_ itself belongs to the driver,
+    // so the work check reads the mu_-mirrored count.
+    cv_.wait(lk);
+    return HasWorkLocked();
+  }
+  driving_ = true;
+  lk.unlock();
+  bool more;
+  try {
+    more = Step();
+  } catch (...) {
+    // A job's I/O error (spill writes propagate by design) must release the
+    // driver role, or every later PumpOne/Wait blocks forever and the
+    // destructor aborts on its driving_ check.
+    lk.lock();
+    driving_ = false;
+    cv_.notify_all();
+    throw;
+  }
+  lk.lock();
+  driving_ = false;
+  cv_.notify_all();
+  return more;
+}
+
+bool JobScheduler::HasWorkLocked() const {
+  return !pending_.empty() || !cancel_requests_.empty() || active_count_ > 0;
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+JobReport JobScheduler::ReportLocked(JobId id, const Record& rec) const {
+  JobReport report;
+  report.id = id;
+  report.name = rec.name;
+  report.state = rec.state;
+  report.rounds = rec.rounds;
+  double now = clock_.Seconds();
+  switch (rec.state) {
+    case JobState::kQueued:
+      report.queue_seconds = now - rec.submit_seconds;
+      break;
+    case JobState::kRunning:
+      report.queue_seconds = rec.admit_seconds - rec.submit_seconds;
+      report.run_seconds = now - rec.admit_seconds;
+      break;
+    case JobState::kDone:
+      report.queue_seconds = rec.admit_seconds - rec.submit_seconds;
+      report.run_seconds = rec.finish_seconds - rec.admit_seconds;
+      break;
+    case JobState::kCancelled:
+      // A job cancelled while queued never ran.
+      if (rec.admit_seconds > 0.0) {
+        report.queue_seconds = rec.admit_seconds - rec.submit_seconds;
+        report.run_seconds = rec.finish_seconds - rec.admit_seconds;
+      } else {
+        report.queue_seconds = rec.finish_seconds - rec.submit_seconds;
+      }
+      break;
+  }
+  return report;
+}
+
+JobReport JobScheduler::report(JobId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(id);
+  XS_CHECK(it != records_.end()) << "unknown job id " << id;
+  return ReportLocked(id, it->second);
+}
+
+std::vector<JobReport> JobScheduler::reports() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobReport> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    out.push_back(ReportLocked(id, rec));
+  }
+  return out;
+}
+
+void JobScheduler::ApplyCancellations() {
+  std::vector<std::unique_ptr<ScheduledJob>> doomed;
+  std::vector<JobId> active_cancels;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (JobId id : cancel_requests_) {
+      auto pending = std::find_if(pending_.begin(), pending_.end(),
+                                  [id](const PendingJob& p) { return p.id == id; });
+      if (pending != pending_.end()) {
+        doomed.push_back(std::move(pending->job));
+        pending_.erase(pending);
+        Record& rec = records_[id];
+        rec.state = JobState::kCancelled;
+        rec.finish_seconds = clock_.Seconds();
+        ++stats_.jobs_cancelled;
+      } else {
+        active_cancels.push_back(id);
+      }
+    }
+    cancel_requests_.clear();
+  }
+  for (JobId id : active_cancels) {
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [id](const ActiveJob& a) { return a.id == id; });
+    if (it != active_.end()) {
+      RetireActive(static_cast<size_t>(it - active_.begin()), JobState::kCancelled);
+    }
+  }
+}
+
+void JobScheduler::AdmitPending() {
+  std::vector<PendingJob> admitted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (!pending_.empty()) {
+      PendingJob& front = pending_.front();
+      uint64_t fixed = front.job->FixedBytes();
+      bool force = active_.empty() && admitted.empty();
+      bool fits = opts_.memory_budget_bytes == 0 ||
+                  fixed_in_use_ + fixed <= opts_.memory_budget_bytes;
+      if (!fits && !force) {
+        break;  // FIFO admission: later (smaller) jobs wait rather than starve this one
+      }
+      if (!fits) {
+        XS_LOG(Warning) << "job '" << front.job->name() << "' fixed footprint " << fixed
+                        << "B exceeds the scheduler budget "
+                        << opts_.memory_budget_bytes << "B; admitting it alone";
+      }
+      fixed_in_use_ += fixed;
+      admitted.push_back(std::move(front));
+      pending_.pop_front();
+    }
+  }
+  if (admitted.empty()) {
+    return;
+  }
+  size_t first_new = active_.size();
+  for (PendingJob& p : admitted) {
+    uint64_t fixed = p.job->FixedBytes();
+    p.job->Activate();
+    double now = clock_.Seconds();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      Record& rec = records_[p.id];
+      rec.state = JobState::kRunning;
+      rec.admit_seconds = now;
+      p.job->stats().queue_seconds = now - rec.submit_seconds;
+      ++active_count_;
+    }
+    active_.push_back(ActiveJob{p.id, std::move(p.job), cursor_, fixed, 0});
+  }
+  // Split the budget before the newcomers' first BeginRound so their share
+  // lands on iteration 1 (already running jobs pick theirs up at their next
+  // boundary).
+  ResplitBudget();
+  for (size_t i = first_new; i < active_.size(); ++i) {
+    active_[i].job->BeginRound();
+  }
+}
+
+void JobScheduler::RetireActive(size_t index, JobState final_state) {
+  ActiveJob aj = std::move(active_[static_cast<size_t>(index)]);
+  active_.erase(active_.begin() + static_cast<ptrdiff_t>(index));
+  if (final_state == JobState::kDone) {
+    aj.job->Finalize();
+  } else {
+    aj.job->Abandon();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Record& rec = records_[aj.id];
+    rec.state = final_state;
+    rec.finish_seconds = clock_.Seconds();
+    rec.rounds = aj.rounds;
+    fixed_in_use_ -= std::min(fixed_in_use_, aj.fixed_bytes);
+    --active_count_;
+    if (final_state == JobState::kDone) {
+      ++stats_.jobs_completed;
+    } else {
+      ++stats_.jobs_cancelled;
+    }
+  }
+  ResplitBudget();
+}
+
+void JobScheduler::ResplitBudget() {
+  if (opts_.memory_budget_bytes == 0) {
+    return;  // unlimited: jobs keep their own configured pin budgets
+  }
+  uint64_t pin_capable = 0;
+  for (const ActiveJob& aj : active_) {
+    pin_capable += aj.job->CanPin() ? 1 : 0;
+  }
+  if (pin_capable == 0) {
+    return;
+  }
+  uint64_t pool = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pool = opts_.memory_budget_bytes > fixed_in_use_
+               ? opts_.memory_budget_bytes - fixed_in_use_
+               : 0;
+    ++stats_.budget_resplits;
+  }
+  for (ActiveJob& aj : active_) {
+    if (aj.job->CanPin()) {
+      aj.job->SetPinBudget(pool / pin_capable);
+    }
+  }
+}
+
+bool JobScheduler::Step() {
+  ApplyCancellations();
+  AdmitPending();
+  if (active_.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return HasWorkLocked();
+  }
+
+  // --- The shared scan of one partition: read each chunk once, fan it out
+  // to every job that takes part this round.
+  uint32_t k = source_.layout().num_partitions();
+  uint32_t s = cursor_;
+  std::vector<ActiveJob*> participants;
+  participants.reserve(active_.size());
+  for (ActiveJob& aj : active_) {
+    if (aj.job->WantsPartition(s)) {
+      participants.push_back(&aj);
+    }
+  }
+  if (!participants.empty()) {
+    for (ActiveJob* aj : participants) {
+      aj->job->BeginScatterPartition(s);
+    }
+    source_.ForEachEdgeChunk(s, [&participants](const Edge* es, uint64_t n) {
+      for (ActiveJob* aj : participants) {
+        aj->job->ScatterChunk(es, n);
+      }
+    });
+    for (ActiveJob* aj : participants) {
+      aj->job->EndScatterPartition();
+    }
+    uint64_t bytes = source_.PartitionEdgeBytes(s);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.partition_scans;
+    stats_.shared_scan_bytes += bytes;
+    stats_.scans_saved += participants.size() - 1;
+    stats_.saved_scan_bytes += bytes * (participants.size() - 1);
+  }
+  cursor_ = (s + 1) % k;
+
+  // --- Round boundaries: jobs whose cycle wrapped finish their iteration
+  // (tail spill + gather) and either retire or begin the next round.
+  for (size_t i = 0; i < active_.size();) {
+    if (active_[i].start_partition != cursor_) {
+      ++i;
+      continue;
+    }
+    bool done = active_[i].job->FinishRound();
+    ++active_[i].rounds;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.rounds_completed;
+      records_[active_[i].id].rounds = active_[i].rounds;
+    }
+    if (done) {
+      RetireActive(i, JobState::kDone);
+    } else {
+      active_[i].job->BeginRound();
+      ++i;
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  return HasWorkLocked();
+}
+
+}  // namespace xstream

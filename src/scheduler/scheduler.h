@@ -1,0 +1,175 @@
+// JobScheduler: N concurrent algorithm jobs over one graph, one edge scan.
+//
+// The scheduler owns a ScanSource (the partitioned edge streams, on devices
+// or in RAM) and admits jobs — algorithm + parameters + a private vertex
+// slab and update stream each — through Submit/Poll/Wait/Cancel. Its core
+// mechanism is *scan sharing*: the driving thread walks the partitions in a
+// rotating cursor and streams each partition's edge chunks exactly once,
+// fanning every loaded chunk out to all active jobs' scatter phases
+// (StreamingPhaseDriver's multi-job scatter mode). Per-job shuffles, update
+// spills and gathers stay independent, so each job's results are what its
+// solo run would produce while the edge-device read volume stays ~flat in
+// the number of jobs (bench/fig30_scan_sharing.cc).
+//
+// Round structure: a job's iteration is one full cycle of the partition
+// cursor starting from the partition at which it was admitted — updates are
+// unordered within an X-Stream iteration, so the rotation is legal — which
+// lets late arrivals join at the next partition boundary instead of waiting
+// for a global round, and lets converged jobs retire without stalling the
+// rest. Cancellations also take effect at partition boundaries.
+//
+// Admission control: an optional memory budget gates admission by each
+// job's fixed footprint (vertex slabs + stream buffers, FIFO so big jobs
+// are not starved), and whatever remains is re-split evenly across the
+// pin-capable (hybrid-store) jobs' residency planners every time a job
+// enters or leaves — ResidencyPlanner budgets move at runtime.
+//
+// Threading: Submit/Poll/Wait/Cancel are thread-safe. The rounds themselves
+// run on whichever single thread is driving (PumpOne/RunAll/Wait hand the
+// driver role off under a mutex); jobs' compute uses the shared ThreadPool.
+#ifndef XSTREAM_SCHEDULER_SCHEDULER_H_
+#define XSTREAM_SCHEDULER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scheduler/job.h"
+#include "scheduler/scan_source.h"
+#include "util/timer.h"
+
+namespace xstream {
+
+using JobId = uint64_t;
+
+struct SchedulerOptions {
+  // Memory budget split across active jobs (0 = unlimited): fixed job
+  // footprints gate admission, the remainder becomes the pin-capable jobs'
+  // residency budgets. A job bigger than the whole budget is still admitted
+  // when it is alone (with a warning) rather than deadlocking the queue.
+  uint64_t memory_budget_bytes = 0;
+};
+
+struct SchedulerStats {
+  uint64_t partition_scans = 0;    // partition edge streams actually read
+  uint64_t scans_saved = 0;        // scatter passes served beyond the first
+  uint64_t shared_scan_bytes = 0;  // edge bytes the shared scan read
+  uint64_t saved_scan_bytes = 0;   // edge bytes jobs would have re-read naively
+  uint64_t rounds_completed = 0;   // per-job iteration boundaries processed
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t budget_resplits = 0;  // admission/retirement pin-budget re-splits
+};
+
+struct JobReport {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  double queue_seconds = 0.0;  // submit -> admission (or cancellation)
+  double run_seconds = 0.0;    // admission -> completion (or so far)
+  uint64_t rounds = 0;         // iterations completed under the scheduler
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(ScanSource& source, SchedulerOptions opts = {});
+  // Tear-down abandons any jobs still queued or running (draining their
+  // in-flight I/O). Callers must not be driving or waiting concurrently.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  // Enqueues a job; it joins the scan at the next partition boundary with a
+  // budget slot. Thread-safe.
+  JobId Submit(std::unique_ptr<ScheduledJob> job);
+
+  JobState Poll(JobId id) const;
+
+  // Requests cancellation; it takes effect at the next driven partition
+  // boundary (queued jobs never start, running jobs abandon their round
+  // there). Poll reports kCancelled once a boundary has processed the
+  // request. Unknown/finished ids are a no-op.
+  void Cancel(JobId id);
+
+  // Blocks until the job is terminal, driving rounds whenever no other
+  // thread is. Returns true if the job completed (false = cancelled).
+  bool Wait(JobId id);
+
+  // Drives until no queued or active jobs remain.
+  void RunAll();
+
+  // Drives one partition boundary (admissions, one shared scan, round
+  // finishes, retirements); if another thread is driving, waits for it
+  // instead. Returns whether work may remain. Exposed for step-wise tests
+  // and external run loops.
+  bool PumpOne();
+
+  SchedulerStats stats() const;
+  JobReport report(JobId id) const;
+  std::vector<JobReport> reports() const;
+
+ private:
+  struct PendingJob {
+    JobId id = 0;
+    std::unique_ptr<ScheduledJob> job;
+  };
+  struct ActiveJob {
+    JobId id = 0;
+    std::unique_ptr<ScheduledJob> job;
+    uint32_t start_partition = 0;  // round boundary: cursor wrap to here
+    uint64_t fixed_bytes = 0;
+    uint64_t rounds = 0;
+  };
+  struct Record {
+    std::string name;
+    JobState state = JobState::kQueued;
+    double submit_seconds = 0.0;
+    double admit_seconds = 0.0;
+    double finish_seconds = 0.0;
+    uint64_t rounds = 0;
+  };
+
+  // One partition boundary; runs with the driver role held, no lock except
+  // where noted. Returns whether work may remain.
+  bool Step();
+  bool HasWorkLocked() const;
+  void ApplyCancellations();
+  void AdmitPending();
+  void RetireActive(size_t index, JobState final_state);
+  void ResplitBudget();
+  JobReport ReportLocked(JobId id, const Record& rec) const;
+
+  ScanSource& source_;
+  SchedulerOptions opts_;
+  WallTimer clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool driving_ = false;
+  std::deque<PendingJob> pending_;
+  std::set<JobId> cancel_requests_;
+  std::map<JobId, Record> records_;
+  SchedulerStats stats_;
+  uint64_t fixed_in_use_ = 0;
+  // Mirrors active_.size() under mu_ so non-driving threads (PumpOne's
+  // waiting branch) can ask "is work left?" without touching the vector the
+  // driver mutates lock-free.
+  size_t active_count_ = 0;
+  JobId next_id_ = 1;
+
+  // Touched only while holding the driver role.
+  std::vector<ActiveJob> active_;
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_SCHEDULER_SCHEDULER_H_

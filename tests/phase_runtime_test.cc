@@ -233,6 +233,34 @@ TEST(PhaseRuntimeTest, AsyncAndSyncSpillAgree) {
   EXPECT_EQ(sync_stats.async_spill_bytes, 0u);
 }
 
+TEST(PhaseRuntimeTest, DeeperSpillPipelinesAgreeWithDoubleBuffering) {
+  // spill_queue_depth > 2 rotates more shuffle/write buffers (RAID update
+  // devices); the results and spilled volume must match the depth-2 paper
+  // pipeline, and depth 1 clamps to 2 rather than breaking the gather
+  // scratch logic.
+  EdgeList edges = TestGraph(21, 10);
+  GraphInfo info = ScanEdges(edges);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  RunStats by_depth[3];
+  int depths[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    auto opts = SmallDeviceOpts(true);
+    opts.spill_queue_depth = depths[i];
+    auto states =
+        h.RunDevice(WccAlgorithm{}, edges, PartitionLayout(info.num_vertices, 4), opts);
+    by_depth[i] = h.stats;
+    for (uint64_t v = 0; v < info.num_vertices; ++v) {
+      ASSERT_EQ(states[v].label, expected[v]) << "depth " << depths[i] << " vertex " << v;
+    }
+  }
+  EXPECT_GT(by_depth[1].update_file_bytes, 0u);
+  EXPECT_EQ(by_depth[0].update_file_bytes, by_depth[1].update_file_bytes);
+  EXPECT_EQ(by_depth[1].update_file_bytes, by_depth[2].update_file_bytes);
+  EXPECT_EQ(by_depth[2].async_spill_bytes, by_depth[2].update_file_bytes);
+}
+
 TEST(PhaseRuntimeTest, DriverCheckpointRoundtripAcrossStores) {
   // A checkpoint written by the device-store driver restores into the
   // memory-store driver (same layout → same dense order on disk).

@@ -1,0 +1,406 @@
+// The multi-job scheduler (src/scheduler/): shared edge scans across
+// concurrent jobs, partition-boundary admission and cancellation, budget
+// re-splits, and cross-thread Submit/Poll/Wait/Cancel (the randomized stress
+// test doubles as the ThreadSanitizer target in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/wcc.h"
+#include "core/ooc_engine.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "scheduler/algo_jobs.h"
+#include "scheduler/scan_source.h"
+#include "scheduler/scheduler.h"
+#include "storage/sim_device.h"
+#include "util/env.h"
+
+namespace xstream {
+namespace {
+
+EdgeList TestGraph(uint64_t seed, uint32_t scale = 9) {
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = seed;
+  EdgeList edges = GenerateRmat(params);
+  PermuteEdges(edges, seed + 1);
+  return edges;
+}
+
+// A scheduler over a device scan source on simulated disks, plus the
+// reference oracles for the test graph.
+struct DeviceHarness {
+  explicit DeviceHarness(const EdgeList& graph_edges, uint32_t partitions = 4,
+                         int threads = NumCores())
+      : pool(threads),
+        edges(graph_edges),
+        info(ScanEdges(edges)),
+        layout(info.num_vertices, partitions),
+        edge_dev("edges", DeviceProfile::Instant()),
+        update_dev("updates", DeviceProfile::Instant()),
+        vertex_dev("vertices", DeviceProfile::Instant()) {
+    WriteEdgeFile(edge_dev, "input", edges);
+    DeviceScanSource::Options sopts;
+    sopts.io_unit_bytes = 16 * 1024;
+    source = std::make_unique<DeviceScanSource>(pool, layout, sopts, edge_dev, "input");
+  }
+
+  DeviceJobConfig SpillHeavyConfig() const {
+    DeviceJobConfig cfg;
+    cfg.io_unit_bytes = 16 * 1024;
+    // Tiny budget + disabled memory optimizations: vertex files, update
+    // spills and multi-chunk gathers all get exercised.
+    cfg.allow_vertex_memory_opt = false;
+    cfg.allow_update_memory_opt = false;
+    return cfg;
+  }
+
+  std::shared_ptr<JobOutput> Submit(JobScheduler& sched, const std::string& spec,
+                                    const DeviceJobConfig& cfg, std::vector<JobId>* ids) {
+    auto out = std::make_shared<JobOutput>();
+    JobId id = sched.Submit(MakeDeviceJob(ParseJobSpec(spec), *source, update_dev, vertex_dev,
+                                          cfg, "job" + std::to_string(next_prefix_++), out));
+    if (ids != nullptr) {
+      ids->push_back(id);
+    }
+    return out;
+  }
+
+  ThreadPool pool;
+  EdgeList edges;
+  GraphInfo info;
+  PartitionLayout layout;
+  SimDevice edge_dev;
+  SimDevice update_dev;
+  SimDevice vertex_dev;
+  std::unique_ptr<DeviceScanSource> source;
+  int next_prefix_ = 0;
+};
+
+void ExpectWccMatches(const JobOutput& out, const EdgeList& edges, uint64_t n) {
+  std::vector<VertexId> expected = ReferenceWcc(edges, n);
+  ASSERT_EQ(out.per_vertex.size(), n);
+  for (uint64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(out.per_vertex[v], static_cast<double>(expected[v])) << "vertex " << v;
+  }
+}
+
+void ExpectBfsMatches(const JobOutput& out, const ReferenceGraph& g, VertexId root) {
+  std::vector<uint32_t> expected = ReferenceBfsLevels(g, root);
+  ASSERT_EQ(out.per_vertex.size(), expected.size());
+  for (uint64_t v = 0; v < expected.size(); ++v) {
+    EXPECT_EQ(out.per_vertex[v], static_cast<double>(expected[v])) << "vertex " << v;
+  }
+}
+
+TEST(SchedulerTest, DeviceJobsMatchReferences) {
+  EdgeList edges = TestGraph(7);
+  DeviceHarness h(edges);
+  ReferenceGraph g(edges, h.info.num_vertices);
+
+  JobScheduler sched(*h.source);
+  std::vector<JobId> ids;
+  auto wcc = h.Submit(sched, "wcc", h.SpillHeavyConfig(), &ids);
+  auto bfs = h.Submit(sched, "bfs:src=0", h.SpillHeavyConfig(), &ids);
+  auto pagerank = h.Submit(sched, "pagerank:iters=5", h.SpillHeavyConfig(), &ids);
+  auto sssp = h.Submit(sched, "sssp:src=0", h.SpillHeavyConfig(), &ids);
+  sched.RunAll();
+
+  for (JobId id : ids) {
+    EXPECT_EQ(sched.Poll(id), JobState::kDone);
+  }
+  ExpectWccMatches(*wcc, edges, h.info.num_vertices);
+  ExpectBfsMatches(*bfs, g, 0);
+  std::vector<double> pr = ReferencePageRank(g, 5);
+  for (uint64_t v = 0; v < h.info.num_vertices; ++v) {
+    EXPECT_NEAR(pagerank->per_vertex[v], pr[v], 1e-4) << "vertex " << v;
+  }
+  std::vector<double> dist = ReferenceSssp(g, 0);
+  for (uint64_t v = 0; v < h.info.num_vertices; ++v) {
+    if (std::isfinite(dist[v])) {
+      EXPECT_NEAR(sssp->per_vertex[v], dist[v], 1e-3) << "vertex " << v;
+    } else {
+      EXPECT_FALSE(std::isfinite(sssp->per_vertex[v])) << "vertex " << v;
+    }
+  }
+
+  SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.jobs_submitted, 4u);
+  EXPECT_EQ(stats.jobs_completed, 4u);
+  EXPECT_GT(stats.scans_saved, 0u);
+  EXPECT_GT(stats.shared_scan_bytes, 0u);
+  // Per-job stats flowed through: each job streamed edges and has run time.
+  EXPECT_GT(wcc->stats.edges_streamed, 0u);
+  EXPECT_GT(sched.report(ids[0]).run_seconds, 0.0);
+}
+
+TEST(SchedulerTest, MemoryJobsMatchReferences) {
+  EdgeList edges = TestGraph(11);
+  GraphInfo info = ScanEdges(edges);
+  ReferenceGraph g(edges, info.num_vertices);
+  ThreadPool pool(NumCores());
+  PartitionLayout layout(info.num_vertices, 8);
+  MemoryScanSource source(pool, layout, edges);
+
+  JobScheduler sched(source);
+  auto wcc = std::make_shared<JobOutput>();
+  auto bfs = std::make_shared<JobOutput>();
+  JobId wcc_id = sched.Submit(MakeMemoryJob(ParseJobSpec("wcc"), source, wcc));
+  JobId bfs_id = sched.Submit(MakeMemoryJob(ParseJobSpec("bfs:src=3"), source, bfs));
+  EXPECT_TRUE(sched.Wait(wcc_id));
+  EXPECT_TRUE(sched.Wait(bfs_id));
+
+  ExpectWccMatches(*wcc, edges, info.num_vertices);
+  ExpectBfsMatches(*bfs, g, 3);
+  EXPECT_GT(sched.stats().scans_saved, 0u);
+}
+
+TEST(SchedulerTest, SharedScanKeepsEdgeReadsFlat) {
+  EdgeList edges = TestGraph(13);
+
+  // One job alone, then four identical jobs: WCC's round count is fixed by
+  // the graph, so a shared scan must read ~the same edge volume either way.
+  uint64_t solo_bytes = 0;
+  {
+    DeviceHarness h(edges);
+    JobScheduler sched(*h.source);
+    h.Submit(sched, "wcc", h.SpillHeavyConfig(), nullptr);
+    sched.RunAll();
+    solo_bytes = h.edge_dev.stats().bytes_read;
+  }
+  {
+    DeviceHarness h(edges);
+    JobScheduler sched(*h.source);
+    std::vector<std::shared_ptr<JobOutput>> outs;
+    for (int i = 0; i < 4; ++i) {
+      outs.push_back(h.Submit(sched, "wcc", h.SpillHeavyConfig(), nullptr));
+    }
+    sched.RunAll();
+    uint64_t shared_bytes = h.edge_dev.stats().bytes_read;
+    EXPECT_LE(shared_bytes, solo_bytes + solo_bytes / 4)
+        << "4 concurrent jobs should share scans, not quadruple them";
+    EXPECT_EQ(sched.stats().jobs_completed, 4u);
+    EXPECT_GT(sched.stats().scans_saved, 0u);
+    for (const auto& out : outs) {
+      ExpectWccMatches(*out, edges, h.info.num_vertices);
+    }
+  }
+}
+
+TEST(SchedulerTest, LateAdmissionJoinsAtNextPartitionBoundary) {
+  EdgeList edges = TestGraph(17);
+  DeviceHarness h(edges);
+  ReferenceGraph g(edges, h.info.num_vertices);
+
+  JobScheduler sched(*h.source);
+  std::vector<JobId> ids;
+  auto wcc = h.Submit(sched, "wcc", h.SpillHeavyConfig(), &ids);
+  // Drive the first job mid-round, then submit a second: it must join at
+  // the next partition boundary (not a global round start) and still be
+  // correct after its own full cycles.
+  ASSERT_TRUE(sched.PumpOne());
+  ASSERT_TRUE(sched.PumpOne());
+  ASSERT_TRUE(sched.PumpOne());
+  auto bfs = h.Submit(sched, "bfs:src=1", h.SpillHeavyConfig(), &ids);
+  EXPECT_EQ(sched.Poll(ids[1]), JobState::kQueued);
+  sched.RunAll();
+
+  EXPECT_EQ(sched.Poll(ids[0]), JobState::kDone);
+  EXPECT_EQ(sched.Poll(ids[1]), JobState::kDone);
+  ExpectWccMatches(*wcc, edges, h.info.num_vertices);
+  ExpectBfsMatches(*bfs, g, 1);
+  EXPECT_GE(sched.report(ids[1]).rounds, 1u);
+  EXPECT_GT(sched.stats().scans_saved, 0u);  // the two jobs overlapped
+}
+
+TEST(SchedulerTest, CancelRetiresQueuedAndRunningJobs) {
+  EdgeList edges = TestGraph(19);
+  DeviceHarness h(edges);
+
+  JobScheduler sched(*h.source);
+  std::vector<JobId> ids;
+  auto wcc = h.Submit(sched, "wcc", h.SpillHeavyConfig(), &ids);
+  auto doomed_running = h.Submit(sched, "pagerank:iters=50", h.SpillHeavyConfig(), &ids);
+  auto doomed_queued = h.Submit(sched, "bfs:src=0", h.SpillHeavyConfig(), &ids);
+
+  // Cancel one job before it ever runs.
+  sched.Cancel(ids[2]);
+  // Start rounds, then cancel a running job mid-flight.
+  ASSERT_TRUE(sched.PumpOne());
+  ASSERT_TRUE(sched.PumpOne());
+  sched.Cancel(ids[1]);
+  sched.RunAll();
+
+  EXPECT_EQ(sched.Poll(ids[0]), JobState::kDone);
+  EXPECT_EQ(sched.Poll(ids[1]), JobState::kCancelled);
+  EXPECT_EQ(sched.Poll(ids[2]), JobState::kCancelled);
+  EXPECT_FALSE(sched.Wait(ids[1]));
+  ExpectWccMatches(*wcc, edges, h.info.num_vertices);
+  EXPECT_EQ(sched.stats().jobs_cancelled, 2u);
+  // Cancelled jobs never finalize: their outputs stay empty.
+  EXPECT_TRUE(doomed_running->per_vertex.empty());
+  EXPECT_TRUE(doomed_queued->per_vertex.empty());
+  // All device I/O drained despite the mid-round abandon.
+  EXPECT_EQ(h.update_dev.executor().in_flight(), 0u);
+}
+
+TEST(SchedulerTest, BudgetResplitsAsHybridJobsComeAndGo) {
+  EdgeList edges = TestGraph(23);
+  DeviceHarness h(edges);
+  ReferenceGraph g(edges, h.info.num_vertices);
+
+  DeviceJobConfig cfg = h.SpillHeavyConfig();
+  cfg.hybrid = true;
+
+  // Probe one job's fixed footprint so the budget leaves a meaningful pin
+  // pool for two concurrent jobs.
+  uint64_t fixed = 0;
+  {
+    auto probe = MakeDeviceJob(ParseJobSpec("wcc"), *h.source, h.update_dev, h.vertex_dev,
+                               cfg, "probe", nullptr);
+    fixed = probe->FixedBytes();
+  }
+  SchedulerOptions opts;
+  opts.memory_budget_bytes = 2 * fixed + (4u << 20);
+
+  JobScheduler sched(*h.source, opts);
+  std::vector<JobId> ids;
+  auto pagerank = h.Submit(sched, "pagerank:iters=8", cfg, &ids);
+  auto bfs = h.Submit(sched, "bfs:src=0", cfg, &ids);
+  sched.RunAll();
+
+  EXPECT_EQ(sched.Poll(ids[0]), JobState::kDone);
+  EXPECT_EQ(sched.Poll(ids[1]), JobState::kDone);
+  ExpectBfsMatches(*bfs, g, 0);
+  std::vector<double> pr = ReferencePageRank(g, 8);
+  for (uint64_t v = 0; v < h.info.num_vertices; ++v) {
+    EXPECT_NEAR(pagerank->per_vertex[v], pr[v], 1e-4) << "vertex " << v;
+  }
+  // Admission + at least one retirement while the other job was running
+  // must each have re-split the pin pool.
+  EXPECT_GE(sched.stats().budget_resplits, 2u);
+  // The longer-running hybrid job got pin budget and used it.
+  EXPECT_GT(pagerank->stats.resident_partition_count, 0u);
+}
+
+TEST(SchedulerTest, RandomizedSubmitCancelStressAgainstOracles) {
+  EdgeList edges = TestGraph(29, /*scale=*/8);
+  DeviceHarness h(edges);
+  ReferenceGraph g(edges, h.info.num_vertices);
+  std::vector<uint32_t> bfs_oracle[4];
+  for (VertexId root = 0; root < 4; ++root) {
+    bfs_oracle[root] = ReferenceBfsLevels(g, root);
+  }
+  std::vector<VertexId> wcc_oracle = ReferenceWcc(edges, h.info.num_vertices);
+
+  JobScheduler sched(*h.source);
+  std::atomic<bool> stop{false};
+  std::thread driver([&sched, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!sched.PumpOne()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  struct Submitted {
+    JobId id;
+    bool is_wcc;
+    VertexId root;
+    std::shared_ptr<JobOutput> out;
+    bool cancelled;
+  };
+  std::mutex submitted_mu;
+  std::vector<Submitted> submitted;
+
+  auto submitter = [&](uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 6; ++i) {
+      bool is_wcc = (rng() & 1) != 0;
+      VertexId root = static_cast<VertexId>(rng() % 4);
+      std::string spec = is_wcc ? "wcc" : ("bfs:src=" + std::to_string(root));
+      auto out = std::make_shared<JobOutput>();
+      DeviceJobConfig cfg = h.SpillHeavyConfig();
+      JobId id;
+      {
+        std::lock_guard<std::mutex> lk(submitted_mu);
+        id = sched.Submit(MakeDeviceJob(ParseJobSpec(spec), *h.source, h.update_dev,
+                                        h.vertex_dev, cfg,
+                                        "stress" + std::to_string(seed) + "-" +
+                                            std::to_string(i),
+                                        out));
+        submitted.push_back(Submitted{id, is_wcc, root, out, false});
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(rng() % 2000));
+      if (rng() % 3 == 0) {
+        sched.Cancel(id);
+        std::lock_guard<std::mutex> lk(submitted_mu);
+        for (Submitted& s : submitted) {
+          if (s.id == id) {
+            s.cancelled = true;
+          }
+        }
+      }
+    }
+  };
+  std::thread t1(submitter, 101);
+  std::thread t2(submitter, 202);
+  t1.join();
+  t2.join();
+
+  for (const Submitted& s : submitted) {
+    sched.Wait(s.id);  // cross-thread wait while the driver pumps
+  }
+  stop.store(true, std::memory_order_release);
+  driver.join();
+
+  for (const Submitted& s : submitted) {
+    JobState state = sched.Poll(s.id);
+    if (s.cancelled) {
+      EXPECT_TRUE(state == JobState::kCancelled || state == JobState::kDone);
+    } else {
+      EXPECT_EQ(state, JobState::kDone);
+    }
+    if (state != JobState::kDone) {
+      continue;
+    }
+    ASSERT_EQ(s.out->per_vertex.size(), h.info.num_vertices);
+    if (s.is_wcc) {
+      for (uint64_t v = 0; v < h.info.num_vertices; ++v) {
+        EXPECT_EQ(s.out->per_vertex[v], static_cast<double>(wcc_oracle[v]));
+      }
+    } else {
+      for (uint64_t v = 0; v < h.info.num_vertices; ++v) {
+        EXPECT_EQ(s.out->per_vertex[v], static_cast<double>(bfs_oracle[s.root][v]));
+      }
+    }
+  }
+  EXPECT_EQ(h.update_dev.executor().in_flight(), 0u);
+}
+
+TEST(SchedulerTest, JobSpecParsing) {
+  JobSpec spec = ParseJobSpec("bfs:src=42:name=frontier");
+  EXPECT_EQ(spec.algo, "bfs");
+  EXPECT_EQ(spec.root, 42u);
+  EXPECT_EQ(spec.name, "frontier");
+  std::vector<JobSpec> list = ParseJobList("pagerank:iters=3,wcc,sssp:src=7");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].iterations, 3u);
+  EXPECT_EQ(list[1].algo, "wcc");
+  EXPECT_EQ(list[2].root, 7u);
+}
+
+}  // namespace
+}  // namespace xstream
