@@ -69,6 +69,14 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
                             physical memory are clamped with a warning
     --no-replan             hybrid: freeze the pin set chosen at setup
                             instead of re-planning between iterations
+    --residency-hysteresis=N  hybrid: iterations a partition must win/lose
+                            its pin before the incremental re-plan migrates
+                            it (default 2; 0 = legacy stop-the-world full
+                            re-plan between iterations)
+    --pin-edges             hybrid: cache pinned partitions' edge streams in
+                            RAM after their first scan, so fully resident
+                            partitions never touch the edge device (edge
+                            bytes are priced into --memory-budget)
   --jobs=SPEC[,SPEC...]     batch mode: run concurrent jobs under the
                             multi-job scheduler, sharing one edge scan.
                             SPEC = algo[:key=value...], algos wcc|bfs|sssp|
@@ -145,6 +153,17 @@ void PrintStats(const RunStats& stats) {
                 static_cast<unsigned long long>(stats.resident_partition_count),
                 HumanBytes(stats.resident_bytes).c_str(),
                 HumanBytes(stats.avoided_spill_bytes).c_str());
+  }
+  if (stats.promotions > 0 || stats.evictions > 0) {
+    std::printf("migrations: %llu promotions, %llu evictions, %s moved\n",
+                static_cast<unsigned long long>(stats.promotions),
+                static_cast<unsigned long long>(stats.evictions),
+                HumanBytes(stats.migration_bytes).c_str());
+  }
+  if (stats.pinned_edge_bytes > 0 || stats.edge_reads_avoided_bytes > 0) {
+    std::printf("edge pinning: %s cached, %s edge reads served from RAM\n",
+                HumanBytes(stats.pinned_edge_bytes).c_str(),
+                HumanBytes(stats.edge_reads_avoided_bytes).c_str());
   }
 }
 
@@ -228,6 +247,9 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     config.async_spill = !opts.GetBool("sync-spill", false);
     config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
     config.replan_between_iterations = !opts.GetBool("no-replan", false);
+    config.residency_hysteresis =
+        static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));
+    config.pin_edges = opts.GetBool("pin-edges", false);
     config.partitioner = partitioner.get();
     if (opts.Has("memory-budget")) {
       config.memory_budget_bytes = opts.GetUint("memory-budget", 0);
@@ -344,6 +366,9 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     jcfg.async_spill = !opts.GetBool("sync-spill", false);
     jcfg.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
     jcfg.hybrid = engine_name == "hybrid";
+    jcfg.residency_hysteresis =
+        static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));
+    jcfg.pin_edges = jcfg.hybrid && opts.GetBool("pin-edges", false);
     for (size_t i = 0; i < specs.size(); ++i) {
       outputs.push_back(std::make_shared<JobOutput>());
       ids.push_back(scheduler->Submit(MakeDeviceJob(specs[i], *dev, *disk, *disk, jcfg,
@@ -377,6 +402,10 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
   if (ss.budget_resplits > 0) {
     std::printf("admission: %llu budget re-splits across active jobs\n",
                 static_cast<unsigned long long>(ss.budget_resplits));
+  }
+  if (ss.edge_reads_avoided_bytes > 0) {
+    std::printf("edge pinning: %s scan bytes served from the shared pinned-edge cache\n",
+                HumanBytes(ss.edge_reads_avoided_bytes).c_str());
   }
   scheduler.reset();  // retire before the source/devices it scans
   return 0;

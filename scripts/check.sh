@@ -11,6 +11,10 @@
 #   4. scan-sharing smoke: fig30 at smoke scale — concurrent scheduler jobs
 #      must produce solo-identical results while the shared scan keeps the
 #      edge-read volume ~flat in the job count
+#   5. incremental-residency smoke: fig31 at smoke scale — delta migrations
+#      must stay strictly below the full re-plan baseline, and edge pinning
+#      must silence the edge device after iteration 1 at full budget
+#   6. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -47,3 +51,11 @@ echo "== hybrid-residency smoke benchmark =="
 echo
 echo "== scan-sharing smoke benchmark =="
 "./$BUILD_DIR/fig30_scan_sharing" --smoke
+
+echo
+echo "== incremental-residency smoke benchmark =="
+"./$BUILD_DIR/fig31_incremental_residency" --smoke
+
+echo
+echo "== docs: markdown link check =="
+scripts/check_links.sh

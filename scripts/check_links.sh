@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checks that intra-repo markdown links resolve: every [text](target) in a
+# tracked *.md file whose target is a relative path must point at a file or
+# directory that exists (optionally with a #fragment, which is stripped).
+# External links (scheme://, mailto:) and pure-fragment links (#anchor) are
+# skipped — this gate is about the repo's own docs not rotting, not about
+# the internet.
+#
+# Usage: scripts/check_links.sh    (run from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Extract (target) of every markdown link in the file. grep -o keeps one
+  # match per line even when a line holds several links.
+  while IFS= read -r target; do
+    # Skip external schemes and in-page anchors.
+    case "$target" in
+      *://*|mailto:*|"#"*|"") continue ;;
+    esac
+    path="${target%%#*}"   # drop any #fragment
+    [[ -z "$path" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "error: $md links to '$target' but '$dir/$path' does not exist" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' "$md" | sed -E 's/^\[[^][]*\]\(([^()]+)\)$/\1/')
+done < <(git ls-files -co --exclude-standard '*.md')  # tracked + new, never ignored
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "markdown link check FAILED" >&2
+  exit 1
+fi
+echo "markdown link check passed ($checked intra-repo links resolve)"

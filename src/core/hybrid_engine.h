@@ -62,6 +62,14 @@ struct HybridConfig {
   bool async_spill = true;
   int spill_queue_depth = 2;  // rotating spill write buffers (>= 2)
   bool replan_between_iterations = true;
+  // Iterations a partition must win/lose its place in the target pin set
+  // before the incremental re-plan migrates it (CLI --residency-hysteresis).
+  // 0 = legacy stop-the-world full re-plan between iterations.
+  uint32_t residency_hysteresis = 2;
+  // Cache pinned partitions' edge streams in RAM after their first scan
+  // (CLI --pin-edges): a fully resident partition stops touching the edge
+  // device entirely. Edge bytes are priced into the pin budget.
+  bool pin_edges = false;
   bool keep_iteration_log = true;
   Partitioner* partitioner = nullptr;  // not owned; must outlive the engine
   std::string file_prefix = "xs";
@@ -107,6 +115,8 @@ class HybridEngine {
     opts.spill_queue_depth = config.spill_queue_depth;
     opts.file_prefix = config.file_prefix;
     opts.replan_between_iterations = config.replan_between_iterations;
+    opts.residency_hysteresis = config.residency_hysteresis;
+    opts.pin_edges = config.pin_edges;
     uint64_t budget = config.memory_budget_bytes;
     if (budget == HybridConfig::kAutoMemoryBudget) {
       budget = ResolveMemoryBudget(0);

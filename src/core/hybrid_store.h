@@ -9,11 +9,16 @@
 // pinned partition
 //
 //  * vertex states are held in RAM (vertex-file loads/stores become
-//    memcpys in/out of the pin — the partition "file" is RAM), and
+//    memcpys in/out of the pin — the partition "file" is RAM),
 //  * updates destined to it are appended to an in-RAM buffer during the
 //    spill shuffle instead of being written to — and later read back
 //    from — its update file, exactly the §3.2 memory-gather optimization
-//    applied per partition instead of all-or-nothing.
+//    applied per partition instead of all-or-nothing, and
+//  * with `pin_edges` on, its edge stream is captured into a
+//    PinnedEdgeCache (core/stream_store.h) on the first device scan and
+//    served from RAM afterwards — at a full budget the edge device is
+//    never touched after the first iteration and the store runs at
+//    memory speed end to end.
 //
 // Unpinned partitions keep the full DeviceStreamStore behavior, including
 // local-update absorption and the async double-buffered spill. The
@@ -27,16 +32,21 @@
 // set every customization degenerates to the base behavior, so budget 0
 // reproduces the out-of-core engine exactly.
 //
-// Between iterations the store re-plans from the observed per-partition
-// update volume: algorithms whose active set shrinks (BFS/SSSP) shed
-// update-buffer cost and let more partitions pin; newly pinned partitions
-// load their states from the vertex file once, evicted ones write theirs
-// back.
+// Residency is *incremental*: between iterations the store asks the
+// planner for a PlanDelta against the observed per-partition update volume
+// — only the partitions whose win (or loss) survived the hysteresis filter
+// migrate, and each migration is applied at that partition's own scatter
+// boundary (the driver's AtPartitionBoundary hook) instead of in a
+// stop-the-world phase. Mid-iteration flips are safe because the gather
+// path always drains both possible homes of a partition's updates: its
+// in-RAM buffer and its update file. `residency_hysteresis = 0` restores
+// the legacy stop-the-world full re-plan (the fig31 baseline).
 #ifndef XSTREAM_CORE_HYBRID_STORE_H_
 #define XSTREAM_CORE_HYBRID_STORE_H_
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,27 +56,58 @@
 
 namespace xstream {
 
+/// Options for the hybrid store, on top of the full device-store surface.
+/// Thread-safety: plain data; set up before constructing the store.
 struct HybridStoreOptions : DeviceStoreOptions {
-  // Byte budget for the pin set (vertex states + worst-case update buffers
-  // of the resident partitions). A planning target, not an enforced cap: an
-  // iteration that out-produces the estimate grows a pinned buffer past it.
+  /// Byte budget for the pin set (vertex states + worst-case update buffers
+  /// + cached edge streams of the resident partitions). A planning target,
+  /// not an enforced cap: an iteration that out-produces the estimate grows
+  /// a pinned buffer past it.
   uint64_t pin_budget_bytes = 0;
-  // Re-plan the pin set at each iteration boundary from the previous
-  // iteration's observed update volume.
+  /// Re-plan the pin set at each iteration boundary from the previous
+  /// iteration's observed update volume.
   bool replan_between_iterations = true;
+  /// Iterations a partition must win (or lose) its place in the target pin
+  /// set before the incremental re-plan migrates it. 0 = legacy behavior:
+  /// a stop-the-world full re-plan between iterations (the fig31 baseline).
+  uint32_t residency_hysteresis = 2;
+  /// Cache pinned partitions' edge streams in RAM after their first device
+  /// scan, so fully resident partitions stop touching the edge device.
+  bool pin_edges = false;
+  /// Scheduler runs: the scan source's shared PinnedEdgeCache, so N
+  /// concurrent jobs hit one copy of the cached edges. Every pinning store
+  /// — shared or private — prices edge bytes into its own planner inputs,
+  /// so the pin budget bounds the cache it can request; with a shared
+  /// cache that is conservative (jobs pinning the same partition each
+  /// charge the one copy), never an under-count, and keeps the plan a
+  /// self-consistent knapsack (no budget/cache feedback loop). Null (solo
+  /// runs) = the store creates and owns a private cache.
+  std::shared_ptr<PinnedEdgeCache> shared_edge_cache;
 };
 
-// Builds the planner inputs from the store's edge tallies: the destination
-// and same-partition counts are the per-partition decomposition of the
-// PartitionQuality edge cut — the locality signal the streaming partitioners
-// optimize. When absorption is on, updates local to their source partition
-// never hit the update file anyway, so only cross-partition incoming edges
-// count toward a pin's avoided traffic.
+/// Builds the planner inputs from the store's edge tallies: the destination
+/// and same-partition counts are the per-partition decomposition of the
+/// PartitionQuality edge cut — the locality signal the streaming
+/// partitioners optimize. When absorption is on, updates local to their
+/// source partition never hit the update file anyway, so only
+/// cross-partition incoming edges count toward a pin's avoided traffic.
+/// `pinned_edge_counts` (edges by source partition) is non-null when edge
+/// pinning prices edge streams into the pin cost and savings.
+/// Thread-safety: pure function of its inputs. Blocking: never.
 std::vector<PartitionResidencyStats> BuildHybridPlanInputs(
     const PartitionLayout& layout, size_t vertex_state_bytes, size_t update_bytes,
     const std::vector<uint64_t>& dst_edge_counts,
-    const std::vector<uint64_t>& local_edge_counts, bool absorb_local_updates);
+    const std::vector<uint64_t>& local_edge_counts, bool absorb_local_updates,
+    const std::vector<uint64_t>* pinned_edge_counts = nullptr);
 
+/// The partially resident store. Same threading contract as the base
+/// DeviceStreamStore: one compute loop drives the phase surface (scatter /
+/// gather / iteration hooks) from a single thread at a time — the solo
+/// driver's loop or the scheduler's single-driver protocol — while spill
+/// writes run on the update device's I/O thread. SetPinBudget is the one
+/// member safe to call from another thread between the driving thread's
+/// calls (the scheduler invokes it at admit/retire boundaries it drives
+/// itself, so in practice it is serialized too).
 template <EdgeCentricAlgorithm Algo>
 class HybridStreamStore : public DeviceStreamStore<Algo> {
  public:
@@ -77,6 +118,9 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   using Options = HybridStoreOptions;
   static constexpr bool kPartitionParallel = false;
 
+  /// Constructs the store, runs the setup pass (partitioning the input
+  /// edge file — blocks on edge-device I/O) and applies the setup-time pin
+  /// plan (blocks on vertex-device reads for the initial promotions).
   HybridStreamStore(ThreadPool& pool, PartitionLayout layout, const Options& opts,
                     StorageDevice& edge_dev, StorageDevice& update_dev,
                     StorageDevice& vertex_dev, const std::string& input_edge_file)
@@ -87,44 +131,77 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     // Residency is planner-controlled: the base store must keep vertices in
     // files so pinning (and eviction) is a per-partition decision.
     XS_CHECK(!this->vertices_in_memory());
+    planner_.set_hysteresis(hopts_.residency_hysteresis);
     uint32_t k = layout_.num_partitions();
     pinned_.resize(k);
     pinned_updates_.resize(k);
     observed_updates_.assign(k, 0);
+    pending_promote_.assign(k, 0);
+    pending_evict_.assign(k, 0);
     plan_.resident.assign(k, false);
+    if (hopts_.pin_edges) {
+      owns_edge_cache_ = hopts_.shared_edge_cache == nullptr;
+      edge_cache_ = owns_edge_cache_
+                        ? std::make_shared<PinnedEdgeCache>(
+                              k, std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge)))
+                        : hopts_.shared_edge_cache;
+    }
     ApplyPlan(planner_.Plan(InitialPlanInputs()));
     replans_ = 0;  // the construction-time plan is not a re-plan
   }
 
+  /// Releases this store's shares of the (possibly scheduler-shared) edge
+  /// cache, so a retired job's cached edge streams are freed instead of
+  /// leaking for the scan source's lifetime.
+  ~HybridStreamStore() override {
+    if (edge_cache_ != nullptr) {
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        if (plan_.resident[p]) {
+          edge_cache_->Release(p);
+        }
+      }
+    }
+  }
+
+  /// The currently applied pin set. During an iteration with staged
+  /// migrations the bitmap transitions partition by partition as scatter
+  /// boundaries pass; the byte/savings accounting already reflects the
+  /// staged target.
   const ResidencyPlan& residency_plan() const { return plan_; }
   const ResidencyPlanner& planner() const { return planner_; }
+  /// Re-plans that changed (or staged a change to) the pin set.
   uint64_t replans() const { return replans_; }
 
-  // Accounted cost of pinning every partition (the planner inputs' total):
-  // the budget at which the store is fully resident. Benches sweep fractions
-  // of this.
+  /// Accounted cost of pinning every partition (the planner inputs' total,
+  /// including edge streams when pin_edges is on): the budget at which the
+  /// store is fully resident. Benches sweep fractions of this.
   uint64_t FullPinBytes() const {
     uint64_t total = 0;
     for (const PartitionResidencyStats& p : InitialPlanInputs()) {
-      total += p.vertex_bytes + p.update_buffer_bytes;
+      total += p.cost();
     }
     return total;
   }
 
-  // Re-plans against explicit inputs (tests; operators with external
-  // knowledge). Automatic re-planning uses the observed update volume — see
-  // BeginIteration.
+  /// Stop-the-world re-plan against explicit inputs (tests; operators with
+  /// external knowledge). Migrates immediately — blocks on vertex-device
+  /// I/O for the state moves. Must be called between iterations, from the
+  /// driving thread. Automatic re-planning uses the observed update volume
+  /// and the incremental delta path instead — see BeginIteration.
   void Replan(const std::vector<PartitionResidencyStats>& inputs) {
     ApplyPlan(planner_.Plan(inputs));
     PushResidencyStats();
   }
 
-  // Budget handed down by the multi-job scheduler as jobs come and go. Takes
-  // effect at the next iteration boundary — including a first boundary with
-  // no observations yet (scheduler admission), which re-plans against the
-  // setup-time inputs — never mid-iteration (the pinned update buffers hold
-  // mid-iteration state, so re-planning immediately would drop updates).
-  // Honored even when automatic re-planning is off.
+  /// Budget handed down by the multi-job scheduler as jobs come and go.
+  /// Takes effect at the next iteration boundary — including a first
+  /// boundary with no observations yet (scheduler admission), which
+  /// re-plans against the setup-time inputs — never mid-iteration (the
+  /// pinned update buffers hold mid-iteration state, so re-planning
+  /// immediately would drop updates). Bypasses the hysteresis (budget
+  /// reassignments must land promptly) but the resulting migrations still
+  /// apply one partition at a time, at scatter boundaries. Honored even
+  /// when automatic re-planning is off. Never blocks.
   void SetPinBudget(uint64_t bytes) {
     planner_.set_budget_bytes(bytes);
     budget_dirty_ = true;
@@ -137,17 +214,25 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     PushResidencyStats();
   }
 
+  /// Iteration boundary: runs the incremental re-plan (PlanDelta with
+  /// hysteresis) against the observed update volume and stages the
+  /// resulting migrations; they apply as the scatter reaches each
+  /// partition's boundary. With residency_hysteresis == 0, falls back to
+  /// the legacy stop-the-world full re-plan (blocks on the vertex-device
+  /// I/O of every migration at once).
   void BeginIteration() {
     Base::BeginIteration();
-    if (iterations_seen_ > 0) {
-      if (hopts_.replan_between_iterations || budget_dirty_) {
-        ApplyPlan(planner_.Plan(ObservedPlanInputs()));
-        budget_dirty_ = false;
+    bool first = iterations_seen_ == 0;
+    if ((!first && hopts_.replan_between_iterations) || budget_dirty_) {
+      // A budget assigned before the first iteration (scheduler admission)
+      // has no observed volumes yet; re-plan from the setup tallies.
+      std::vector<PartitionResidencyStats> inputs =
+          first ? InitialPlanInputs() : ObservedPlanInputs();
+      if (hopts_.residency_hysteresis == 0) {
+        ApplyPlan(planner_.Plan(inputs));
+      } else {
+        StageDelta(planner_.PlanDelta(plan_, inputs, /*force=*/budget_dirty_));
       }
-    } else if (budget_dirty_) {
-      // A budget assigned before the first iteration (scheduler admission):
-      // no update volumes observed yet, so re-plan from the setup tallies.
-      ApplyPlan(planner_.Plan(InitialPlanInputs()));
       budget_dirty_ = false;
     }
     ++iterations_seen_;
@@ -155,8 +240,27 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     PushResidencyStats();
   }
 
-  // Pinned partitions' vertex "file" is RAM: loads and stores are memcpys
-  // between the pin and the one-partition scratch the driver works in.
+  /// Partition boundary (driver hook): applies the staged migration for
+  /// partition p, if any. Promotions read p's states from the vertex file
+  /// into the pin; evictions write the pin back — one partition's worth of
+  /// blocking vertex-device I/O, amortized across the iteration instead of
+  /// bundled into a stop-the-world phase. An evicted partition's already
+  /// collected in-RAM updates stay buffered; the gather drains both the
+  /// buffer and the update file, so mid-iteration flips lose nothing.
+  void AtPartitionBoundary(uint32_t p) {
+    if (pending_evict_[p]) {
+      pending_evict_[p] = 0;
+      EvictPartition(p);
+      PushResidencyStats();
+    } else if (pending_promote_[p]) {
+      pending_promote_[p] = 0;
+      PromotePartition(p);
+      PushResidencyStats();
+    }
+  }
+
+  /// Pinned partitions' vertex "file" is RAM: loads and stores are memcpys
+  /// between the pin and the one-partition scratch the driver works in.
   void LoadPartition(uint32_t p) {
     uint64_t bytes = layout_.Size(p) * sizeof(VertexState);
     if (plan_.resident[p]) {
@@ -177,9 +281,9 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     Base::StorePartition(p);
   }
 
-  // Absorption stays armed for unpinned scatter partitions only: a pinned
-  // partition's own updates go to its RAM buffer anyway, so the shadow pass
-  // would only duplicate work.
+  /// Absorption stays armed for unpinned scatter partitions only: a pinned
+  /// partition's own updates go to its RAM buffer anyway, so the shadow
+  /// pass would only duplicate work.
   void BeginPartitionScatter(uint32_t s) {
     LoadPartition(s);
     if (!plan_.resident[s] && opts_.absorb_local_updates) {
@@ -188,6 +292,31 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
       shadow_dirty_ = false;
       absorb_partition_ = s;
     }
+  }
+
+  /// Streams partition s's edges: from the PinnedEdgeCache when a sealed
+  /// capture exists (no device I/O at all), capturing into the cache while
+  /// streaming when s is pinned with pin_edges on, from the edge device
+  /// otherwise (blocks on reads the prefetch missed, like the base).
+  template <typename F>
+  void ForEachEdgeChunk(uint32_t s, F&& f) {
+    if (edge_cache_ != nullptr) {
+      uint64_t served = 0;
+      auto stream = [&](const PinnedEdgeCache::ChunkConsumer& consumer) {
+        Base::ForEachEdgeChunk(s, consumer);
+      };
+      switch (edge_cache_->ServeOrCapture(s, f, stream, &served)) {
+        case PinnedEdgeCache::ServeResult::kServed:
+          stats_->edge_reads_avoided_bytes += served;
+          return;
+        case PinnedEdgeCache::ServeResult::kCaptured:
+          stats_->pinned_edge_bytes = edge_cache_->bytes();
+          return;
+        case PinnedEdgeCache::ServeResult::kMiss:
+          break;
+      }
+    }
+    Base::ForEachEdgeChunk(s, std::forward<F>(f));
   }
 
   void EndPartitionScatter(Algo& algo, ConcurrentAppender& appender) {
@@ -215,8 +344,10 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     observed_updates_[p] += count;
   }
 
-  // Cancelled mid-scatter: drain the base spill state, then discard the
-  // pinned partitions' partially collected RAM buffers too.
+  /// Cancelled mid-scatter: drain the base spill state, then discard the
+  /// pinned partitions' partially collected RAM buffers too. Blocks until
+  /// in-flight spill writes land. The store is only safe to destroy
+  /// afterwards, not to resume (see the base contract).
   void AbortScatter() {
     Base::AbortScatter();
     for (auto& buf : pinned_updates_) {
@@ -226,33 +357,61 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
 
   void BeginPartitionGather(uint32_t p) { LoadPartition(p); }
 
-  // A pinned partition's update stream is its RAM buffer, chunked at the
-  // I/O unit so the driver's gather sub-partitioning sees the same shape as
-  // a file stream.
+  /// A partition's update stream this iteration may live in its RAM buffer,
+  /// its update file, or — when its residency flipped at a mid-iteration
+  /// boundary — both. Drain the buffer first (chunked at the I/O unit so
+  /// the driver's gather sub-partitioning sees the same shape as a file
+  /// stream), then any file bytes. Steady-state pinned partitions have an
+  /// empty file, so the file probe costs one size query and no I/O.
   template <typename F>
   void ForEachUpdateChunk(uint32_t p, F&& f) {
-    if (plan_.resident[p]) {
-      const std::vector<Update>& buf = pinned_updates_[p];
+    const std::vector<Update>& buf = pinned_updates_[p];
+    if (!buf.empty()) {
       uint64_t chunk = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Update));
       for (uint64_t i = 0; i < buf.size(); i += chunk) {
         f(buf.data() + i, std::min<uint64_t>(chunk, buf.size() - i));
       }
-      return;
     }
-    Base::ForEachUpdateChunk(p, std::forward<F>(f));
+    if (update_dev_.FileSize(update_files_[p]) > 0) {
+      Base::ForEachUpdateChunk(p, std::forward<F>(f));
+    }
   }
 
-  // A pinned partition's gather stores the states back into the pin and
-  // recycles its RAM update buffer; unpinned partitions keep the base
-  // store/TRIM/occupancy path unchanged (pinned gathers never touch the
-  // update files, so skipping them cannot miss a peak-occupancy sample).
+  /// A pinned partition's gather stores the states back into the pin and
+  /// recycles its RAM update buffer; unpinned partitions keep the full
+  /// base path, releasing any post-eviction RAM leftovers. Updates spilled
+  /// to p's file before a mid-iteration promotion get the exact base
+  /// treatment once consumed — eager TRIM, or the FinishGather sweep when
+  /// the ablation turns eager truncation off — and the peak-occupancy
+  /// sample runs at every gather boundary either way (mid-iteration flips
+  /// mean files can change even at a pinned partition's gather).
   void EndPartitionGather(uint32_t p, bool memory_gather) {
     if (!plan_.resident[p]) {
+      pinned_updates_[p] = {};  // post-eviction leftovers were just gathered
       Base::EndPartitionGather(p, memory_gather);
       return;
     }
     StorePartition(p);
     pinned_updates_[p].clear();  // consumed; capacity kept for next iteration
+    if (!memory_gather && opts_.eager_update_truncate &&
+        update_dev_.FileSize(update_files_[p]) > 0) {
+      update_dev_.Truncate(update_files_[p], 0);
+    }
+    this->SampleUpdateOccupancy();
+  }
+
+  /// Approximate RAM held for this store's lifetime (admission pricing for
+  /// the multi-job scheduler): the base buffers plus the edge-cache bytes a
+  /// privately owned cache currently holds. A scheduler-shared cache is not
+  /// added here — its bytes are already covered by the pin budgets, since
+  /// every pinning job prices edge bytes into its plan (see
+  /// HybridStoreOptions::shared_edge_cache).
+  uint64_t ResidentFootprintBytes() const {
+    uint64_t total = Base::ResidentFootprintBytes();
+    if (edge_cache_ != nullptr && owns_edge_cache_) {
+      total += edge_cache_->bytes();
+    }
+    return total;
   }
 
  private:
@@ -262,10 +421,17 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     return opts;
   }
 
+  // Every pinning store prices edge bytes into its plan, shared cache or
+  // not — the pin budget must see the full cost of what it requests, or a
+  // budget/cache feedback loop forms (pin -> cache grows -> budget charged
+  // elsewhere shrinks -> forced evict -> cache shrinks -> re-promote, ...).
+  bool PriceEdgesInPlan() const { return hopts_.pin_edges; }
+
   std::vector<PartitionResidencyStats> InitialPlanInputs() const {
     return BuildHybridPlanInputs(layout_, sizeof(VertexState), sizeof(Update),
                                  this->dst_edge_counts(), this->local_edge_counts(),
-                                 opts_.absorb_local_updates);
+                                 opts_.absorb_local_updates,
+                                 PriceEdgesInPlan() ? &this->src_edge_counts() : nullptr);
   }
 
   // Re-plan inputs: the worst-case one-update-per-edge buffer estimate is
@@ -278,31 +444,66 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
       uint64_t vbytes = layout_.Size(p) * sizeof(VertexState);
       uint64_t ubytes = observed_updates_[p] * sizeof(Update);
+      uint64_t ebytes =
+          PriceEdgesInPlan() ? this->src_edge_counts()[p] * sizeof(Edge) : 0;
       inputs[p].vertex_bytes = vbytes;
       inputs[p].update_buffer_bytes = ubytes;
-      inputs[p].avoided_bytes_per_iteration = PricePinSavings(vbytes, ubytes);
+      inputs[p].edge_bytes = ebytes;
+      inputs[p].avoided_bytes_per_iteration = PricePinSavings(vbytes, ubytes, ebytes);
     }
     return inputs;
   }
 
+  // One promotion: p's states move vertex file -> RAM pin; its edge stream
+  // becomes capture-eligible. Counted as migration traffic.
+  void PromotePartition(uint32_t p) {
+    uint64_t n = layout_.Size(p);
+    uint64_t bytes = n * sizeof(VertexState);
+    pinned_[p].resize(n);
+    if (n > 0) {
+      vertex_dev_.Read(vertex_files_[p], 0,
+                       std::span<std::byte>(reinterpret_cast<std::byte*>(pinned_[p].data()),
+                                            bytes));
+    }
+    plan_.resident[p] = true;
+    if (edge_cache_ != nullptr) {
+      edge_cache_->Request(p);
+    }
+    ++stats_->promotions;
+    stats_->migration_bytes += bytes;
+  }
+
+  // One eviction: p's states move RAM pin -> vertex file; its cached edges
+  // are released. The in-RAM update buffer is NOT dropped — updates already
+  // routed there this iteration are gathered from it (see
+  // ForEachUpdateChunk) and released at gather end.
+  void EvictPartition(uint32_t p) {
+    uint64_t n = layout_.Size(p);
+    uint64_t bytes = n * sizeof(VertexState);
+    if (n > 0) {
+      this->StorePartitionFrom(p, pinned_[p].data());
+    }
+    pinned_[p] = {};
+    plan_.resident[p] = false;
+    if (edge_cache_ != nullptr) {
+      edge_cache_->Release(p);
+      stats_->pinned_edge_bytes = edge_cache_->bytes();
+    }
+    ++stats_->evictions;
+    stats_->migration_bytes += bytes;
+  }
+
+  // Stop-the-world plan application (construction, explicit Replan, and the
+  // hysteresis-0 legacy mode): every differing partition migrates now.
   void ApplyPlan(ResidencyPlan next) {
     bool changed = false;
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
-      uint64_t n = layout_.Size(p);
       if (next.resident[p] && !plan_.resident[p]) {
-        pinned_[p].resize(n);
-        if (n > 0) {
-          vertex_dev_.Read(vertex_files_[p], 0,
-                           std::span<std::byte>(reinterpret_cast<std::byte*>(pinned_[p].data()),
-                                                n * sizeof(VertexState)));
-        }
+        PromotePartition(p);
         changed = true;
       } else if (!next.resident[p] && plan_.resident[p]) {
-        if (n > 0) {
-          this->StorePartitionFrom(p, pinned_[p].data());
-        }
-        pinned_[p] = {};
-        pinned_updates_[p] = {};
+        EvictPartition(p);
+        pinned_updates_[p] = {};  // between iterations: empty; free capacity
         changed = true;
       }
     }
@@ -312,9 +513,29 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     plan_ = std::move(next);
   }
 
+  // Incremental plan application: record which partitions migrate; each
+  // lands at its own scatter boundary (AtPartitionBoundary). The byte and
+  // savings accounting jumps to the delta's target immediately — it is a
+  // planning gauge, while the resident bitmap tracks physical state.
+  void StageDelta(ResidencyDelta delta) {
+    plan_.resident_bytes = delta.plan.resident_bytes;
+    plan_.avoided_bytes_per_iteration = delta.plan.avoided_bytes_per_iteration;
+    if (delta.empty()) {
+      return;
+    }
+    for (uint32_t p : delta.evict) {
+      pending_evict_[p] = 1;
+    }
+    for (uint32_t p : delta.promote) {
+      pending_promote_[p] = 1;
+    }
+    ++replans_;
+  }
+
   void PushResidencyStats() {
     stats_->resident_partition_count = plan_.resident_count();
     stats_->resident_bytes = plan_.resident_bytes;
+    stats_->pinned_edge_bytes = edge_cache_ != nullptr ? edge_cache_->bytes() : 0;
   }
 
   void CountAvoided(uint64_t bytes) { stats_->avoided_spill_bytes += bytes; }
@@ -342,6 +563,14 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   // kept in RAM, absorbed and drained alike) — next iteration's buffer
   // estimate.
   std::vector<uint64_t> observed_updates_;
+  // Migrations staged by the last PlanDelta, awaiting their partition's
+  // scatter boundary.
+  std::vector<uint8_t> pending_promote_;
+  std::vector<uint8_t> pending_evict_;
+  // Pinned partitions' edge streams (pin_edges): privately owned in solo
+  // runs, the scan source's shared copy under the scheduler.
+  std::shared_ptr<PinnedEdgeCache> edge_cache_;
+  bool owns_edge_cache_ = false;
   uint64_t iterations_seen_ = 0;
   uint64_t replans_ = 0;
   bool budget_dirty_ = false;  // SetPinBudget awaiting the next boundary

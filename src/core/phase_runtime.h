@@ -276,6 +276,14 @@ class StreamingPhaseDriver {
       scatter_state_base_ = store_.resident_states();
       scatter_part_base_ = 0;
     } else {
+      // Partition-boundary migration hook: partially resident stores apply
+      // staged residency changes (evictions/promotions) here, one partition
+      // at a time, instead of in a stop-the-world phase between iterations.
+      // Runs in solo loops and the scheduler's shared-scan mode alike —
+      // both reach every partition's scatter through this method.
+      if constexpr (requires(Store& st, uint32_t q) { st.AtPartitionBoundary(q); }) {
+        store_.AtPartitionBoundary(s);
+      }
       store_.BeginPartitionScatter(s);
       scatter_state_base_ =
           store_.all_resident() ? store_.resident_states() : store_.partition_states();

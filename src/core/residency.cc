@@ -5,40 +5,49 @@
 
 namespace xstream {
 
-ResidencyPlan ResidencyPlanner::Plan(
+std::vector<uint32_t> ResidencyPlanner::DensityOrder(
     const std::vector<PartitionResidencyStats>& partitions) const {
-  ResidencyPlan plan;
-  plan.resident.assign(partitions.size(), false);
-  if (budget_bytes_ == 0 || partitions.empty()) {
-    return plan;
-  }
-
   std::vector<uint32_t> order(partitions.size());
   std::iota(order.begin(), order.end(), 0u);
   // Density = avoided / cost, compared cross-multiplied so the order is
   // exact in integers. An empty partition (cost 0) with savings sorts first
   // and costs nothing to pin; ties break to the lower partition id so equal
   // inputs always produce equal plans.
-  auto cost = [&partitions](uint32_t p) -> uint64_t {
-    return partitions[p].vertex_bytes + partitions[p].update_buffer_bytes;
-  };
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+  std::stable_sort(order.begin(), order.end(), [&partitions](uint32_t a, uint32_t b) {
+    uint64_t ca = partitions[a].cost();
+    uint64_t cb = partitions[b].cost();
     __uint128_t lhs = static_cast<__uint128_t>(partitions[a].avoided_bytes_per_iteration) *
-                      (cost(b) > 0 ? cost(b) : 1);
+                      (cb > 0 ? cb : 1);
     __uint128_t rhs = static_cast<__uint128_t>(partitions[b].avoided_bytes_per_iteration) *
-                      (cost(a) > 0 ? cost(a) : 1);
+                      (ca > 0 ? ca : 1);
     if (lhs != rhs) {
       return lhs > rhs;
     }
     return a < b;
   });
+  return order;
+}
+
+ResidencyPlan ResidencyPlanner::Plan(
+    const std::vector<PartitionResidencyStats>& partitions) const {
+  return PlanWithOrder(partitions, DensityOrder(partitions));
+}
+
+ResidencyPlan ResidencyPlanner::PlanWithOrder(
+    const std::vector<PartitionResidencyStats>& partitions,
+    const std::vector<uint32_t>& order) const {
+  ResidencyPlan plan;
+  plan.resident.assign(partitions.size(), false);
+  if (budget_bytes_ == 0 || partitions.empty()) {
+    return plan;
+  }
 
   uint64_t remaining = budget_bytes_;
   for (uint32_t p : order) {
     if (partitions[p].avoided_bytes_per_iteration == 0) {
       continue;  // nothing to save; the rest of the order may still fit
     }
-    uint64_t c = cost(p);
+    uint64_t c = partitions[p].cost();
     if (c > remaining) {
       continue;  // skip, don't stop: smaller candidates may follow
     }
@@ -48,6 +57,90 @@ ResidencyPlan ResidencyPlanner::Plan(
     remaining -= c;
   }
   return plan;
+}
+
+ResidencyDelta ResidencyPlanner::PlanDelta(
+    const ResidencyPlan& current, const std::vector<PartitionResidencyStats>& partitions,
+    bool force) {
+  const size_t k = partitions.size();
+  if (streak_.size() != k) {
+    streak_.assign(k, 0);
+    streak_dir_.assign(k, 0);
+  }
+
+  ResidencyDelta delta;
+  delta.plan.resident.assign(k, false);
+  for (size_t p = 0; p < k && p < current.resident.size(); ++p) {
+    delta.plan.resident[p] = current.resident[p];
+  }
+
+  // One density sort serves both the target solve and the promotion loop.
+  std::vector<uint32_t> order = DensityOrder(partitions);
+  ResidencyPlan target = PlanWithOrder(partitions, order);
+
+  // Advance the win/lose streaks: a partition streaks only while the target
+  // keeps disagreeing with the applied plan in the same direction.
+  for (uint32_t p = 0; p < k; ++p) {
+    bool have = delta.plan.resident[p];
+    bool want = target.resident[p];
+    if (want == have) {
+      streak_[p] = 0;
+      streak_dir_[p] = 0;
+      continue;
+    }
+    int8_t dir = want ? int8_t{1} : int8_t{-1};
+    if (streak_dir_[p] == dir) {
+      ++streak_[p];
+    } else {
+      streak_dir_[p] = dir;
+      streak_[p] = 1;
+    }
+  }
+
+  auto eligible = [&](uint32_t p) { return force || streak_[p] >= hysteresis_; };
+
+  // Evictions first: they free budget the promotions below may need.
+  for (uint32_t p = 0; p < k; ++p) {
+    if (delta.plan.resident[p] && !target.resident[p] && eligible(p)) {
+      delta.evict.push_back(p);
+      delta.plan.resident[p] = false;
+      streak_[p] = 0;
+      streak_dir_[p] = 0;
+    }
+  }
+
+  uint64_t used = 0;
+  for (uint32_t p = 0; p < k; ++p) {
+    if (delta.plan.resident[p]) {
+      used += partitions[p].cost();
+    }
+  }
+
+  // Promotions in density order, admitted only while they fit next to what
+  // stays pinned. A winner blocked by a loser the hysteresis still protects
+  // keeps its streak (not reset) and enters once the eviction lands.
+  for (uint32_t p : order) {
+    if (delta.plan.resident[p] || !target.resident[p] || !eligible(p)) {
+      continue;
+    }
+    uint64_t c = partitions[p].cost();
+    if (used + c > budget_bytes_) {
+      continue;  // no room yet; streak survives for the next call
+    }
+    delta.promote.push_back(p);
+    delta.plan.resident[p] = true;
+    used += c;
+    streak_[p] = 0;
+    streak_dir_[p] = 0;
+  }
+
+  for (uint32_t p = 0; p < k; ++p) {
+    if (delta.plan.resident[p]) {
+      delta.plan.resident_bytes += partitions[p].cost();
+      delta.plan.avoided_bytes_per_iteration += partitions[p].avoided_bytes_per_iteration;
+    }
+  }
+  return delta;
 }
 
 }  // namespace xstream

@@ -73,6 +73,20 @@ struct RunStats {
   uint64_t resident_partition_count = 0;
   uint64_t resident_bytes = 0;
   uint64_t avoided_spill_bytes = 0;
+  // Incremental residency (PlanDelta): pin-set migrations applied over the
+  // run — partitions written back to the vertex files (evictions), loaded
+  // into RAM pins (promotions), and the vertex-state bytes those migrations
+  // moved in either direction. Full re-plans (hysteresis 0) count here too,
+  // so the fig31 baseline comparison reads off the same counters.
+  uint64_t evictions = 0;
+  uint64_t promotions = 0;
+  uint64_t migration_bytes = 0;
+  // Edge-stream pinning (--pin-edges): bytes of partition edge streams
+  // currently cached in RAM (a gauge; with the scheduler's shared cache
+  // every attached job reports the one shared copy), and the cumulative
+  // edge bytes served from that cache instead of the edge device.
+  uint64_t pinned_edge_bytes = 0;
+  uint64_t edge_reads_avoided_bytes = 0;
 
   std::vector<IterationStats> per_iteration;
 

@@ -30,9 +30,13 @@
 #define XSTREAM_CORE_STREAM_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -159,6 +163,161 @@ inline void PartitionEdgeFileToParts(ThreadPool& pool, const PartitionLayout& la
   }
   ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies);
 }
+
+// ---------------------------------------------------------------------------
+// PinnedEdgeCache: per-partition edge streams cached in RAM.
+//
+// A fully resident hybrid partition still pays one device pass per
+// iteration for its edge stream — the last traffic between it and true
+// memory speed. This cache closes that gap: a partition whose residency
+// plan requests edge pinning captures its chunks during the next device
+// scan and serves every later ForEachEdgeChunk from RAM, so at a full pin
+// budget the edge device is never touched after the first iteration.
+//
+// One cache can back several consumers: the solo HybridStreamStore owns a
+// private instance, while in scheduler runs the DeviceScanSource owns one
+// shared instance that every attached hybrid job Request()s partitions
+// into — N concurrent jobs hit one copy of the cached edges, mirroring how
+// attach mode already shares the edge files themselves. Requests are
+// refcounted so a partition stays cached while any job still pins it.
+//
+// Thread-safety: mutators (Request/Release/capture/seal) are serialized by
+// the caller — the store's compute loop, or the scheduler's single-driver
+// protocol — and additionally take an internal mutex so driver-role
+// handoffs across threads see consistent state. TryServe reads sealed data
+// lock-free behind an acquire load; sealed chunk data is immutable until
+// the (caller-serialized) Release that drops it. No call blocks on I/O.
+class PinnedEdgeCache {
+ public:
+  /// `chunk_edges` is the granularity served back to readers — pass the
+  /// same io-unit-derived chunk size the device reader uses, so cached and
+  /// streamed scans deliver identically shaped chunks.
+  PinnedEdgeCache(uint32_t num_partitions, uint64_t chunk_edges)
+      : chunk_edges_(std::max<uint64_t>(1, chunk_edges)), parts_(num_partitions) {}
+
+  /// A consumer wants partition p cached (refcounted). Capture happens on
+  /// the next scan that streams p from the device.
+  void Request(uint32_t p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++parts_[p].refs;
+  }
+
+  /// Drops one reference; at zero the cached chunks are freed and the next
+  /// Request must re-capture.
+  void Release(uint32_t p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Part& part = parts_[p];
+    if (part.refs > 0 && --part.refs == 0) {
+      if (part.sealed.load(std::memory_order_relaxed)) {
+        bytes_.fetch_sub(part.edges.size() * sizeof(Edge), std::memory_order_relaxed);
+      }
+      part.sealed.store(false, std::memory_order_release);
+      part.edges = {};
+    }
+  }
+
+  /// How ServeOrCapture delivered (or declined to deliver) a partition.
+  enum class ServeResult {
+    kMiss,      // not cached, not wanted: caller streams from the device
+    kServed,    // delivered from RAM, no device I/O
+    kCaptured,  // streamed from the device once, now cached for next time
+  };
+
+  /// The chunk consumer a capture-time stream feeds (type-erased: the
+  /// capture path runs once per partition lifetime, so the indirection per
+  /// chunk is noise).
+  using ChunkConsumer = std::function<void(const Edge*, uint64_t)>;
+
+  /// The one serve/capture protocol: serves p from RAM when a sealed
+  /// capture exists; otherwise, when some consumer requested p, invokes
+  /// `stream(consumer)` — the caller's device scan — capturing each chunk
+  /// as it passes through and sealing at the end; otherwise kMiss and the
+  /// caller streams normally. `*bytes_served` receives the RAM-served
+  /// bytes (kServed only), for avoided-read accounting.
+  template <typename F>
+  ServeResult ServeOrCapture(uint32_t p, F&& f,
+                             const std::function<void(const ChunkConsumer&)>& stream,
+                             uint64_t* bytes_served = nullptr) {
+    if (TryServe(p, f, bytes_served)) {
+      return ServeResult::kServed;
+    }
+    if (!WantsCapture(p)) {
+      return ServeResult::kMiss;
+    }
+    BeginCapture(p);
+    stream([&](const Edge* es, uint64_t n) {
+      CaptureChunk(p, es, n);
+      f(es, n);
+    });
+    Seal(p);
+    return ServeResult::kCaptured;
+  }
+
+  /// Serves partition p's chunks from RAM if a complete capture exists.
+  /// Returns false (touching nothing) otherwise. `*bytes_served` (optional)
+  /// receives the bytes delivered, so callers can account avoided reads.
+  template <typename F>
+  bool TryServe(uint32_t p, F&& f, uint64_t* bytes_served = nullptr) {
+    Part& part = parts_[p];
+    if (!part.sealed.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const std::vector<Edge>& edges = part.edges;
+    for (uint64_t i = 0; i < edges.size(); i += chunk_edges_) {
+      f(edges.data() + i, std::min<uint64_t>(chunk_edges_, edges.size() - i));
+    }
+    uint64_t bytes = edges.size() * sizeof(Edge);
+    served_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (bytes_served != nullptr) {
+      *bytes_served = bytes;
+    }
+    return true;
+  }
+
+  /// True if some consumer requested p and no complete capture exists yet —
+  /// the scan streaming p from the device should capture as it goes.
+  bool WantsCapture(uint32_t p) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return parts_[p].refs > 0 && !parts_[p].sealed.load(std::memory_order_relaxed);
+  }
+
+  /// Starts (or restarts, discarding a partial capture an aborted scan left
+  /// behind) capturing partition p.
+  void BeginCapture(uint32_t p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    parts_[p].edges.clear();
+  }
+
+  void CaptureChunk(uint32_t p, const Edge* es, uint64_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    parts_[p].edges.insert(parts_[p].edges.end(), es, es + n);
+  }
+
+  /// Marks p's capture complete; later TryServe calls hit RAM.
+  void Seal(uint32_t p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    bytes_.fetch_add(parts_[p].edges.size() * sizeof(Edge), std::memory_order_relaxed);
+    parts_[p].sealed.store(true, std::memory_order_release);
+  }
+
+  /// Bytes currently held by sealed captures (the pinned_edge_bytes gauge).
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  /// Cumulative edge bytes served from RAM instead of the edge device.
+  uint64_t served_bytes() const { return served_bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Part {
+    std::vector<Edge> edges;
+    std::atomic<bool> sealed{false};
+    uint32_t refs = 0;
+  };
+
+  uint64_t chunk_edges_;
+  mutable std::mutex mu_;
+  std::deque<Part> parts_;  // deque: Part holds an atomic, so no moves
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> served_bytes_{0};
+};
 
 // Partitioned in-RAM edges shared by several MemoryStreamStores (the
 // scheduler's memory-engine scan sharing): the setup shuffle runs once and
@@ -796,12 +955,7 @@ class DeviceStreamStore {
     if (!memory_gather && opts_.eager_update_truncate) {
       update_dev_.Truncate(update_files_[p], 0);
     }
-    // Track peak update-file occupancy for the TRIM ablation.
-    uint64_t occupancy = 0;
-    for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
-      occupancy += update_dev_.FileSize(update_files_[q]);
-    }
-    stats_->peak_update_bytes = std::max(stats_->peak_update_bytes, occupancy);
+    SampleUpdateOccupancy();
   }
 
   void FinishGather(bool memory_gather) {
@@ -934,6 +1088,16 @@ class DeviceStreamStore {
     const std::string& prefix =
         opts_.edge_file_prefix.empty() ? opts_.file_prefix : opts_.edge_file_prefix;
     return prefix + ".edges." + std::to_string(p);
+  }
+
+  // Track peak update-file occupancy for the TRIM ablation. Called at
+  // every gather boundary (base and partially resident subclasses alike).
+  void SampleUpdateOccupancy() {
+    uint64_t occupancy = 0;
+    for (uint32_t q = 0; q < layout_.num_partitions(); ++q) {
+      occupancy += update_dev_.FileSize(update_files_[q]);
+    }
+    stats_->peak_update_bytes = std::max(stats_->peak_update_bytes, occupancy);
   }
 
   void StorePartitionFrom(uint32_t p, const VertexState* states) {

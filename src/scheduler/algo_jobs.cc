@@ -144,6 +144,11 @@ std::unique_ptr<ScheduledJob> MakeDeviceJobFor(
     HybridStoreOptions opts;
     static_cast<DeviceStoreOptions&>(opts) = AttachedStoreOptions(source, cfg, prefix);
     opts.pin_budget_bytes = cfg.pin_budget_bytes;
+    opts.residency_hysteresis = cfg.residency_hysteresis;
+    opts.pin_edges = cfg.pin_edges;
+    if (cfg.pin_edges) {
+      opts.shared_edge_cache = source.EnsureEdgeCache();
+    }
     auto store = std::make_unique<HybridStreamStore<Algo>>(
         source.pool(), source.layout(), opts, source.edge_device(), update_dev, vertex_dev,
         std::string());

@@ -60,6 +60,13 @@ struct DeviceJobConfig {
   // the scheduler's budget re-split then drives their residency planners.
   bool hybrid = false;
   uint64_t pin_budget_bytes = 0;  // initial; a scheduler budget overrides it
+  // Hybrid jobs: iterations a partition must win/lose its pin before the
+  // incremental re-plan migrates it (0 = legacy full re-plan).
+  uint32_t residency_hysteresis = 2;
+  // Hybrid jobs: cache pinned partitions' edge streams in the scan source's
+  // shared PinnedEdgeCache — all jobs hit one RAM copy, priced centrally
+  // against the scheduler budget.
+  bool pin_edges = false;
 };
 
 // Builds a job whose DeviceStreamStore/HybridStreamStore attaches to the

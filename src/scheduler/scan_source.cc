@@ -21,6 +21,7 @@ DeviceScanSource::DeviceScanSource(ThreadPool& pool, PartitionLayout layout,
   for (uint32_t p = 0; p < k; ++p) {
     edge_files_[p] = edge_dev_.Create(opts_.file_prefix + ".edges." + std::to_string(p));
   }
+  edge_cache_ = std::make_shared<PinnedEdgeCache>(k, MaxChunkEdges());
 
   uint64_t capacity = opts_.buffer_bytes > 0
                           ? opts_.buffer_bytes
@@ -40,13 +41,26 @@ DeviceScanSource::DeviceScanSource(ThreadPool& pool, PartitionLayout layout,
                            capacity, opts_.io_unit_bytes, tallies);
 }
 
-void DeviceScanSource::ForEachEdgeChunk(uint32_t s,
-                                        const std::function<void(const Edge*, uint64_t)>& f) {
+void DeviceScanSource::StreamPartition(uint32_t s,
+                                       const std::function<void(const Edge*, uint64_t)>& f) {
   uint64_t chunk_edges = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Edge));
   StreamReader reader(edge_dev_, edge_files_[s], chunk_edges * sizeof(Edge));
   for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
     f(reinterpret_cast<const Edge*>(chunk.data()), chunk.size() / sizeof(Edge));
   }
+}
+
+void DeviceScanSource::ForEachEdgeChunk(uint32_t s,
+                                        const std::function<void(const Edge*, uint64_t)>& f) {
+  // Pinned partitions are served from (and on their first scan captured
+  // into) the shared edge cache, so every attached job's scatter hits one
+  // in-RAM copy and the edge device stays idle for them.
+  if (edge_cache_->ServeOrCapture(s, f, [&](const PinnedEdgeCache::ChunkConsumer& consumer) {
+        StreamPartition(s, consumer);
+      }) != PinnedEdgeCache::ServeResult::kMiss) {
+    return;
+  }
+  StreamPartition(s, f);
 }
 
 uint64_t DeviceScanSource::PartitionEdgeBytes(uint32_t s) const {

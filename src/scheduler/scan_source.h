@@ -49,6 +49,16 @@ class ScanSource {
   // factories check it against their stores' fill buffers so a mismatched
   // source/job I/O-unit pairing fails at submit time, not mid-scatter.
   virtual uint64_t MaxChunkEdges() const = 0;
+
+  // RAM this source currently holds on behalf of its attached jobs beyond
+  // the shared edge representation itself — the pinned-edge cache bytes
+  // hybrid jobs requested. Introspection only: the bytes are already
+  // bounded by the jobs' pin budgets, since every pinning job prices edge
+  // bytes into its own plan.
+  virtual uint64_t PinnedResidentBytes() const { return 0; }
+  // Cumulative edge bytes this source served from its pinned-edge cache
+  // instead of the edge device (SchedulerStats::edge_reads_avoided_bytes).
+  virtual uint64_t EdgeReadsAvoidedBytes() const { return 0; }
 };
 
 // Device-backed scan source: partitions the unordered input file into
@@ -86,6 +96,18 @@ class DeviceScanSource : public ScanSource {
   const std::vector<uint64_t>& dst_edge_counts() const { return dst_edge_counts_; }
   const std::vector<uint64_t>& local_edge_counts() const { return local_edge_counts_; }
 
+  // The shared pinned-edge cache (created eagerly at construction, so
+  // handing it to concurrently built jobs is race-free): attached hybrid
+  // jobs with pin_edges on Request()/Release() partitions in it as their
+  // residency plans migrate, and the shared scan fills it and serves sealed
+  // partitions from RAM — N concurrent jobs hit one copy of the cached
+  // edges. Empty (and free) until the first Request; bounded by the
+  // requesting jobs' pin budgets (each prices edge bytes into its plan).
+  std::shared_ptr<PinnedEdgeCache> EnsureEdgeCache() { return edge_cache_; }
+
+  uint64_t PinnedResidentBytes() const override { return edge_cache_->bytes(); }
+  uint64_t EdgeReadsAvoidedBytes() const override { return edge_cache_->served_bytes(); }
+
   // Fills the attach-mode fields of a job store's options so it opens this
   // source's edge files instead of partitioning its own.
   void ConfigureAttachedStore(DeviceStoreOptions& opts) const {
@@ -103,7 +125,10 @@ class DeviceScanSource : public ScanSource {
   std::vector<FileId> edge_files_;
   std::vector<uint64_t> edge_counts_;
   std::vector<uint64_t> dst_edge_counts_;
+  void StreamPartition(uint32_t s, const std::function<void(const Edge*, uint64_t)>& f);
+
   std::vector<uint64_t> local_edge_counts_;
+  std::shared_ptr<PinnedEdgeCache> edge_cache_;  // never null; empty until requested
 };
 
 // In-RAM scan source: the edges are shuffled into per-partition chunks once

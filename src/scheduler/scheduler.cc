@@ -109,7 +109,9 @@ bool JobScheduler::HasWorkLocked() const {
 
 SchedulerStats JobScheduler::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  SchedulerStats snapshot = stats_;
+  snapshot.edge_reads_avoided_bytes = source_.EdgeReadsAvoidedBytes();
+  return snapshot;
 }
 
 JobReport JobScheduler::ReportLocked(JobId id, const Record& rec) const {
@@ -280,11 +282,18 @@ void JobScheduler::ResplitBudget() {
   uint64_t pool = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // The shared pinned-edge cache is NOT subtracted here: every pinning
+    // job prices edge bytes into its own plan, so the pin-budget shares
+    // already bound the cache. Charging it again would double-count and
+    // form a budget/cache feedback loop.
     pool = opts_.memory_budget_bytes > fixed_in_use_
                ? opts_.memory_budget_bytes - fixed_in_use_
                : 0;
     ++stats_.budget_resplits;
   }
+  // Each share lands as a forced PlanDelta at the job's next iteration
+  // boundary: only the partitions the new budget flips migrate, one at a
+  // time at their scatter boundaries (HybridStreamStore::SetPinBudget).
   for (ActiveJob& aj : active_) {
     if (aj.job->CanPin()) {
       aj.job->SetPinBudget(pool / pin_capable);
@@ -299,6 +308,7 @@ bool JobScheduler::Step() {
     std::lock_guard<std::mutex> lk(mu_);
     return HasWorkLocked();
   }
+
 
   // --- The shared scan of one partition: read each chunk once, fan it out
   // to every job that takes part this round.

@@ -48,14 +48,19 @@ namespace xstream {
 
 using JobId = uint64_t;
 
+/// Scheduler configuration. Thread-safety: plain data, set before
+/// constructing the scheduler.
 struct SchedulerOptions {
-  // Memory budget split across active jobs (0 = unlimited): fixed job
-  // footprints gate admission, the remainder becomes the pin-capable jobs'
-  // residency budgets. A job bigger than the whole budget is still admitted
-  // when it is alone (with a warning) rather than deadlocking the queue.
+  /// Memory budget split across active jobs (0 = unlimited): fixed job
+  /// footprints gate admission; the remainder becomes the pin-capable
+  /// jobs' residency budgets (which price everything a pin holds,
+  /// including shared-cache edge bytes, so the split bounds total RAM). A
+  /// job bigger than the whole budget is still admitted when it is alone
+  /// (with a warning) rather than deadlocking the queue.
   uint64_t memory_budget_bytes = 0;
 };
 
+/// Aggregate scheduler counters (a snapshot copy; see stats()).
 struct SchedulerStats {
   uint64_t partition_scans = 0;    // partition edge streams actually read
   uint64_t scans_saved = 0;        // scatter passes served beyond the first
@@ -66,8 +71,12 @@ struct SchedulerStats {
   uint64_t jobs_completed = 0;
   uint64_t jobs_cancelled = 0;
   uint64_t budget_resplits = 0;  // admission/retirement pin-budget re-splits
+  // Edge bytes the scan source served from its shared pinned-edge cache
+  // instead of the edge device (hybrid jobs with pin_edges).
+  uint64_t edge_reads_avoided_bytes = 0;
 };
 
+/// One job's lifecycle summary (a snapshot copy; see report()).
 struct JobReport {
   JobId id = 0;
   std::string name;
@@ -77,41 +86,57 @@ struct JobReport {
   uint64_t rounds = 0;         // iterations completed under the scheduler
 };
 
+/// N concurrent algorithm jobs over one shared edge scan.
+///
+/// Thread-safety: Submit / Poll / Cancel / stats / report / reports are
+/// safe from any thread. Wait / RunAll / PumpOne may also be called from
+/// any thread, but only one thread at a time holds the internal driver
+/// role; the others wait for its partition boundary to land. The
+/// constructor and destructor must not race any other member.
 class JobScheduler {
  public:
+  /// Does not block; the source must outlive the scheduler.
   JobScheduler(ScanSource& source, SchedulerOptions opts = {});
-  // Tear-down abandons any jobs still queued or running (draining their
-  // in-flight I/O). Callers must not be driving or waiting concurrently.
+  /// Tear-down abandons any jobs still queued or running — blocks draining
+  /// their in-flight I/O. Callers must not be driving or waiting
+  /// concurrently.
   ~JobScheduler();
 
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
 
-  // Enqueues a job; it joins the scan at the next partition boundary with a
-  // budget slot. Thread-safe.
+  /// Enqueues a job; it joins the scan at the next partition boundary with
+  /// a budget slot. Thread-safe; never blocks on I/O.
   JobId Submit(std::unique_ptr<ScheduledJob> job);
 
+  /// Current lifecycle state. Thread-safe; never blocks on I/O. Aborts on
+  /// an unknown id.
   JobState Poll(JobId id) const;
 
-  // Requests cancellation; it takes effect at the next driven partition
-  // boundary (queued jobs never start, running jobs abandon their round
-  // there). Poll reports kCancelled once a boundary has processed the
-  // request. Unknown/finished ids are a no-op.
+  /// Requests cancellation; it takes effect at the next driven partition
+  /// boundary (queued jobs never start, running jobs abandon their round
+  /// there). Poll reports kCancelled once a boundary has processed the
+  /// request. Unknown/finished ids are a no-op. Thread-safe; never blocks
+  /// on I/O.
   void Cancel(JobId id);
 
-  // Blocks until the job is terminal, driving rounds whenever no other
-  // thread is. Returns true if the job completed (false = cancelled).
+  /// Blocks until the job is terminal, driving rounds (and therefore doing
+  /// the jobs' compute and I/O on this thread) whenever no other thread
+  /// is. Returns true if the job completed (false = cancelled).
   bool Wait(JobId id);
 
-  // Drives until no queued or active jobs remain.
+  /// Drives until no queued or active jobs remain. Blocks for the whole
+  /// remaining workload.
   void RunAll();
 
-  // Drives one partition boundary (admissions, one shared scan, round
-  // finishes, retirements); if another thread is driving, waits for it
-  // instead. Returns whether work may remain. Exposed for step-wise tests
-  // and external run loops.
+  /// Drives one partition boundary (admissions, one shared scan, round
+  /// finishes, retirements) — blocking on that boundary's compute and I/O;
+  /// if another thread is driving, waits for its boundary instead. Returns
+  /// whether work may remain. Exposed for step-wise tests and external run
+  /// loops.
   bool PumpOne();
 
+  /// Snapshot accessors. Thread-safe; never block on I/O.
   SchedulerStats stats() const;
   JobReport report(JobId id) const;
   std::vector<JobReport> reports() const;

@@ -453,6 +453,47 @@ TEST(HybridStoreTest, AutomaticReplanKeepsBfsCorrectAtHalfBudget) {
   EXPECT_GT(h.stats.avoided_spill_bytes, 0u);
 }
 
+TEST(HybridStoreTest, EdgePinningServesRepeatScansFromRamIdentically) {
+  // With pin_edges and a budget that pins everything, iteration 1 captures
+  // every partition's edge stream into the PinnedEdgeCache and every later
+  // scatter is served from RAM — with results identical to the streamed
+  // run, since the cache re-chunks at the same I/O-unit granularity.
+  EdgeList edges = TestGraph(53);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  std::vector<VertexId> expected = ReferenceWcc(edges, info.num_vertices);
+
+  RuntimeHarness<WccAlgorithm> h(2);
+  HybridStoreOptions opts = SmallHybridOpts(uint64_t{1} << 30);  // pins everything
+  opts.pin_edges = true;
+  auto got = h.RunHybrid(WccAlgorithm{}, edges, layout, opts);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(got[v].label, expected[v]) << "vertex " << v;
+  }
+  EXPECT_GT(h.stats.pinned_edge_bytes, 0u);       // all partitions cached
+  EXPECT_GT(h.stats.edge_reads_avoided_bytes, 0u);  // iterations 2+ hit RAM
+  EXPECT_EQ(h.stats.update_file_bytes, 0u);
+}
+
+TEST(HybridStoreTest, HysteresisZeroKeepsLegacyFullReplanBehavior) {
+  // The fig31 baseline: hysteresis 0 must still converge correctly through
+  // stop-the-world full re-plans at a drifting half budget.
+  EdgeList edges = TestGraph(59, 10);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 8);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<uint32_t> expected = ReferenceBfsLevels(g, 0);
+
+  RuntimeHarness<BfsAlgorithm> h(2);
+  uint64_t full = FullPinBytes<BfsAlgorithm>(h.pool, edges, layout);
+  HybridStoreOptions opts = SmallHybridOpts(full / 2);
+  opts.residency_hysteresis = 0;
+  auto got = h.RunHybrid(BfsAlgorithm(0), edges, layout, opts);
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(got[v].level, expected[v]) << "vertex " << v;
+  }
+}
+
 TEST(HybridStoreTest, CheckpointRoundtripsAcrossHybridAndDeviceStores) {
   EdgeList edges = TestGraph(47);
   GraphInfo info = ScanEdges(edges);
