@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "storage/sim_device.h"
 #include "util/env.h"
 #include "util/format.h"
+#include "util/json.h"
 #include "util/options.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -97,6 +99,62 @@ class WallClockSimDevice : public SimDevice {
       std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     }
   }
+};
+
+// Machine-readable bench output for the --json=FILE flag, consumed by
+// scripts/bench_diff.py against the baselines in bench/baselines/. Each
+// metric carries a class that decides how the diff gates it:
+//   "exact" — deterministic invariants (edge counts, simulated I/O bytes,
+//             migration counts); any drift fails.
+//   "ratio" — shape metrics (speedups, savings fractions) compared within a
+//             relative tolerance band.
+//   "info"  — machine/thread-dependent values (wall times, thread counts);
+//             recorded for trending, never gated.
+// With --json unset, Write() is a no-op, so benches can record
+// unconditionally.
+class BenchJson {
+ public:
+  BenchJson(const Options& opts, std::string figure)
+      : path_(opts.GetString("json", "")), figure_(std::move(figure)) {}
+
+  void Exact(const std::string& name, double value) { Add(name, value, "exact"); }
+  void Ratio(const std::string& name, double value) { Add(name, value, "ratio"); }
+  void Info(const std::string& name, double value) { Add(name, value, "info"); }
+
+  // Writes {"figure":..., "metrics":{name:{"value":...,"class":...}}}.
+  // Returns false on I/O failure (and true when --json is unset).
+  bool Write() const {
+    if (path_.empty()) {
+      return true;
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("figure", std::string_view(figure_));
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, m] : metrics_) {
+      w.Key(name).BeginObject();
+      w.Field("value", m.value);
+      w.Field("class", std::string_view(m.cls));
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    return WriteJsonFile(path_, w.str());
+  }
+
+ private:
+  struct Metric {
+    double value = 0;
+    const char* cls = "info";
+  };
+
+  void Add(const std::string& name, double value, const char* cls) {
+    metrics_[name] = Metric{value, cls};
+  }
+
+  std::string path_;
+  std::string figure_;
+  std::map<std::string, Metric> metrics_;  // ordered: deterministic output
 };
 
 inline std::vector<int> ThreadSweep(const Options& opts) {

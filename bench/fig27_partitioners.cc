@@ -56,8 +56,9 @@ BenchResult RunOne(const std::string& name, const EdgeList& edges, const GraphIn
   return r;
 }
 
-void RunGraph(const char* label, const EdgeList& edges, int threads, uint32_t partitions,
-              size_t io_unit_bytes, uint64_t iterations, uint64_t seed) {
+void RunGraph(const char* label, const char* key, BenchJson& json, const EdgeList& edges,
+              int threads, uint32_t partitions, size_t io_unit_bytes, uint64_t iterations,
+              uint64_t seed) {
   GraphInfo info = ScanEdges(edges);
   std::printf("%s: %s vertices, %s edge records, %u partitions\n", label,
               HumanCount(info.num_vertices).c_str(), HumanCount(info.num_edges).c_str(),
@@ -89,6 +90,12 @@ void RunGraph(const char* label, const EdgeList& edges, int threads, uint32_t pa
                   FormatDouble(r.quality.edge_balance, 2),
                   FormatDouble(static_cast<double>(r.update_file_bytes) / (1 << 20), 2),
                   HumanCount(r.updates_absorbed), FormatDouble(r.sim_seconds, 3)});
+    std::string mkey = std::string(key) + "." + name;
+    json.Exact(mkey + ".update_file_bytes", static_cast<double>(r.update_file_bytes));
+    json.Exact(mkey + ".updates_absorbed", static_cast<double>(r.updates_absorbed));
+    json.Ratio(mkey + ".cut_fraction", r.quality.CutFraction());
+    json.Ratio(mkey + ".replication", r.quality.replication_factor);
+    json.Info(mkey + ".runtime_seconds", r.sim_seconds);
   }
   table.Print();
   if (range_bytes > 0 && best_bytes != UINT64_MAX) {
@@ -98,6 +105,7 @@ void RunGraph(const char* label, const EdgeList& edges, int threads, uint32_t pa
                 std::abs(saved), saved >= 0 ? "less" : "MORE",
                 results_match ? "identical" : "DIVERGED");
   }
+  json.Exact(std::string(key) + ".results_match", results_match ? 1 : 0);
 }
 
 }  // namespace
@@ -119,17 +127,20 @@ int main(int argc, char** argv) {
   uint64_t iterations = opts.GetUint("iterations", smoke ? 3 : 5);
   uint64_t seed = opts.GetUint("seed", 1);
 
+  BenchJson json(opts, "fig27");
+
   // Permuted vertex ids throughout: the standard control so the range
   // baseline reflects an arbitrary input numbering, not the generator's.
   EdgeList rmat = MakeRmat(scale, 16, true, seed + 1);
   GraphInfo rinfo = ScanEdges(rmat);
   rmat = PermuteVertexIds(rmat, rinfo.num_vertices, seed + 2);
-  RunGraph("rmat (power-law)", rmat, threads, partitions, io_unit, iterations, seed);
+  RunGraph("rmat (power-law)", "rmat", json, rmat, threads, partitions, io_unit, iterations,
+           seed);
 
   EdgeList grid = GenerateGrid(grid_side, grid_side, seed + 3);
   GraphInfo ginfo = ScanEdges(grid);
   grid = PermuteVertexIds(grid, ginfo.num_vertices, seed + 4);
-  RunGraph("grid (road-network stand-in)", grid, threads, partitions, io_unit, iterations,
-           seed);
-  return 0;
+  RunGraph("grid (road-network stand-in)", "grid", json, grid, threads, partitions, io_unit,
+           iterations, seed);
+  return json.Write() ? 0 : 1;
 }

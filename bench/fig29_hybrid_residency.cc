@@ -236,5 +236,23 @@ int main(int argc, char** argv) {
   }
   std::printf("\nacceptance: identical results, avoided traffic at intermediate budgets, "
               "monotone runtime: %s\n", ok ? "yes" : "NO");
+
+  BenchJson json(opts, "fig29");
+  json.Exact("num_components", static_cast<double>(ooc.num_components));
+  json.Exact("ooc.update_file_mb", static_cast<double>(ooc.update_file_mb));
+  json.Info("ooc.wall_seconds", ooc.wall_seconds);
+  json.Info("in_memory.wall_seconds", mem.wall_seconds);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::string mkey = "hybrid_" + std::to_string(percents[i]);
+    json.Exact(mkey + ".resident_partitions",
+               static_cast<double>(sweep[i].resident_partitions));
+    json.Exact(mkey + ".update_file_mb", static_cast<double>(sweep[i].update_file_mb));
+    json.Ratio(mkey + ".avoided_mb", static_cast<double>(sweep[i].avoided_mb));
+    json.Info(mkey + ".wall_seconds", sweep[i].wall_seconds);
+  }
+  json.Exact("acceptance", ok ? 1 : 0);
+  if (!json.Write()) {
+    return 1;
+  }
   return ok ? 0 : 1;
 }

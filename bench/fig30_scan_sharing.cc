@@ -35,6 +35,7 @@
 #include "scheduler/algo_jobs.h"
 #include "scheduler/scan_source.h"
 #include "scheduler/scheduler.h"
+#include "util/logging.h"
 
 namespace xstream {
 namespace {
@@ -114,7 +115,7 @@ SoloRun RunSolo(const JobSpec& spec, const BenchSetup& s) {
     run.out = ConvertResult(RunSssp(engine, spec.root).dist,
                             [](float d) { return static_cast<double>(d); });
   } else {
-    std::fprintf(stderr, "fig30: unsupported solo algo %s\n", spec.algo.c_str());
+    XS_LOG(Error) << "fig30: unsupported solo algo " << spec.algo;
     std::exit(2);
   }
   run.edge_read_bytes = edge_dev.stats().bytes_read;
@@ -297,6 +298,7 @@ int main(int argc, char** argv) {
 
   Table table({"k jobs", "solo max MB", "shared MB", "x solo", "naive-seq MB", "x solo",
                "interleaved MB", "il seeks", "scans saved"});
+  BenchJson json(opts, "fig30");
   bool ok = true;
   for (size_t k : ks) {
     std::vector<JobSpec> specs = JobsForK(k);
@@ -322,6 +324,15 @@ int main(int argc, char** argv) {
                   FormatDouble(Mb(interleaved.edge_read_bytes), 1),
                   std::to_string(interleaved.edge_seeks),
                   std::to_string(shared.scans_saved)});
+    std::string mkey = "k" + std::to_string(k);
+    json.Exact(mkey + ".solo_max_bytes", static_cast<double>(solo_max_bytes));
+    json.Exact(mkey + ".shared_bytes", static_cast<double>(shared.edge_read_bytes));
+    json.Exact(mkey + ".naive_seq_bytes", static_cast<double>(naive_seq_bytes));
+    json.Exact(mkey + ".interleaved_bytes", static_cast<double>(interleaved.edge_read_bytes));
+    json.Exact(mkey + ".scans_saved", static_cast<double>(shared.scans_saved));
+    json.Ratio(mkey + ".shared_over_solo", shared_ratio);
+    json.Ratio(mkey + ".naive_over_solo", naive_ratio);
+    json.Info(mkey + ".interleaved_seeks", static_cast<double>(interleaved.edge_seeks));
 
     // --- Acceptance: identical results, flat shared-scan volume.
     if (s.threads == 1) {
@@ -352,5 +363,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nacceptance: solo-identical results, shared edge reads <= 1.25x single-job "
               "volume at every k: %s\n", ok ? "yes" : "NO");
+  json.Exact("acceptance", ok ? 1 : 0);
+  if (!json.Write()) {
+    return 1;
+  }
   return ok ? 0 : 1;
 }

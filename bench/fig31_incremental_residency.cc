@@ -268,5 +268,26 @@ int main(int argc, char** argv) {
   std::printf("\nacceptance: identical results, migration bytes strictly below the full "
               "re-plan baseline, edge device silent after iteration 1 at full budget: %s\n",
               ok ? "yes" : "NO");
+
+  BenchJson json(opts, "fig31");
+  json.Exact("a.baseline.migration_bytes", static_cast<double>(baseline.migration_bytes));
+  json.Exact("a.baseline.iterations", static_cast<double>(baseline.iterations));
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    std::string mkey = "a.hysteresis_" + std::to_string(i + 1);
+    json.Exact(mkey + ".migration_bytes",
+               static_cast<double>(incremental[i].migration_bytes));
+    json.Exact(mkey + ".promotions", static_cast<double>(incremental[i].promotions));
+    json.Exact(mkey + ".evictions", static_cast<double>(incremental[i].evictions));
+  }
+  json.Exact("b.iterations", static_cast<double>(iterations));
+  json.Exact("b.final_reads_minus_first", static_cast<double>(final_reads - reads_after_first));
+  json.Exact("b.update_file_bytes", static_cast<double>(stats.update_file_bytes));
+  json.Ratio("b.edge_reads_avoided_bytes",
+             static_cast<double>(stats.edge_reads_avoided_bytes));
+  json.Ratio("b.pinned_edge_bytes", static_cast<double>(stats.pinned_edge_bytes));
+  json.Exact("acceptance", ok ? 1 : 0);
+  if (!json.Write()) {
+    return 1;
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,165 @@
+// Instrumentation overhead microbenchmark (satellite of the observability
+// PR): the per-op cost of the primitives the hot paths pay — Counter::Add
+// (single- and multi-threaded), Gauge::Set, Histogram::Observe, and a
+// disabled TraceSpan (one relaxed atomic load) — plus the end-to-end check
+// the <2% budget is stated against: a hybrid WCC run with the tracer off vs
+// on. Build with -DXSTREAM_DISABLE_OBS to measure the compile-out escape
+// hatch (the counter loop collapses to the loop overhead itself).
+//
+// Measured numbers are machine-dependent; docs/observability.md records a
+// reference set. All metrics here are class "info" — never CI-gated.
+#include "bench_common.h"
+
+#include <thread>
+
+#include "algorithms/wcc.h"
+#include "core/hybrid_engine.h"
+#include "graph/transforms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xstream {
+namespace {
+
+double NsPerOp(uint64_t ops, double seconds) {
+  return ops > 0 ? seconds * 1e9 / static_cast<double>(ops) : 0.0;
+}
+
+// One hybrid WCC run at a partial pin budget; returns wall seconds. The
+// partial budget keeps every span kind live (scatter, shuffle, spill,
+// gather, migration), so the traced run records a realistic event mix.
+double HybridRun(const EdgeList& edges, const GraphInfo& info, int threads) {
+  SimDevice edge_dev("edges", DeviceProfile::Instant());
+  SimDevice update_dev("updates", DeviceProfile::Instant());
+  SimDevice vertex_dev("vertices", DeviceProfile::Instant());
+  WriteEdgeFile(edge_dev, "oh.input", edges);
+  HybridConfig config;
+  config.threads = threads;
+  config.io_unit_bytes = 16 << 10;
+  config.num_partitions = 8;
+  config.memory_budget_bytes = info.num_vertices * 8;  // partial: spills live
+  config.file_prefix = "oh";
+  HybridEngine<WccAlgorithm> engine(config, edge_dev, update_dev, vertex_dev, "oh.input",
+                                    info);
+  WallTimer timer;
+  RunWcc(engine);
+  return timer.Seconds();
+}
+
+}  // namespace
+}  // namespace xstream
+
+int main(int argc, char** argv) {
+  using namespace xstream;
+  Options opts(argc, argv);
+  BenchHeader("Observability overhead",
+              "Cost of the obs primitives and of tracing a hybrid run",
+              "counter adds stay in single-digit ns, a disabled span costs one "
+              "relaxed load, and tracing adds <2% to a smoke-scale hybrid run");
+
+  uint64_t ops = opts.GetUint("ops", 20'000'000);
+  int mt_threads = static_cast<int>(opts.GetInt("mt-threads", 4));
+  int reps = static_cast<int>(opts.GetInt("reps", 3));
+  uint32_t scale = static_cast<uint32_t>(opts.GetUint("scale", 12));
+  int threads = static_cast<int>(opts.GetInt("threads", NumCores()));
+  uint64_t seed = opts.GetUint("seed", 1);
+
+  BenchJson json(opts, "obs_overhead");
+  Table table({"Primitive", "ops", "ns/op"});
+
+  obs::MetricsRegistry registry;  // private: keep the global snapshot clean
+  {
+    obs::Counter& c = registry.counter("bench.count");
+    WallTimer t;
+    for (uint64_t i = 0; i < ops; ++i) {
+      c.Add();
+    }
+    double ns = NsPerOp(ops, t.Seconds());
+    table.AddRow({"Counter::Add (1 thread)", HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("counter_add_ns", ns);
+    XS_CHECK_EQ(c.Value(), ops);
+  }
+  {
+    obs::Counter& c = registry.counter("bench.count_mt");
+    WallTimer t;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < mt_threads; ++w) {
+      workers.emplace_back([&c, ops, mt_threads] {
+        for (uint64_t i = 0; i < ops / mt_threads; ++i) {
+          c.Add();
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    double ns = NsPerOp(ops / mt_threads * mt_threads, t.Seconds() * mt_threads);
+    table.AddRow({"Counter::Add (" + std::to_string(mt_threads) + " threads, per-thread)",
+                  HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("counter_add_mt_ns", ns);
+  }
+  {
+    obs::Gauge& g = registry.gauge("bench.gauge");
+    WallTimer t;
+    for (uint64_t i = 0; i < ops; ++i) {
+      g.Set(static_cast<double>(i));
+    }
+    double ns = NsPerOp(ops, t.Seconds());
+    table.AddRow({"Gauge::Set", HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("gauge_set_ns", ns);
+  }
+  {
+    obs::Histogram& h = registry.histogram("bench.hist");
+    uint64_t hist_ops = ops / 4;  // CAS-loop sum: pricier, fewer reps needed
+    WallTimer t;
+    for (uint64_t i = 0; i < hist_ops; ++i) {
+      h.Observe(static_cast<double>(i & 1023));
+    }
+    double ns = NsPerOp(hist_ops, t.Seconds());
+    table.AddRow({"Histogram::Observe", HumanCount(hist_ops), FormatDouble(ns, 2)});
+    json.Info("histogram_observe_ns", ns);
+  }
+  {
+    obs::Tracer::Global().Disable();
+    WallTimer t;
+    for (uint64_t i = 0; i < ops; ++i) {
+      obs::TraceSpan span("scatter");
+    }
+    double ns = NsPerOp(ops, t.Seconds());
+    table.AddRow({"TraceSpan (tracer off)", HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("span_disabled_ns", ns);
+  }
+  table.Print();
+
+  // End-to-end: hybrid WCC wall time, tracer off vs on (best-of-reps to
+  // shed scheduler noise). The interesting number is the off/on ratio, not
+  // the absolute times.
+  EdgeList edges = MakeRmat(scale, 16, true, seed + 1);
+  GraphInfo info = ScanEdges(edges);
+  edges = PermuteVertexIds(edges, info.num_vertices, seed + 2);
+
+  double off = 1e100;
+  double on = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    obs::Tracer::Global().Disable();
+    off = std::min(off, HybridRun(edges, info, threads));
+  }
+  for (int r = 0; r < reps; ++r) {
+    obs::Tracer::Global().Reset();
+    obs::Tracer::Global().Enable();
+    on = std::min(on, HybridRun(edges, info, threads));
+  }
+  size_t events = obs::Tracer::Global().Snapshot().size();
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Reset();
+
+  double pct = off > 0 ? 100.0 * (on - off) / off : 0.0;
+  std::printf("\nhybrid wcc (rmat scale %u, %d threads, best of %d): tracer off %.3fs, "
+              "on %.3fs (%+.2f%%, %zu events)\n",
+              scale, threads, reps, off, on, pct, events);
+  json.Info("hybrid_off_seconds", off);
+  json.Info("hybrid_on_seconds", on);
+  json.Info("hybrid_trace_overhead_pct", pct);
+  json.Info("hybrid_trace_events", static_cast<double>(events));
+  return json.Write() ? 0 : 1;
+}

@@ -17,6 +17,8 @@
 #include "algorithms/algorithms.h"
 #include "algorithms/kcores.h"
 #include "core/hybrid_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
@@ -31,6 +33,7 @@
 #include "storage/posix_device.h"
 #include "util/env.h"
 #include "util/format.h"
+#include "util/json.h"
 #include "util/options.h"
 
 namespace xstream {
@@ -77,6 +80,14 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
                             RAM after their first scan, so fully resident
                             partitions never touch the edge device (edge
                             bytes are priced into --memory-budget)
+    --residency-decay=F     hybrid: EWMA decay in [0,1) for the residency
+                            planner's observed-update-volume signal
+                            (default 0 = react to the last iteration only)
+  --trace=FILE              write a Chrome trace-event JSON timeline of the
+                            run's phase spans (open in Perfetto or
+                            chrome://tracing); covers solo and --jobs runs
+  --stats-json=FILE         write run statistics plus the metrics-registry
+                            snapshot as JSON (per-job array in --jobs mode)
   --jobs=SPEC[,SPEC...]     batch mode: run concurrent jobs under the
                             multi-job scheduler, sharing one edge scan.
                             SPEC = algo[:key=value...], algos wcc|bfs|sssp|
@@ -132,7 +143,35 @@ EdgeList LoadOrGenerate(const Options& opts) {
   std::exit(2);
 }
 
-void PrintStats(const RunStats& stats) {
+// The device backing the current solo out-of-core/hybrid run, so the
+// --stats-json snapshot can mirror its DeviceStats into the registry. Set by
+// WithEngine; the CLI runs one engine per process so a file-scope pointer is
+// the simplest plumbing through the per-algorithm result lambdas.
+StorageDevice* g_stats_device = nullptr;
+
+// Writes {"run": RunStats, "metrics": registry snapshot} when --stats-json
+// is set. Publishing the RunStats and device counters into the registry
+// first makes the registry snapshot the superset view (the RunStats object
+// itself stays the schema-stable part consumed by tests and bench_diff).
+void MaybeWriteStatsJson(const Options& opts, const RunStats& stats) {
+  std::string path = opts.GetString("stats-json", "");
+  if (path.empty()) {
+    return;
+  }
+  stats.PublishTo("run");
+  if (g_stats_device != nullptr) {
+    g_stats_device->PublishStats();
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("run").Raw(stats.ToJson());
+  w.Key("metrics").Raw(obs::MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  WriteJsonFile(path, w.str());
+}
+
+void PrintStats(const Options& opts, const RunStats& stats) {
+  MaybeWriteStatsJson(opts, stats);
   std::printf("stats: %llu iterations, %s edges streamed, %s updates, %.0f%% wasted, "
               "runtime %s (setup %s)\n",
               static_cast<unsigned long long>(stats.iterations),
@@ -249,11 +288,13 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     config.replan_between_iterations = !opts.GetBool("no-replan", false);
     config.residency_hysteresis =
         static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));
+    config.residency_decay = opts.GetDouble("residency-decay", 0.0);
     config.pin_edges = opts.GetBool("pin-edges", false);
     config.partitioner = partitioner.get();
     if (opts.Has("memory-budget")) {
       config.memory_budget_bytes = opts.GetUint("memory-budget", 0);
     }
+    g_stats_device = &disk;
     HybridEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
     std::printf("engine: hybrid in %s, %u partitions (%s), pin budget %s, "
                 "%u/%u partitions resident at start\n",
@@ -263,6 +304,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
                 engine.num_partitions());
     MaybePrintPartitionStats(opts, engine.layout(), edges);
     run(engine);
+    g_stats_device = nullptr;  // `disk` dies with this scope
     return;
   }
   OutOfCoreConfig config;
@@ -273,12 +315,14 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   config.async_spill = !opts.GetBool("sync-spill", false);
   config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
   config.partitioner = partitioner.get();
+  g_stats_device = &disk;
   OutOfCoreEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
   std::printf("engine: out-of-core in %s, %u partitions (%s), vertices %s\n", workdir.c_str(),
               engine.num_partitions(), partitioner ? partitioner->name() : "range",
               engine.vertices_in_memory() ? "in memory" : "on disk");
   MaybePrintPartitionStats(opts, engine.layout(), edges);
   run(engine);
+  g_stats_device = nullptr;  // `disk` dies with this scope
 }
 
 // Batch mode (--jobs): submit every requested job to one JobScheduler over
@@ -368,6 +412,7 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     jcfg.hybrid = engine_name == "hybrid";
     jcfg.residency_hysteresis =
         static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));
+    jcfg.residency_decay = opts.GetDouble("residency-decay", 0.0);
     jcfg.pin_edges = jcfg.hybrid && opts.GetBool("pin-edges", false);
     for (size_t i = 0; i < specs.size(); ++i) {
       outputs.push_back(std::make_shared<JobOutput>());
@@ -407,6 +452,46 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     std::printf("edge pinning: %s scan bytes served from the shared pinned-edge cache\n",
                 HumanBytes(ss.edge_reads_avoided_bytes).c_str());
   }
+
+  // --stats-json in batch mode: one document with a per-job array (each job's
+  // RunStats uses the same schema as a solo run), the scheduler's scan-sharing
+  // totals, and the registry snapshot.
+  std::string stats_path = opts.GetString("stats-json", "");
+  if (!stats_path.empty()) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      outputs[i]->stats.PublishTo("job." + scheduler->report(ids[i]).name);
+    }
+    if (disk != nullptr) {
+      disk->PublishStats();
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("jobs").BeginArray();
+    for (size_t i = 0; i < specs.size(); ++i) {
+      JobReport report = scheduler->report(ids[i]);
+      w.BeginObject();
+      w.Field("name", std::string_view(report.name));
+      w.Field("state", std::string_view(JobStateName(report.state)));
+      w.Field("rounds", report.rounds);
+      w.Field("queue_seconds", report.queue_seconds);
+      w.Field("run_seconds", report.run_seconds);
+      w.Key("stats").Raw(outputs[i]->stats.ToJson(/*include_iterations=*/false));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("scheduler").BeginObject();
+    w.Field("partition_scans", ss.partition_scans);
+    w.Field("scans_saved", ss.scans_saved);
+    w.Field("shared_scan_bytes", ss.shared_scan_bytes);
+    w.Field("saved_scan_bytes", ss.saved_scan_bytes);
+    w.Field("budget_resplits", ss.budget_resplits);
+    w.Field("edge_reads_avoided_bytes", ss.edge_reads_avoided_bytes);
+    w.EndObject();
+    w.Key("metrics").Raw(obs::MetricsRegistry::Global().ToJson());
+    w.EndObject();
+    WriteJsonFile(stats_path, w.str());
+  }
+
   scheduler.reset();  // retire before the source/devices it scans
   return 0;
 }
@@ -417,6 +502,23 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
 int main(int argc, char** argv) {
   using namespace xstream;
   Options opts(argc, argv);
+
+  // --trace: switch the tracer on before any engine work and flush the
+  // Chrome trace on every exit path (solo, --jobs, and error returns) via a
+  // scope guard.
+  struct TraceFlusher {
+    std::string path;
+    ~TraceFlusher() {
+      if (!path.empty()) {
+        obs::Tracer::Global().WriteChromeTrace(path);
+        std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", path.c_str());
+      }
+    }
+  } trace_flusher{opts.GetString("trace", "")};
+  if (!trace_flusher.path.empty()) {
+    obs::Tracer::Global().Enable();
+  }
+
   if (opts.GetBool("help", false) || (!opts.Has("algorithm") && !opts.Has("jobs"))) {
     std::fputs(kUsage, stdout);
     return opts.Has("algorithm") || opts.Has("jobs") ? 0 : 2;
@@ -449,14 +551,14 @@ int main(int argc, char** argv) {
       WccResult r = RunWcc(engine);
       std::printf("result: %llu weakly connected components\n",
                   static_cast<unsigned long long>(r.num_components));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "bfs") {
     WithEngine<BfsAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
       BfsResult r = RunBfs(engine, root);
       std::printf("result: %llu vertices reached from %u\n",
                   static_cast<unsigned long long>(r.reached), root);
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "sssp") {
     WithEngine<SsspAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
@@ -467,7 +569,7 @@ int main(int argc, char** argv) {
       }
       std::printf("result: shortest paths to %llu vertices from %u\n",
                   static_cast<unsigned long long>(reached), root);
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "pagerank") {
     WithEngine<PageRankAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
@@ -479,7 +581,7 @@ int main(int argc, char** argv) {
         }
       }
       std::printf("result: top vertex %u (rank %.3e)\n", best, r.ranks[best]);
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "spmv") {
     WithEngine<SpmvAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
@@ -489,35 +591,35 @@ int main(int argc, char** argv) {
         norm += static_cast<double>(y) * y;
       }
       std::printf("result: |A*x|_2 = %.4f\n", std::sqrt(norm));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "mis") {
     WithEngine<MisAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
       MisResult r = RunMis(engine);
       std::printf("result: independent set of %llu vertices\n",
                   static_cast<unsigned long long>(r.set_size));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "mcst") {
     WithEngine<McstAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
       McstResult r = RunMcst(engine);
       std::printf("result: spanning forest of %llu edges, weight %.4f\n",
                   static_cast<unsigned long long>(r.tree_edges), r.total_weight);
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "conductance") {
     WithEngine<ConductanceAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
       ConductanceResult r = RunConductance(engine);
       std::printf("result: conductance %.4f (%llu cross edges)\n", r.conductance,
                   static_cast<unsigned long long>(r.cross_edges));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "bp") {
     WithEngine<BpAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
       BpResult r = RunBp(engine, iters);
       std::printf("result: %llu confident vertices\n",
                   static_cast<unsigned long long>(r.confident));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "hyperanf") {
     WithEngine<HyperAnfAlgorithm>(opts, edges, info.num_vertices, [&](auto& engine) {
@@ -525,7 +627,7 @@ int main(int argc, char** argv) {
       std::printf("result: neighborhood function converged after %u steps; N = %s\n",
                   r.steps, HumanCount(static_cast<uint64_t>(
                                r.neighborhood_function.back())).c_str());
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "kcore") {
     uint32_t k = static_cast<uint32_t>(opts.GetUint("k", 8));
@@ -533,7 +635,7 @@ int main(int argc, char** argv) {
       KCoreResult r = RunKCore(engine, k);
       std::printf("result: %u-core has %llu vertices\n", k,
                   static_cast<unsigned long long>(r.core_size));
-      PrintStats(r.stats);
+      PrintStats(opts, r.stats);
     });
   } else if (algo == "scc") {
     EdgeList flagged = MakeSccEdgeList(edges);
@@ -544,7 +646,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.num_sccs),
                   static_cast<unsigned long long>(r.rounds));
       engine.FinalizeStats();
-      PrintStats(engine.stats());
+      PrintStats(opts, engine.stats());
     });
   } else {
     std::fprintf(stderr, "unknown --algorithm=%s\n%s", algo.c_str(), kUsage);

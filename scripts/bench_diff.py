@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff bench --json output against the committed baselines.
+
+Usage:
+    scripts/bench_diff.py [--baseline-dir bench/baselines] [--tolerance 0.35]
+                          BENCH_fig27.json [BENCH_fig29.json ...]
+
+Each input file is compared against <baseline-dir>/<basename>. The metric
+class recorded in the baseline decides the gate:
+
+  exact  -- values must match exactly (deterministic counts and byte
+            volumes; any drift is a behaviour change, not noise).
+  ratio  -- values must agree within a symmetric relative tolerance band:
+            |cur - base| <= tolerance * max(|cur|, |base|). Shape metrics
+            (speedups, savings) that wobble with load but not with
+            correctness.
+  info   -- never gated (wall times, seek counts: machine-dependent).
+
+Metrics present in the baseline but missing from the current run fail (a
+deleted metric is a silent coverage loss). Metrics present only in the
+current run warn: refresh the baseline to start gating them.
+
+Exit status: 0 when every gated metric passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        raise ValueError(f"{path}: missing 'metrics' object")
+    return doc
+
+
+def ratio_ok(cur, base, tolerance):
+    scale = max(abs(cur), abs(base))
+    if scale == 0:
+        return True
+    return abs(cur - base) <= tolerance * scale
+
+
+def diff_file(cur_path, base_path, tolerance):
+    """Returns (failures, warnings) as lists of strings."""
+    failures, warnings = [], []
+    try:
+        cur = load(cur_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return [f"{cur_path}: unreadable current results: {e}"], []
+    try:
+        base = load(base_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return [f"{base_path}: unreadable baseline: {e}"], []
+
+    fig = cur.get("figure", os.path.basename(cur_path))
+    for name, bm in sorted(base["metrics"].items()):
+        cls = bm.get("class", "info")
+        if name not in cur["metrics"]:
+            failures.append(f"{fig}: metric '{name}' vanished from the current run")
+            continue
+        if cls == "info":
+            continue
+        bval = bm["value"]
+        cval = cur["metrics"][name]["value"]
+        if cls == "exact":
+            if cval != bval:
+                failures.append(
+                    f"{fig}: exact metric '{name}' drifted: {bval} -> {cval}")
+        elif cls == "ratio":
+            if not ratio_ok(cval, bval, tolerance):
+                failures.append(
+                    f"{fig}: ratio metric '{name}' out of band "
+                    f"(+/-{tolerance:.0%}): {bval} -> {cval}")
+        else:
+            warnings.append(f"{fig}: metric '{name}' has unknown class '{cls}'")
+    for name in sorted(set(cur["metrics"]) - set(base["metrics"])):
+        warnings.append(
+            f"{fig}: new metric '{name}' not in baseline (refresh "
+            f"{base_path} to gate it)")
+    return failures, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="relative band for 'ratio' metrics (default 0.35)")
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    total_failures = 0
+    for cur_path in args.files:
+        base_path = os.path.join(args.baseline_dir, os.path.basename(cur_path))
+        failures, warnings = diff_file(cur_path, base_path, args.tolerance)
+        for w in warnings:
+            print(f"warning: {w}")
+        for f in failures:
+            print(f"FAIL: {f}")
+        total_failures += len(failures)
+        if not failures:
+            print(f"ok: {cur_path} vs {base_path}")
+    if total_failures:
+        print(f"\n{total_failures} metric(s) failed. If the change is intended, "
+              f"refresh the baselines:\n  cp BENCH_*.json {args.baseline_dir}/")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@
 #   5. incremental-residency smoke: fig31 at smoke scale — delta migrations
 #      must stay strictly below the full re-plan baseline, and edge pinning
 #      must silence the edge device after iteration 1 at full budget
-#   6. docs: every intra-repo markdown link must resolve
+#   6. bench diff: every smoke bench also emits BENCH_figXX.json (metric
+#      values tagged exact/ratio/info) which scripts/bench_diff.py gates
+#      against the committed baselines in bench/baselines/
+#   7. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -42,19 +45,28 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 echo
 echo "== partition-quality smoke benchmark =="
-"./$BUILD_DIR/fig27_partitioners" --smoke
+"./$BUILD_DIR/fig27_partitioners" --smoke --json=BENCH_fig27.json
 
 echo
 echo "== hybrid-residency smoke benchmark =="
-"./$BUILD_DIR/fig29_hybrid_residency" --smoke
+"./$BUILD_DIR/fig29_hybrid_residency" --smoke --json=BENCH_fig29.json
 
 echo
 echo "== scan-sharing smoke benchmark =="
-"./$BUILD_DIR/fig30_scan_sharing" --smoke
+"./$BUILD_DIR/fig30_scan_sharing" --smoke --json=BENCH_fig30.json
 
 echo
 echo "== incremental-residency smoke benchmark =="
-"./$BUILD_DIR/fig31_incremental_residency" --smoke
+"./$BUILD_DIR/fig31_incremental_residency" --smoke --json=BENCH_fig31.json
+
+echo
+echo "== bench diff vs committed baselines =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_diff.py --baseline-dir bench/baselines \
+    BENCH_fig27.json BENCH_fig29.json BENCH_fig30.json BENCH_fig31.json
+else
+  echo "warning: python3 not found; skipping bench_diff gate" >&2
+fi
 
 echo
 echo "== docs: markdown link check =="

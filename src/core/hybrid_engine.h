@@ -66,6 +66,9 @@ struct HybridConfig {
   // before the incremental re-plan migrates it (CLI --residency-hysteresis).
   // 0 = legacy stop-the-world full re-plan between iterations.
   uint32_t residency_hysteresis = 2;
+  // EWMA decay for the observed-update-volume re-plan signal (CLI
+  // --residency-decay); 0 = last iteration only (legacy).
+  double residency_decay = 0.0;
   // Cache pinned partitions' edge streams in RAM after their first scan
   // (CLI --pin-edges): a fully resident partition stops touching the edge
   // device entirely. Edge bytes are priced into the pin budget.
@@ -116,6 +119,7 @@ class HybridEngine {
     opts.file_prefix = config.file_prefix;
     opts.replan_between_iterations = config.replan_between_iterations;
     opts.residency_hysteresis = config.residency_hysteresis;
+    opts.residency_decay = config.residency_decay;
     opts.pin_edges = config.pin_edges;
     uint64_t budget = config.memory_budget_bytes;
     if (budget == HybridConfig::kAutoMemoryBudget) {

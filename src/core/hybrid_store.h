@@ -67,6 +67,14 @@ struct HybridStoreOptions : DeviceStoreOptions {
   /// Re-plan the pin set at each iteration boundary from the previous
   /// iteration's observed update volume.
   bool replan_between_iterations = true;
+  /// EWMA decay for the observed-update-volume signal the re-plan consumes
+  /// (CLI --residency-decay): smoothed = decay * previous + (1 - decay) *
+  /// observed. 0 (the default) keeps the legacy last-iteration-only signal
+  /// bit-for-bit; values toward 1 age in history, damping pin-set churn on
+  /// algorithms whose per-iteration volumes oscillate (BFS/WCC frontiers).
+  /// Clamped to [0, 1) at construction. The smoothed total is surfaced as
+  /// the registry gauge "residency.<file_prefix>.smoothed_update_bytes".
+  double residency_decay = 0.0;
   /// Iterations a partition must win (or lose) its place in the target pin
   /// set before the incremental re-plan migrates it. 0 = legacy behavior:
   /// a stop-the-world full re-plan between iterations (the fig31 baseline).
@@ -132,10 +140,18 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
     // files so pinning (and eviction) is a per-partition decision.
     XS_CHECK(!this->vertices_in_memory());
     planner_.set_hysteresis(hopts_.residency_hysteresis);
+    if (hopts_.residency_decay < 0.0 || hopts_.residency_decay >= 1.0) {
+      XS_LOG(Warning) << "residency decay " << hopts_.residency_decay
+                      << " outside [0, 1); clamping";
+      hopts_.residency_decay = std::clamp(hopts_.residency_decay, 0.0, 0.999);
+    }
+    smoothed_gauge_ = &obs::MetricsRegistry::Global().gauge(
+        "residency." + opts.file_prefix + ".smoothed_update_bytes");
     uint32_t k = layout_.num_partitions();
     pinned_.resize(k);
     pinned_updates_.resize(k);
     observed_updates_.assign(k, 0);
+    smoothed_updates_.assign(k, 0.0);
     pending_promote_.assign(k, 0);
     pending_evict_.assign(k, 0);
     plan_.resident.assign(k, false);
@@ -223,6 +239,18 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   void BeginIteration() {
     Base::BeginIteration();
     bool first = iterations_seen_ == 0;
+    if (!first) {
+      // Age the volume signal: with decay 0 the smoothed series IS last
+      // iteration's observation (legacy behavior, bit-for-bit).
+      double total = 0.0;
+      for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
+        smoothed_updates_[p] = hopts_.residency_decay * smoothed_updates_[p] +
+                               (1.0 - hopts_.residency_decay) *
+                                   static_cast<double>(observed_updates_[p]);
+        total += smoothed_updates_[p];
+      }
+      smoothed_gauge_->Set(total * sizeof(Update));
+    }
     if ((!first && hopts_.replan_between_iterations) || budget_dirty_) {
       // A budget assigned before the first iteration (scheduler admission)
       // has no observed volumes yet; re-plan from the setup tallies.
@@ -435,15 +463,16 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   }
 
   // Re-plan inputs: the worst-case one-update-per-edge buffer estimate is
-  // replaced by last iteration's observed per-partition volume. Slightly
-  // optimistic on the avoided side for unpinned partitions (absorbed
-  // updates are counted although they never hit the file), which only makes
-  // the planner favor locality-heavy partitions it would pin anyway.
+  // replaced by the (EWMA-smoothed, see residency_decay) observed
+  // per-partition volume. Slightly optimistic on the avoided side for
+  // unpinned partitions (absorbed updates are counted although they never
+  // hit the file), which only makes the planner favor locality-heavy
+  // partitions it would pin anyway.
   std::vector<PartitionResidencyStats> ObservedPlanInputs() const {
     std::vector<PartitionResidencyStats> inputs(layout_.num_partitions());
     for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
       uint64_t vbytes = layout_.Size(p) * sizeof(VertexState);
-      uint64_t ubytes = observed_updates_[p] * sizeof(Update);
+      uint64_t ubytes = static_cast<uint64_t>(smoothed_updates_[p] + 0.5) * sizeof(Update);
       uint64_t ebytes =
           PriceEdgesInPlan() ? this->src_edge_counts()[p] * sizeof(Edge) : 0;
       inputs[p].vertex_bytes = vbytes;
@@ -457,6 +486,8 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   // One promotion: p's states move vertex file -> RAM pin; its edge stream
   // becomes capture-eligible. Counted as migration traffic.
   void PromotePartition(uint32_t p) {
+    obs::TraceSpan span("migration", "residency", p);
+    obs::MetricsRegistry::Global().counter("residency.promotions").Add();
     uint64_t n = layout_.Size(p);
     uint64_t bytes = n * sizeof(VertexState);
     pinned_[p].resize(n);
@@ -478,6 +509,8 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   // routed there this iteration are gathered from it (see
   // ForEachUpdateChunk) and released at gather end.
   void EvictPartition(uint32_t p) {
+    obs::TraceSpan span("migration", "residency", p);
+    obs::MetricsRegistry::Global().counter("residency.evictions").Add();
     uint64_t n = layout_.Size(p);
     uint64_t bytes = n * sizeof(VertexState);
     if (n > 0) {
@@ -563,6 +596,10 @@ class HybridStreamStore : public DeviceStreamStore<Algo> {
   // kept in RAM, absorbed and drained alike) — next iteration's buffer
   // estimate.
   std::vector<uint64_t> observed_updates_;
+  // EWMA of observed_updates_ across iterations (residency_decay); this is
+  // what ObservedPlanInputs actually feeds the planner.
+  std::vector<double> smoothed_updates_;
+  obs::Gauge* smoothed_gauge_ = nullptr;
   // Migrations staged by the last PlanDelta, awaiting their partition's
   // scatter boundary.
   std::vector<uint8_t> pending_promote_;

@@ -42,6 +42,7 @@
 #include "core/stats.h"
 #include "core/stream_store.h"
 #include "graph/types.h"
+#include "obs/trace.h"
 #include "storage/device.h"
 #include "storage/stream_io.h"
 #include "threads/concurrent_appender.h"
@@ -240,6 +241,7 @@ class StreamingPhaseDriver {
   void BeginIterationScatter(Algo& algo) {
     XS_CHECK(!in_iteration_scatter_) << "iteration scatter already in progress";
     in_iteration_scatter_ = true;
+    iter_span_.Start(static_cast<int64_t>(stats_.iterations));
     cur_iter_ = IterationStats{};
     cur_iter_.iteration = stats_.iterations;
     iter_timer_.Reset();
@@ -284,6 +286,7 @@ class StreamingPhaseDriver {
       if constexpr (requires(Store& st, uint32_t q) { st.AtPartitionBoundary(q); }) {
         store_.AtPartitionBoundary(s);
       }
+      scatter_span_.Start(s);
       store_.BeginPartitionScatter(s);
       scatter_state_base_ =
           store_.all_resident() ? store_.resident_states() : store_.partition_states();
@@ -317,6 +320,7 @@ class StreamingPhaseDriver {
   void EndScatterPartition(Algo& algo) {
     if constexpr (!Store::kPartitionParallel) {
       store_.EndPartitionScatter(algo, *scatter_appender_);
+      scatter_span_.Stop("scatter");
     }
   }
 
@@ -332,6 +336,7 @@ class StreamingPhaseDriver {
       ShuffleOutput<Update> shuffled;
       if (cur_iter_.updates_generated > 0) {
         ScopedInterval si(streaming_);
+        obs::TraceSpan span("shuffle");
         shuffled = ShuffleRecords(
             store_.pool(), store_.update_records(), store_.scratch_records(),
             cur_iter_.updates_generated, layout.num_partitions(), opts_.shuffle_fanout,
@@ -353,6 +358,7 @@ class StreamingPhaseDriver {
     }
     scatter_appender_.reset();
     in_iteration_scatter_ = false;
+    iter_span_.Stop("iteration");
 
     cur_iter_.seconds = iter_timer_.Seconds();
     stats_.edges_streamed += cur_iter_.edges_streamed;
@@ -379,6 +385,8 @@ class StreamingPhaseDriver {
     if constexpr (!Store::kPartitionParallel) {
       store_.AbortScatter();
     }
+    scatter_span_.Cancel();
+    iter_span_.Cancel();
     scatter_appender_.reset();
     in_iteration_scatter_ = false;
   }
@@ -565,6 +573,7 @@ class StreamingPhaseDriver {
     queues_.Distribute(layout.num_partitions());
     {
       ScopedInterval si(streaming_);
+      obs::TraceSpan span("scatter");
       const VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_edges = 0;
@@ -599,6 +608,7 @@ class StreamingPhaseDriver {
     queues_.Distribute(layout.num_partitions());
     {
       ScopedInterval si(streaming_);
+      obs::TraceSpan span("gather");
       VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_changed = 0;
@@ -642,6 +652,7 @@ class StreamingPhaseDriver {
       if (layout.Size(p) == 0) {
         continue;
       }
+      obs::TraceSpan span("gather", "phase", p);
       store_.BeginPartitionGather(p);
       VertexState* state_base =
           store_.all_resident() ? store_.resident_states() : store_.partition_states();
@@ -738,6 +749,10 @@ class StreamingPhaseDriver {
   IterationStats cur_iter_;
   WallTimer iter_timer_;
   IntervalAccumulator streaming_;
+  // Tracer spans for the externally driven scatter protocol, where begin
+  // and end live in different calls (obs/trace.h; no-ops unless --trace).
+  obs::ManualSpan iter_span_;
+  obs::ManualSpan scatter_span_;
   const VertexState* scatter_state_base_ = nullptr;
   VertexId scatter_part_base_ = 0;
   bool in_iteration_scatter_ = false;

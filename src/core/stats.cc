@@ -1,0 +1,97 @@
+#include "core/stats.h"
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace xstream {
+
+std::string RunStats::ToJson(bool include_iterations) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("iterations", iterations);
+  w.Field("edges_streamed", edges_streamed);
+  w.Field("updates_generated", updates_generated);
+  w.Field("wasted_edges", wasted_edges);
+  w.Field("updates_absorbed", updates_absorbed);
+  w.Field("steals", steals);
+  w.Field("setup_seconds", setup_seconds);
+  w.Field("compute_seconds", compute_seconds);
+  w.Field("streaming_seconds", streaming_seconds);
+  w.Field("queue_seconds", queue_seconds);
+  w.Field("sim_io_seconds", sim_io_seconds);
+  w.Field("bytes_read", bytes_read);
+  w.Field("bytes_written", bytes_written);
+  w.Field("peak_update_bytes", peak_update_bytes);
+  w.Field("update_file_bytes", update_file_bytes);
+  w.Field("async_spill_bytes", async_spill_bytes);
+  w.Field("spill_wait_seconds", spill_wait_seconds);
+  w.Field("gather_wait_seconds", gather_wait_seconds);
+  w.Field("resident_partition_count", resident_partition_count);
+  w.Field("resident_bytes", resident_bytes);
+  w.Field("avoided_spill_bytes", avoided_spill_bytes);
+  w.Field("evictions", evictions);
+  w.Field("promotions", promotions);
+  w.Field("migration_bytes", migration_bytes);
+  w.Field("pinned_edge_bytes", pinned_edge_bytes);
+  w.Field("edge_reads_avoided_bytes", edge_reads_avoided_bytes);
+  w.Field("wall_seconds", WallSeconds());
+  w.Field("runtime_seconds", RuntimeSeconds());
+  w.Field("streaming_ratio", StreamingRatio());
+  w.Field("wasted_edge_percent", WastedEdgePercent());
+  w.Key("per_iteration").BeginArray();
+  if (include_iterations) {
+    for (const IterationStats& it : per_iteration) {
+      w.BeginObject();
+      w.Field("iteration", it.iteration);
+      w.Field("edges_streamed", it.edges_streamed);
+      w.Field("updates_generated", it.updates_generated);
+      w.Field("wasted_edges", it.wasted_edges);
+      w.Field("vertices_changed", it.vertices_changed);
+      w.Field("updates_absorbed", it.updates_absorbed);
+      w.Field("seconds", it.seconds);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void RunStats::PublishTo(const std::string& prefix) const {
+  obs::MetricGroup g(obs::MetricsRegistry::Global(), prefix);
+  auto counter = [&g](const char* name, uint64_t v) {
+    obs::Counter& c = g.counter(name);
+    uint64_t cur = c.Value();
+    if (v > cur) {
+      c.Add(v - cur);  // counters are monotonic; republish adds the delta
+    }
+  };
+  counter("iterations", iterations);
+  counter("edges_streamed", edges_streamed);
+  counter("updates_generated", updates_generated);
+  counter("wasted_edges", wasted_edges);
+  counter("updates_absorbed", updates_absorbed);
+  counter("steals", steals);
+  counter("bytes_read", bytes_read);
+  counter("bytes_written", bytes_written);
+  counter("update_file_bytes", update_file_bytes);
+  counter("async_spill_bytes", async_spill_bytes);
+  counter("evictions", evictions);
+  counter("promotions", promotions);
+  counter("migration_bytes", migration_bytes);
+  counter("edge_reads_avoided_bytes", edge_reads_avoided_bytes);
+  g.gauge("setup_seconds").Set(setup_seconds);
+  g.gauge("compute_seconds").Set(compute_seconds);
+  g.gauge("streaming_seconds").Set(streaming_seconds);
+  g.gauge("queue_seconds").Set(queue_seconds);
+  g.gauge("sim_io_seconds").Set(sim_io_seconds);
+  g.gauge("spill_wait_seconds").Set(spill_wait_seconds);
+  g.gauge("gather_wait_seconds").Set(gather_wait_seconds);
+  g.gauge("peak_update_bytes").Set(static_cast<double>(peak_update_bytes));
+  g.gauge("resident_partition_count").Set(static_cast<double>(resident_partition_count));
+  g.gauge("resident_bytes").Set(static_cast<double>(resident_bytes));
+  g.gauge("avoided_spill_bytes").Set(static_cast<double>(avoided_spill_bytes));
+  g.gauge("pinned_edge_bytes").Set(static_cast<double>(pinned_edge_bytes));
+}
+
+}  // namespace xstream

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace xstream {
@@ -108,6 +109,19 @@ struct RunStats {
                ? 100.0 * static_cast<double>(wasted_edges) / static_cast<double>(edges_streamed)
                : 0.0;
   }
+
+  // One JSON object holding every field above plus the derived ratios; the
+  // schema is identical for all three engine modes (fields an engine does
+  // not use are present as zeroes — tests/obs_test.cc pins this down). The
+  // CLI's --stats-json=FILE writes exactly this. `include_iterations`
+  // controls the "per_iteration" array (always present, possibly empty).
+  std::string ToJson(bool include_iterations = true) const;
+
+  // Mirrors every scalar field into the metrics registry under
+  // `prefix + "."` (counters for counts/bytes, gauges for seconds and
+  // residency levels) so run statistics appear in registry snapshots next
+  // to the natively instrumented I/O and scheduler metrics.
+  void PublishTo(const std::string& prefix) const;
 };
 
 }  // namespace xstream

@@ -48,6 +48,8 @@
 #include "core/partition.h"
 #include "core/stats.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/device.h"
 #include "storage/io_executor.h"
 #include "storage/stream_io.h"
@@ -193,7 +195,12 @@ class PinnedEdgeCache {
   /// same io-unit-derived chunk size the device reader uses, so cached and
   /// streamed scans deliver identically shaped chunks.
   PinnedEdgeCache(uint32_t num_partitions, uint64_t chunk_edges)
-      : chunk_edges_(std::max<uint64_t>(1, chunk_edges)), parts_(num_partitions) {}
+      : chunk_edges_(std::max<uint64_t>(1, chunk_edges)),
+        parts_(num_partitions),
+        hits_(&obs::MetricsRegistry::Global().counter("edge_cache.hits")),
+        served_bytes_counter_(
+            &obs::MetricsRegistry::Global().counter("edge_cache.served_bytes")),
+        pinned_gauge_(&obs::MetricsRegistry::Global().gauge("edge_cache.pinned_bytes")) {}
 
   /// A consumer wants partition p cached (refcounted). Capture happens on
   /// the next scan that streams p from the device.
@@ -268,6 +275,8 @@ class PinnedEdgeCache {
     }
     uint64_t bytes = edges.size() * sizeof(Edge);
     served_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    hits_->Add();
+    served_bytes_counter_->Add(bytes);
     if (bytes_served != nullptr) {
       *bytes_served = bytes;
     }
@@ -298,6 +307,7 @@ class PinnedEdgeCache {
     std::lock_guard<std::mutex> lk(mu_);
     bytes_.fetch_add(parts_[p].edges.size() * sizeof(Edge), std::memory_order_relaxed);
     parts_[p].sealed.store(true, std::memory_order_release);
+    pinned_gauge_->Set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
   }
 
   /// Bytes currently held by sealed captures (the pinned_edge_bytes gauge).
@@ -317,6 +327,10 @@ class PinnedEdgeCache {
   std::deque<Part> parts_;  // deque: Part holds an atomic, so no moves
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> served_bytes_{0};
+  // Registry handles, wired once at construction (obs/metrics.h).
+  obs::Counter* hits_;
+  obs::Counter* served_bytes_counter_;
+  obs::Gauge* pinned_gauge_;
 };
 
 // Partitioned in-RAM edges shared by several MemoryStreamStores (the
@@ -339,6 +353,7 @@ inline std::shared_ptr<const SharedEdgeChunks> MakeSharedEdgeChunks(
   if (!edges.empty()) {
     std::memcpy(shared->buffer.data(), edges.data(), edges.size() * sizeof(Edge));
   }
+  obs::TraceSpan span("setup", "setup");
   shared->chunks = ShuffleRecords(pool, shared->buffer.records<Edge>(),
                                   scratch.records<Edge>(), edges.size(),
                                   layout.num_partitions(), shuffle_fanout,
@@ -380,6 +395,7 @@ class MemoryStreamStore {
     if (!edges.empty()) {
       std::memcpy(buffers_[0].data(), edges.data(), edges.size() * sizeof(Edge));
     }
+    obs::TraceSpan span("setup", "setup");
     edge_chunks_ = ShuffleRecords(pool_, buffers_[0].template records<Edge>(),
                                   buffers_[1].template records<Edge>(), edges.size(),
                                   layout_.num_partitions(), shuffle_fanout,
@@ -718,6 +734,7 @@ class DeviceStreamStore {
     if (n == 0) {
       return;
     }
+    obs::TraceSpan spill_span("spill");
     int slot = write_slot_;
     WaitWriteSlot(slot);
     spilled_ = true;
@@ -727,6 +744,7 @@ class DeviceStreamStore {
     Update* src = fill_.template records<Update>();
     Update* dst = alt_[static_cast<size_t>(slot)].template records<Update>();
     ShuffleOutput<Update> shuffled;
+    obs::TraceSpan shuffle_span("shuffle");
     if (layout_.num_partitions() == 1) {
       // ShuffleRecords would leave a single partition's records in place in
       // the fill buffer, which scatter immediately overwrites; stage them
@@ -741,6 +759,7 @@ class DeviceStreamStore {
                                 [this](const Update& u) { return layout_.PartitionOf(u.dst); });
       XS_CHECK(shuffled.data == dst);  // single-stage shuffle, K > 1
     }
+    shuffle_span.Close();
 
     const uint32_t absorb = absorb_partition_;
     if (absorb != kNoAbsorbPartition) {
@@ -945,6 +964,9 @@ class DeviceStreamStore {
       f(reinterpret_cast<const Update*>(chunk.data()), chunk.size() / sizeof(Update));
     }
     stats_->gather_wait_seconds += reader.wait_seconds();
+    obs::MetricsRegistry::Global()
+        .histogram("store.gather_wait_us")
+        .Observe(reader.wait_seconds() * 1e6);
   }
 
   void EndPartitionGather(uint32_t p, bool memory_gather) {
@@ -1119,6 +1141,7 @@ class DeviceStreamStore {
   // Setup: stream the unordered input file, shuffle each loaded stretch by
   // source partition, append chunks to the per-partition edge files (§3.2).
   void PartitionInputEdges(const std::string& input_edge_file) {
+    obs::TraceSpan span("setup", "setup");
     EdgeShuffleTallies tallies = SetupTallies();
     PartitionEdgeFileToParts(pool_, layout_, edge_dev_, input_edge_file, edge_dev_,
                              edge_files_, fill_.template records<Edge>(),
@@ -1143,7 +1166,9 @@ class DeviceStreamStore {
     if (pending_write_[static_cast<size_t>(slot)].valid()) {
       WallTimer timer;
       pending_write_[static_cast<size_t>(slot)].get();
-      stats_->spill_wait_seconds += timer.Seconds();
+      double waited = timer.Seconds();
+      stats_->spill_wait_seconds += waited;
+      obs::MetricsRegistry::Global().histogram("store.spill_wait_us").Observe(waited * 1e6);
     }
   }
 

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/json.h"
+
+namespace xstream::obs {
+
+namespace {
+std::atomic<int> g_next_shard{0};
+}  // namespace
+
+int ThisThreadShard() {
+  thread_local const int shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 1.0)) {
+    return 0;  // also catches NaN and negatives
+  }
+  int exp = static_cast<int>(std::ceil(std::log2(v)));
+  return exp < kBuckets ? exp : kBuckets - 1;
+}
+
+void Histogram::Observe(double v) {
+#ifndef XSTREAM_DISABLE_OBS
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t total = 0;
+  uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return std::ldexp(1.0, i);  // bucket upper bound 2^i (bucket 0 -> 1.0)
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: outlives all threads
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Field(name, c->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Field(name, g->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Field("count", h->Count());
+    w.Field("sum", h->Sum());
+    w.Field("mean", h->Mean());
+    w.Field("p50", h->Percentile(0.50));
+    w.Field("p90", h->Percentile(0.90));
+    w.Field("p99", h->Percentile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace xstream::obs

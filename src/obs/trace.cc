@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include "util/json.h"
+
+namespace xstream::obs {
+
+namespace {
+
+std::atomic<uint32_t> g_next_tid{0};
+
+uint32_t ThisThreadTraceId() {
+  thread_local const uint32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* t = new Tracer();  // leaked: outlives all threads
+  return *t;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_.Reset();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(const char* name, const char* cat, uint64_t ts_ns, uint64_t dur_ns,
+                    int64_t partition, std::string label) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent ev{name, cat, ts_ns, dur_ns, ThisThreadTraceId(), partition, std::move(label)};
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& ev : events_) {
+    w.BeginObject();
+    w.Field("name", ev.name);
+    w.Field("cat", ev.cat);
+    w.Field("ph", "X");
+    w.Field("ts", static_cast<double>(ev.ts_ns) / 1e3);   // microseconds
+    w.Field("dur", static_cast<double>(ev.dur_ns) / 1e3);
+    w.Field("pid", 1);
+    w.Field("tid", static_cast<uint64_t>(ev.tid));
+    if (ev.partition >= 0 || !ev.label.empty()) {
+      w.Key("args").BeginObject();
+      if (ev.partition >= 0) {
+        w.Field("p", ev.partition);
+      }
+      if (!ev.label.empty()) {
+        w.Field("job", ev.label);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteJsonFile(path, ToChromeJson());
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace xstream::obs

@@ -1,0 +1,144 @@
+// Phase tracer: records spans at the StreamingPhaseDriver / store /
+// scheduler seams and exports them as Chrome trace-event JSON (the
+// ["traceEvents"] array format), viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Enabled by the CLI's --trace=FILE flag; when disabled —
+// the default — a span costs one relaxed atomic load and nothing else.
+//
+// Span vocabulary (names are stable; docs/observability.md catalogs them):
+//   setup      edge partitioning / setup shuffle          cat "setup"
+//   iteration  one scatter+gather cycle                   cat "phase"
+//   scatter    one partition's edge scan                  cat "phase"
+//   shuffle    routing buffered updates to partitions     cat "phase"
+//   spill      shuffle + device write of an update batch  cat "phase"
+//   gather     one partition's update drain + apply       cat "phase"
+//   migration  residency promote/evict of one partition   cat "residency"
+//   admission / retirement / resplit   scheduler events   cat "scheduler"
+//
+// Spans are recorded as Chrome "X" (complete) events; nesting is by time
+// containment per thread, which Perfetto renders as stacked slices.
+#ifndef XSTREAM_OBS_TRACE_H_
+#define XSTREAM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace xstream::obs {
+
+struct TraceEvent {
+  const char* name;   // static string (span vocabulary above)
+  const char* cat;    // static category string
+  uint64_t ts_ns;     // start, relative to tracer epoch
+  uint64_t dur_ns;
+  uint32_t tid;       // dense per-thread id
+  int64_t partition;  // args.p; -1 = none
+  std::string label;  // args.job; empty = none
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Starts recording and resets the epoch. Spans opened while disabled are
+  // dropped even if tracing is enabled before they close.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  uint64_t NowNs() const { return epoch_.Nanos(); }
+
+  void Record(const char* name, const char* cat, uint64_t ts_ns, uint64_t dur_ns,
+              int64_t partition = -1, std::string label = {});
+
+  // Copy of the recorded events (tests).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} — ts/dur in microseconds.
+  std::string ToChromeJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  WallTimer epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span against the global tracer. Construction samples the clock only
+// when tracing is enabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "phase", int64_t partition = -1,
+                     std::string label = {})
+      : name_(name),
+        cat_(cat),
+        partition_(partition),
+        label_(std::move(label)),
+        active_(Tracer::Global().enabled()) {
+    if (active_) {
+      start_ns_ = Tracer::Global().NowNs();
+    }
+  }
+
+  ~TraceSpan() { Close(); }
+
+  // Ends the span early (for spans that do not line up with a C++ scope).
+  void Close() {
+    if (active_) {
+      active_ = false;
+      Tracer& t = Tracer::Global();
+      t.Record(name_, cat_, start_ns_, t.NowNs() - start_ns_, partition_, std::move(label_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t partition_;
+  std::string label_;
+  bool active_;
+  uint64_t start_ns_ = 0;
+};
+
+// Manual span for begin/end pairs split across functions (e.g. the driver's
+// externally driven scatter protocol). Inactive unless Start() ran while
+// tracing was enabled.
+class ManualSpan {
+ public:
+  void Start(int64_t partition = -1) {
+    active_ = Tracer::Global().enabled();
+    if (active_) {
+      partition_ = partition;
+      start_ns_ = Tracer::Global().NowNs();
+    }
+  }
+
+  void Stop(const char* name, const char* cat = "phase") {
+    if (active_) {
+      active_ = false;
+      Tracer& t = Tracer::Global();
+      t.Record(name, cat, start_ns_, t.NowNs() - start_ns_, partition_);
+    }
+  }
+
+  // Discards the span without recording (cancelled iterations).
+  void Cancel() { active_ = false; }
+
+ private:
+  bool active_ = false;
+  int64_t partition_ = -1;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace xstream::obs
+
+#endif  // XSTREAM_OBS_TRACE_H_

@@ -145,6 +145,7 @@ std::unique_ptr<ScheduledJob> MakeDeviceJobFor(
     static_cast<DeviceStoreOptions&>(opts) = AttachedStoreOptions(source, cfg, prefix);
     opts.pin_budget_bytes = cfg.pin_budget_bytes;
     opts.residency_hysteresis = cfg.residency_hysteresis;
+    opts.residency_decay = cfg.residency_decay;
     opts.pin_edges = cfg.pin_edges;
     if (cfg.pin_edges) {
       opts.shared_edge_cache = source.EnsureEdgeCache();

@@ -63,6 +63,9 @@ struct DeviceJobConfig {
   // Hybrid jobs: iterations a partition must win/lose its pin before the
   // incremental re-plan migrates it (0 = legacy full re-plan).
   uint32_t residency_hysteresis = 2;
+  // Hybrid jobs: EWMA decay for the planner's observed-update-volume signal
+  // (0 = legacy last-iteration-only behaviour).
+  double residency_decay = 0.0;
   // Hybrid jobs: cache pinned partitions' edge streams in the scan source's
   // shared PinnedEdgeCache — all jobs hit one RAM copy, priced centrally
   // against the scheduler budget.

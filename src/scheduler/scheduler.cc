@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace xstream {
@@ -221,6 +223,7 @@ void JobScheduler::AdmitPending() {
   }
   size_t first_new = active_.size();
   for (PendingJob& p : admitted) {
+    obs::TraceSpan span("admission", "scheduler", -1, p.job->name());
     uint64_t fixed = p.job->FixedBytes();
     p.job->Activate();
     double now = clock_.Seconds();
@@ -230,8 +233,12 @@ void JobScheduler::AdmitPending() {
       rec.state = JobState::kRunning;
       rec.admit_seconds = now;
       p.job->stats().queue_seconds = now - rec.submit_seconds;
+      obs::MetricsRegistry::Global()
+          .histogram("scheduler.queue_seconds")
+          .Observe(now - rec.submit_seconds);
       ++active_count_;
     }
+    obs::MetricsRegistry::Global().counter("scheduler.jobs_admitted").Add();
     active_.push_back(ActiveJob{p.id, std::move(p.job), cursor_, fixed, 0});
   }
   // Split the budget before the newcomers' first BeginRound so their share
@@ -246,6 +253,8 @@ void JobScheduler::AdmitPending() {
 void JobScheduler::RetireActive(size_t index, JobState final_state) {
   ActiveJob aj = std::move(active_[static_cast<size_t>(index)]);
   active_.erase(active_.begin() + static_cast<ptrdiff_t>(index));
+  obs::TraceSpan span("retirement", "scheduler", -1, aj.job->name());
+  obs::MetricsRegistry::Global().counter("scheduler.jobs_retired").Add();
   if (final_state == JobState::kDone) {
     aj.job->Finalize();
   } else {
@@ -291,6 +300,7 @@ void JobScheduler::ResplitBudget() {
                : 0;
     ++stats_.budget_resplits;
   }
+  obs::MetricsRegistry::Global().counter("scheduler.budget_resplits").Add();
   // Each share lands as a forced PlanDelta at the job's next iteration
   // boundary: only the partitions the new budget flips migrate, one at a
   // time at their scatter boundaries (HybridStreamStore::SetPinBudget).
@@ -334,6 +344,10 @@ bool JobScheduler::Step() {
       aj->job->EndScatterPartition();
     }
     uint64_t bytes = source_.PartitionEdgeBytes(s);
+    obs::MetricGroup sched(obs::MetricsRegistry::Global(), "scheduler");
+    sched.counter("partition_scans").Add();
+    sched.counter("scans_saved").Add(participants.size() - 1);
+    sched.counter("saved_scan_bytes").Add(bytes * (participants.size() - 1));
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.partition_scans;
     stats_.shared_scan_bytes += bytes;

@@ -80,6 +80,14 @@ class StorageDevice {
   virtual DeviceStats stats() const = 0;
   virtual void ResetStats() = 0;
 
+  // Mirrors stats() into the metrics registry as the monotonic counters
+  // "device.<name>.{read_bytes,written_bytes,read_requests,write_requests,
+  // seeks}" and the gauge "device.<name>.busy_seconds". Snapshot-on-read:
+  // cheap enough to call at any reporting point (--stats-json, bench JSON
+  // emission); per-request accounting stays in DeviceStats, the layer that
+  // already computes the numbers.
+  void PublishStats();
+
   // Drains and returns the request timeline accumulated since the last call.
   virtual std::vector<IoEvent> TakeTimeline() { return {}; }
 

@@ -1,8 +1,14 @@
 #include "storage/io_executor.h"
 
+#include <chrono>
+
 namespace xstream {
 
-IoExecutor::IoExecutor() : thread_([this] { Loop(); }) {}
+IoExecutor::IoExecutor()
+    : ops_counter_(&obs::MetricsRegistry::Global().counter("io.requests")),
+      depth_gauge_(&obs::MetricsRegistry::Global().gauge("io.queue_depth")),
+      latency_hist_(&obs::MetricsRegistry::Global().histogram("io.submit_to_complete_us")),
+      thread_([this] { Loop(); }) {}
 
 IoExecutor::~IoExecutor() {
   {
@@ -17,11 +23,19 @@ std::future<void> IoExecutor::Submit(std::function<void()> op) {
   // The completion count must be visible before the request's future
   // resolves (waiters read in_flight() right after .get()), so it is bumped
   // by a guard inside the task, not by the loop after task() returns.
-  std::packaged_task<void()> task([this, op = std::move(op)] {
+  auto submitted_at = std::chrono::steady_clock::now();
+  std::packaged_task<void()> task([this, submitted_at, op = std::move(op)] {
     struct Guard {
-      std::atomic<uint64_t>& count;
-      ~Guard() { count.fetch_add(1, std::memory_order_relaxed); }
-    } guard{completed_};
+      IoExecutor* ex;
+      std::chrono::steady_clock::time_point t0;
+      ~Guard() {
+        ex->completed_.fetch_add(1, std::memory_order_relaxed);
+        ex->depth_gauge_->Set(static_cast<double>(ex->in_flight()));
+        ex->latency_hist_->Observe(
+            std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    } guard{this, submitted_at};
     op();
   });
   std::future<void> future = task.get_future();
@@ -29,6 +43,8 @@ std::future<void> IoExecutor::Submit(std::function<void()> op) {
   // thread could complete it first and in_flight() would transiently
   // underflow.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  ops_counter_->Add();
+  depth_gauge_->Set(static_cast<double>(in_flight()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

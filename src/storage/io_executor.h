@@ -15,6 +15,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace xstream {
 
 class IoExecutor {
@@ -45,6 +47,12 @@ class IoExecutor {
   bool shutdown_ = false;
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
+  // Registry handles (obs/metrics.h), shared by every executor: request
+  // count, current aggregate in-flight depth, and the submit-to-complete
+  // latency distribution (queueing included — the §3.3 overlap signal).
+  obs::Counter* ops_counter_;
+  obs::Gauge* depth_gauge_;
+  obs::Histogram* latency_hist_;
   std::thread thread_;
 };
 

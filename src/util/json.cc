@@ -1,0 +1,158 @@
+#include "util/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace xstream {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, never a comma
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) {
+      out_.push_back(',');
+    }
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  XS_CHECK(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  XS_CHECK(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_.push_back('"');
+  out_.append(Escape(key));
+  out_.append("\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  MaybeComma();
+  out_.push_back('"');
+  out_.append(Escape(v));
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_.append(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; null keeps the document valid and the hole visible.
+    out_.append("null");
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_.append(json);
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (unsigned char c : v) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    XS_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    XS_LOG(Error) << "short write to " << path;
+  }
+  return ok;
+}
+
+}  // namespace xstream

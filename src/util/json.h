@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer — the single JSON emitter shared by the
+// metrics registry snapshot, the Chrome trace exporter, RunStats::ToJson and
+// the bench --json=FILE mode. Writes compact, valid JSON with automatic
+// comma placement; no reader/parser (nothing in the repo consumes JSON, it
+// is an export format for Perfetto / bench_diff.py / future dashboards).
+#ifndef XSTREAM_UTIL_JSON_H_
+#define XSTREAM_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xstream {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+
+  // Key + value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T v) {
+    Key(key);
+    return Value(v);
+  }
+
+  // Splices pre-serialized JSON in value position (e.g. a nested document
+  // produced by another JsonWriter). The caller guarantees validity.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  // Escapes `v` per RFC 8259 (quotes, backslash, control characters).
+  static std::string Escape(std::string_view v);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+// Writes `json` to `path` (with a trailing newline). Returns false and logs
+// on I/O failure.
+bool WriteJsonFile(const std::string& path, const std::string& json);
+
+}  // namespace xstream
+
+#endif  // XSTREAM_UTIL_JSON_H_

@@ -1,16 +1,57 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace xstream {
 
 namespace {
 
-std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+// Initial threshold from the XSTREAM_LOG environment variable: one of
+// debug / info / warning / error (case-insensitive, first letter suffices)
+// or the numeric level 0-3. Unset or unrecognized -> kInfo.
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("XSTREAM_LOG");
+  if (env == nullptr || env[0] == '\0') {
+    return LogLevel::kInfo;
+  }
+  switch (std::tolower(static_cast<unsigned char>(env[0]))) {
+    case 'd':
+    case '0':
+      return LogLevel::kDebug;
+    case 'i':
+    case '1':
+      return LogLevel::kInfo;
+    case 'w':
+    case '2':
+      return LogLevel::kWarning;
+    case 'e':
+    case '3':
+      return LogLevel::kError;
+    default:
+      return LogLevel::kInfo;
+  }
+}
+
+std::atomic<LogLevel> g_threshold{ThresholdFromEnv()};
+
+// "HH:MM:SS.mmm" local wall-clock timestamp for the line prefix.
+void FormatTimestamp(char* buf, size_t len) {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t secs = system_clock::to_time_t(now);
+  auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  std::snprintf(buf, len, "%02d:%02d:%02d.%03d", tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms.count()));
+}
 
 // Serializes whole log lines so concurrent engine threads do not interleave.
 std::mutex& LogMutex() {
@@ -46,7 +87,9 @@ LogLevel GetLogThreshold() { return g_threshold.load(std::memory_order_relaxed);
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << LevelName(level) << " [" << Basename(file) << ":" << line << "] ";
+  char ts[16];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << LevelName(level) << " " << ts << " [" << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -58,7 +101,10 @@ LogMessage::~LogMessage() {
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
-  stream_ << "F [" << Basename(file) << ":" << line << "] check failed: " << condition << " ";
+  char ts[16];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "F " << ts << " [" << Basename(file) << ":" << line
+          << "] check failed: " << condition << " ";
 }
 
 FatalMessage::~FatalMessage() {

@@ -18,8 +18,10 @@ enum class LogLevel {
   kError = 3,
 };
 
-// Global threshold below which messages are suppressed. Defaults to kInfo;
-// set to kDebug for verbose engine tracing.
+// Global threshold below which messages are suppressed. Initialized from
+// the XSTREAM_LOG environment variable (debug/info/warning/error or 0-3);
+// defaults to kInfo. Set to kDebug for verbose engine tracing. Lines carry
+// a "L HH:MM:SS.mmm [file:line]" prefix.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
