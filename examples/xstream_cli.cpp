@@ -31,6 +31,7 @@
 #include "scheduler/scan_source.h"
 #include "scheduler/scheduler.h"
 #include "storage/posix_device.h"
+#include "storage/uring_device.h"
 #include "util/env.h"
 #include "util/format.h"
 #include "util/json.h"
@@ -66,6 +67,18 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
                             double-buffered on the device I/O thread)
     --spill-depth=N         spill write-pipeline slots (default 2; raise for
                             RAID update devices)
+    --io-backend=posix|uring  storage backend for the work files (default
+                            posix; uring submits sliced waves of io_uring
+                            SQEs with registered buffers and falls back
+                            loudly when the kernel/sandbox lacks io_uring)
+    --stage-bytes=N         per-thread staging bytes for the cache-aware
+                            single-stage shuffle (default: auto, half the
+                            per-core cache; 0 = legacy fused counting
+                            shuffle)
+    --compress-updates      delta+varint compress spilled update streams
+                            (bit-identical results, fewer update-file bytes;
+                            ratio visible under store.codec.* in
+                            --stats-json)
   --memory-budget=BYTES     hybrid engine: byte budget for pinning hot
                             partitions in RAM (default: auto-detect, half of
                             physical memory; 0 pins nothing); requests above
@@ -247,6 +260,30 @@ std::string ResolveWorkdir(const Options& opts, std::unique_ptr<ScratchDir>& scr
   return workdir;
 }
 
+// Builds the scratch device for the out-of-core/hybrid/jobs paths.
+// --io-backend=uring always constructs the UringDevice: its constructor
+// falls back loudly to the plain POSIX path when the kernel or sandbox
+// rejects io_uring, so the run proceeds either way and --stats-json's
+// device.disk.uring_active gauge records which path actually ran.
+std::unique_ptr<PosixDevice> MakeCliDevice(const Options& opts, const std::string& workdir) {
+  std::string backend = opts.GetString("io-backend", "posix");
+  if (backend == "uring") {
+    return std::make_unique<UringDevice>("disk", workdir);
+  }
+  if (backend != "posix") {
+    std::fprintf(stderr, "unknown --io-backend=%s\n%s", backend.c_str(), kUsage);
+    std::exit(2);
+  }
+  return std::make_unique<PosixDevice>("disk", workdir);
+}
+
+// --stage-bytes: explicit value wins; unset means the cache-probed auto
+// default (sizing.h). 0 keeps the legacy fused counting shuffle.
+size_t StageBytesFromFlags(const Options& opts) {
+  return opts.Has("stage-bytes") ? static_cast<size_t>(opts.GetUint("stage-bytes", 0))
+                                 : DefaultShuffleStageBytes();
+}
+
 // Dispatches `run` with a constructed engine of any of the three flavours.
 template <typename Algo, typename Run>
 void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertices, Run&& run) {
@@ -273,7 +310,8 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   }
   std::unique_ptr<ScratchDir> scratch;
   std::string workdir = ResolveWorkdir(opts, scratch);
-  PosixDevice disk("disk", workdir);
+  std::unique_ptr<PosixDevice> disk_owner = MakeCliDevice(opts, workdir);
+  PosixDevice& disk = *disk_owner;
   WriteEdgeFile(disk, "cli.input", edges);
   GraphInfo info = ScanEdges(edges);
   info.num_vertices = num_vertices;
@@ -285,6 +323,8 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     config.num_partitions = partitions;
     config.async_spill = !opts.GetBool("sync-spill", false);
     config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
+    config.compress_updates = opts.GetBool("compress-updates", false);
+    config.stage_bytes = StageBytesFromFlags(opts);
     config.replan_between_iterations = !opts.GetBool("no-replan", false);
     config.residency_hysteresis =
         static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));
@@ -314,6 +354,8 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
   config.num_partitions = partitions;
   config.async_spill = !opts.GetBool("sync-spill", false);
   config.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
+  config.compress_updates = opts.GetBool("compress-updates", false);
+  config.stage_bytes = StageBytesFromFlags(opts);
   config.partitioner = partitioner.get();
   g_stats_device = &disk;
   OutOfCoreEngine<Algo> engine(config, disk, disk, disk, "cli.input", info);
@@ -391,7 +433,7 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     source = std::move(mem);
   } else if (engine_name == "out-of-core" || engine_name == "hybrid") {
     std::string workdir = ResolveWorkdir(opts, scratch);
-    disk = std::make_unique<PosixDevice>("disk", workdir);
+    disk = MakeCliDevice(opts, workdir);
     WriteEdgeFile(*disk, "cli.input", edges);
     DeviceScanSource::Options sopts;
     sopts.io_unit_bytes = io_unit_bytes;
@@ -409,6 +451,8 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     jcfg.io_unit_bytes = sopts.io_unit_bytes;
     jcfg.async_spill = !opts.GetBool("sync-spill", false);
     jcfg.spill_queue_depth = static_cast<int>(opts.GetInt("spill-depth", 2));
+    jcfg.compress_updates = opts.GetBool("compress-updates", false);
+    jcfg.stage_bytes = StageBytesFromFlags(opts);
     jcfg.hybrid = engine_name == "hybrid";
     jcfg.residency_hysteresis =
         static_cast<uint32_t>(opts.GetUint("residency-hysteresis", 2));

@@ -14,10 +14,13 @@
 #   5. incremental-residency smoke: fig31 at smoke scale — delta migrations
 #      must stay strictly below the full re-plan baseline, and edge pinning
 #      must silence the edge device after iteration 1 at full budget
-#   6. bench diff: every smoke bench also emits BENCH_figXX.json (metric
+#   6. raw-speed smoke: fig32 at smoke scale — io_uring backend, staged
+#      shuffle and compressed update streams must each be result-invariant,
+#      with >= 2x fewer update-device bytes on compressed BFS
+#   7. bench diff: every smoke bench also emits BENCH_figXX.json (metric
 #      values tagged exact/ratio/info) which scripts/bench_diff.py gates
 #      against the committed baselines in bench/baselines/
-#   7. docs: every intra-repo markdown link must resolve
+#   8. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -60,10 +63,15 @@ echo "== incremental-residency smoke benchmark =="
 "./$BUILD_DIR/fig31_incremental_residency" --smoke --json=BENCH_fig31.json
 
 echo
+echo "== raw-speed smoke benchmark =="
+"./$BUILD_DIR/fig32_raw_speed" --smoke --json=BENCH_fig32.json
+
+echo
 echo "== bench diff vs committed baselines =="
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/bench_diff.py --baseline-dir bench/baselines \
-    BENCH_fig27.json BENCH_fig29.json BENCH_fig30.json BENCH_fig31.json
+    BENCH_fig27.json BENCH_fig29.json BENCH_fig30.json BENCH_fig31.json \
+    BENCH_fig32.json
 else
   echo "warning: python3 not found; skipping bench_diff gate" >&2
 fi

@@ -18,9 +18,11 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "buffers/stream_buffer.h"
+#include "obs/metrics.h"
 #include "threads/thread_pool.h"
 #include "util/logging.h"
 
@@ -60,6 +62,86 @@ inline uint32_t CeilLog2(uint32_t x) {
   return x <= 1 ? 0 : 32u - static_cast<uint32_t>(std::countl_zero(x - 1));
 }
 
+// Partition ids must fit the staged path's uint16_t side array.
+inline constexpr uint32_t kMaxStagedPartitions = 65535;
+
+// Cache-aware single-stage shuffle (--stage-bytes): produces byte-identical
+// output to the generic fused loop in ShuffleRecords, with two changes to
+// memory behavior. First, part_of — a random lookup under a mapped layout —
+// runs once per record instead of twice: a radix pass stores each record's
+// partition in a uint16_t side array, unrolled into four independent lanes
+// so the compiler can vectorize it (SWAR on the range layout's divide).
+// Second, records are scattered through per-partition staging blocks sized
+// so all K blocks fit in stage_bytes (~L2); a full block flushes to its
+// destination cursor with one streaming memcpy, so the big destination
+// buffer sees K sequential write streams instead of K random cursors.
+template <typename Record, typename PartOf>
+void StagedSingleStageShuffle(ThreadPool& pool, const Record* src, Record* dst,
+                              const std::vector<uint64_t>& slice_begin, uint32_t num_partitions,
+                              PartOf part_of, size_t stage_bytes,
+                              std::vector<std::vector<ChunkRef>>& slices) {
+  const uint32_t K = num_partitions;
+  const size_t block_records = std::max<size_t>(1, stage_bytes / K / sizeof(Record));
+  pool.RunOnAll([&](int tid) {
+    const uint64_t begin = slice_begin[static_cast<size_t>(tid)];
+    const uint64_t n = slice_begin[static_cast<size_t>(tid) + 1] - begin;
+    const Record* in = src + begin;
+    auto& my_chunks = slices[static_cast<size_t>(tid)];
+    my_chunks.assign(K, ChunkRef{});
+
+    std::vector<uint16_t> pid(n);
+    std::vector<uint64_t> counts(K, 0);
+    uint64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const uint32_t p0 = static_cast<uint32_t>(part_of(in[i]));
+      const uint32_t p1 = static_cast<uint32_t>(part_of(in[i + 1]));
+      const uint32_t p2 = static_cast<uint32_t>(part_of(in[i + 2]));
+      const uint32_t p3 = static_cast<uint32_t>(part_of(in[i + 3]));
+      pid[i] = static_cast<uint16_t>(p0);
+      pid[i + 1] = static_cast<uint16_t>(p1);
+      pid[i + 2] = static_cast<uint16_t>(p2);
+      pid[i + 3] = static_cast<uint16_t>(p3);
+      ++counts[p0];
+      ++counts[p1];
+      ++counts[p2];
+      ++counts[p3];
+    }
+    for (; i < n; ++i) {
+      const uint32_t p = static_cast<uint32_t>(part_of(in[i]));
+      pid[i] = static_cast<uint16_t>(p);
+      ++counts[p];
+    }
+
+    // Same node-major cursor assignment as the generic path.
+    std::vector<uint64_t> positions(K);
+    uint64_t cursor = begin;
+    for (uint32_t p = 0; p < K; ++p) {
+      my_chunks[p] = ChunkRef{cursor, counts[p]};
+      positions[p] = cursor;
+      cursor += counts[p];
+    }
+
+    std::vector<Record> stage(size_t{K} * block_records);
+    std::vector<uint32_t> fill(K, 0);
+    for (uint64_t r = 0; r < n; ++r) {
+      const uint32_t p = pid[r];
+      Record* block = stage.data() + size_t{p} * block_records;
+      block[fill[p]] = in[r];
+      if (++fill[p] == block_records) {
+        std::memcpy(dst + positions[p], block, block_records * sizeof(Record));
+        positions[p] += block_records;
+        fill[p] = 0;
+      }
+    }
+    for (uint32_t p = 0; p < K; ++p) {
+      if (fill[p] > 0) {
+        std::memcpy(dst + positions[p], stage.data() + size_t{p} * block_records,
+                    fill[p] * sizeof(Record));
+      }
+    }
+  });
+}
+
 // Shuffles `count` records (currently in `a`) into partition-grouped chunks,
 // alternating between buffers `a` and `b`.
 //
@@ -67,12 +149,16 @@ inline uint32_t CeilLog2(uint32_t x) {
 //    counting-shuffle step handles any K. Otherwise K and fanout must both
 //    be powers of two (paper §4.2) and ceil(log_F K) steps run.
 //  * part_of(record) must return a value < K.
+//  * stage_bytes > 0 routes single-stage shuffles (K <=
+//    kMaxStagedPartitions) through StagedSingleStageShuffle with that much
+//    per-thread staging; the output is byte-identical either way.
 //
 // Both buffers must hold at least `count` records. Returns the index arrays
 // and the buffer the records ended up in.
 template <typename Record, typename PartOf>
 ShuffleOutput<Record> ShuffleRecords(ThreadPool& pool, Record* a, Record* b, uint64_t count,
-                                     uint32_t num_partitions, uint32_t fanout, PartOf part_of) {
+                                     uint32_t num_partitions, uint32_t fanout, PartOf part_of,
+                                     size_t stage_bytes = 0) {
   static_assert(std::is_trivially_copyable_v<Record>);
   XS_CHECK_GT(num_partitions, 0u);
   XS_CHECK(fanout > 1 || num_partitions == 1)
@@ -111,6 +197,15 @@ ShuffleOutput<Record> ShuffleRecords(ThreadPool& pool, Record* a, Record* b, uin
     XS_CHECK(std::has_single_bit(fanout)) << "fanout must be a power of two, got " << fanout;
     uint32_t fanout_bits = CeilLog2(fanout);
     stages = static_cast<int>((total_bits + fanout_bits - 1) / fanout_bits);
+  }
+
+  if (stages == 1 && stage_bytes > 0 && num_partitions <= kMaxStagedPartitions) {
+    StagedSingleStageShuffle(pool, a, b, slice_begin, num_partitions, part_of, stage_bytes,
+                             out.slices);
+    obs::MetricsRegistry::Global().counter("shuffle.staged_records").Add(count);
+    out.data = b;
+    out.stages_run = 1;
+    return out;
   }
 
   // Per-slice chunk lists for the current tree level (node-major order).

@@ -61,6 +61,12 @@ struct HybridConfig {
   bool absorb_local_updates = true;
   bool async_spill = true;
   int spill_queue_depth = 2;  // rotating spill write buffers (>= 2)
+  // Delta+varint compression of spilled update streams (--compress-updates);
+  // pinned partitions' RAM-resident updates are unaffected.
+  bool compress_updates = false;
+  // Per-thread staging for the single-stage shuffles (--stage-bytes); 0 =
+  // legacy fused counting shuffle.
+  size_t stage_bytes = 0;
   bool replan_between_iterations = true;
   // Iterations a partition must win/lose its place in the target pin set
   // before the incremental re-plan migrates it (CLI --residency-hysteresis).
@@ -116,6 +122,8 @@ class HybridEngine {
     opts.absorb_local_updates = config.absorb_local_updates;
     opts.async_spill = config.async_spill;
     opts.spill_queue_depth = config.spill_queue_depth;
+    opts.compress_updates = config.compress_updates;
+    opts.stage_bytes = config.stage_bytes;
     opts.file_prefix = config.file_prefix;
     opts.replan_between_iterations = config.replan_between_iterations;
     opts.residency_hysteresis = config.residency_hysteresis;

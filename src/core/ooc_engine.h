@@ -98,6 +98,13 @@ struct OutOfCoreConfig {
   // 2 = the paper's double buffering; RAID update devices that absorb
   // several concurrent streams benefit from more slots. Clamped to >= 2.
   int spill_queue_depth = 2;
+  // Delta+varint compression of spilled update streams (--compress-updates;
+  // see core/stream_codec.h). Bit-identical results, fewer update-file
+  // bytes.
+  bool compress_updates = false;
+  // Per-thread staging for the single-stage shuffles (--stage-bytes); 0 =
+  // legacy fused counting shuffle, see DeviceStoreOptions::stage_bytes.
+  size_t stage_bytes = 0;
   // Optional streaming partitioner (src/partitioning/). Null keeps the
   // paper's equal contiguous ranges. When set, its passes stream the input
   // edge file during setup and vertex state is sliced in the mapping's
@@ -152,6 +159,8 @@ class OutOfCoreEngine {
     opts.absorb_local_updates = config.absorb_local_updates;
     opts.async_spill = config.async_spill;
     opts.spill_queue_depth = config.spill_queue_depth;
+    opts.compress_updates = config.compress_updates;
+    opts.stage_bytes = config.stage_bytes;
     opts.file_prefix = config.file_prefix;
     store_ = std::make_unique<Store>(pool_, std::move(layout), opts, edge_dev, update_dev,
                                      vertex_dev, input_edge_file);

@@ -8,6 +8,10 @@
 
 namespace xstream {
 
+size_t DefaultShuffleStageBytes() {
+  return std::clamp<size_t>(PerCoreCacheBytes() / 2, size_t{64} << 10, size_t{8} << 20);
+}
+
 uint32_t RoundUpPow2(uint64_t x) {
   if (x <= 1) {
     return 1;

@@ -52,6 +52,13 @@ uint64_t ResolveMemoryBudget(uint64_t requested_bytes);
 uint32_t ChooseShuffleFanout(uint32_t num_partitions, size_t cache_bytes,
                              size_t cacheline_bytes = 64);
 
+// Per-thread staging size for the cache-aware single-stage shuffle (the
+// --stage-bytes auto default): half the per-core cache, so the staging
+// blocks and the partition-id side array coexist with the streamed records;
+// clamped to [64 KB, 8 MB] against probe failures and giant L3-shared
+// readings.
+size_t DefaultShuffleStageBytes();
+
 // Rounds up to a power of two (minimum 1).
 uint32_t RoundUpPow2(uint64_t x);
 

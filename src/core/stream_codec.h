@@ -1,0 +1,234 @@
+// StreamCodec: delta+varint compression for spilled update streams
+// (--compress-updates).
+//
+// An update is a fixed-size trivially-copyable record whose first
+// sizeof(VertexId) bytes are the destination vertex id. Updates routed to
+// partition p all satisfy PartitionOf(dst) == p, so their dense ids (after
+// the contiguous VertexMapping relabeling of PR 1) fall in
+// [layout.Begin(p), layout.End(p)). The id column therefore compresses to
+// almost nothing: each dst is stored as a zigzag varint of the delta between
+// consecutive partition-relative dense ids (~1 byte when the relabeling
+// clusters destinations, ≤ 5 bytes worst case). The remaining payload bytes
+// of each record follow the id column raw — except that a frame whose
+// payloads are all identical (every BFS wave emits one level; converged WCC
+// labels repeat) stores the payload once behind kFrameConstPayload.
+//
+// Framing: EncodeChunk emits self-delimiting frames of at most frame_records
+// records, each led by a CodecFrameHeader, so the gather path stays
+// chunk-granular — Decoder::Feed accepts arbitrary byte windows from
+// StreamReader, buffers partial frames, and invokes the sink once per
+// complete frame. Appends from different spills concatenate trivially.
+//
+// The codec is lossless as long as DenseId is a bijection over the ids it
+// sees (true for every id < num_vertices, which the scatter phase
+// guarantees); it never assumes ids are sorted or monotone.
+#ifndef XSTREAM_CORE_STREAM_CODEC_H_
+#define XSTREAM_CORE_STREAM_CODEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/partition.h"
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace xstream {
+
+struct CodecFrameHeader {
+  uint32_t count = 0;  // records in this frame; always > 0 on disk
+  uint32_t bytes = 0;  // encoded bytes following the header
+  uint32_t flags = 0;
+};
+
+inline void PutVarint(uint64_t v, std::vector<std::byte>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline uint64_t GetVarint(const std::byte*& p, const std::byte* end) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    XS_CHECK(p != end) << "truncated varint in compressed update stream";
+    uint64_t b = static_cast<uint64_t>(*p++);
+    v |= (b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+    XS_CHECK_LT(shift, 64) << "overlong varint in compressed update stream";
+  }
+}
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+template <typename Update>
+class StreamCodec {
+  static_assert(std::is_trivially_copyable_v<Update>);
+  static_assert(sizeof(Update) >= sizeof(VertexId),
+                "updates must lead with their destination vertex id");
+
+ public:
+  static constexpr size_t kPayloadBytes = sizeof(Update) - sizeof(VertexId);
+  static constexpr uint32_t kFrameConstPayload = 1u << 0;
+
+  StreamCodec() = default;
+  StreamCodec(const PartitionLayout* layout, uint64_t frame_records)
+      : layout_(layout), frame_records_(std::max<uint64_t>(1, frame_records)) {}
+
+  uint64_t frame_records() const { return frame_records_; }
+
+  // Appends frames covering recs[0..n) — all routed to partition p — to out.
+  void EncodeChunk(uint32_t p, const Update* recs, uint64_t n,
+                   std::vector<std::byte>& out) const {
+    const int64_t base = static_cast<int64_t>(layout_->Begin(p));
+    for (uint64_t start = 0; start < n; start += frame_records_) {
+      const uint32_t count = static_cast<uint32_t>(std::min(frame_records_, n - start));
+      const Update* f = recs + start;
+      const size_t header_at = out.size();
+      out.resize(header_at + sizeof(CodecFrameHeader));
+
+      int64_t prev = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        const int64_t rel = static_cast<int64_t>(layout_->DenseId(DstOf(f[i]))) - base;
+        PutVarint(ZigZag(rel - prev), out);
+        prev = rel;
+      }
+
+      uint32_t flags = 0;
+      if constexpr (kPayloadBytes > 0) {
+        bool constant = true;
+        for (uint32_t i = 1; i < count && constant; ++i) {
+          constant = std::memcmp(PayloadOf(f[i]), PayloadOf(f[0]), kPayloadBytes) == 0;
+        }
+        if (constant) {
+          flags |= kFrameConstPayload;
+          out.insert(out.end(), PayloadOf(f[0]), PayloadOf(f[0]) + kPayloadBytes);
+        } else {
+          for (uint32_t i = 0; i < count; ++i) {
+            out.insert(out.end(), PayloadOf(f[i]), PayloadOf(f[i]) + kPayloadBytes);
+          }
+        }
+      }
+
+      const CodecFrameHeader h{count,
+                               static_cast<uint32_t>(out.size() - header_at - sizeof(CodecFrameHeader)),
+                               flags};
+      std::memcpy(out.data() + header_at, &h, sizeof(h));
+    }
+  }
+
+  // Incremental frame decoder. Feed() arbitrary byte windows of a compressed
+  // stream in order; the sink is invoked as sink(const Update*, uint64_t)
+  // once per complete frame (pointer valid only during the call). Partial
+  // frames are buffered across Feed() calls; Finished() reports whether the
+  // stream ended on a frame boundary.
+  class Decoder {
+   public:
+    Decoder(const StreamCodec* codec, uint32_t p) : codec_(codec), p_(p) {}
+
+    template <typename Sink>
+    void Feed(std::span<const std::byte> data, Sink&& sink) {
+      if (!pending_.empty()) {
+        pending_.insert(pending_.end(), data.begin(), data.end());
+        const size_t consumed = DrainFrames(pending_.data(), pending_.size(), sink);
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<ptrdiff_t>(consumed));
+        return;
+      }
+      const size_t consumed = DrainFrames(data.data(), data.size(), sink);
+      if (consumed < data.size()) {
+        pending_.assign(data.begin() + static_cast<ptrdiff_t>(consumed), data.end());
+      }
+    }
+
+    bool Finished() const { return pending_.empty(); }
+
+   private:
+    template <typename Sink>
+    size_t DrainFrames(const std::byte* base, size_t avail, Sink&& sink) {
+      size_t off = 0;
+      while (avail - off >= sizeof(CodecFrameHeader)) {
+        CodecFrameHeader h;
+        std::memcpy(&h, base + off, sizeof(h));
+        XS_CHECK_GT(h.count, 0u) << "corrupt compressed update frame";
+        if (avail - off - sizeof(CodecFrameHeader) < h.bytes) {
+          break;
+        }
+        DecodeFrame(h, base + off + sizeof(CodecFrameHeader), sink);
+        off += sizeof(CodecFrameHeader) + h.bytes;
+      }
+      return off;
+    }
+
+    template <typename Sink>
+    void DecodeFrame(const CodecFrameHeader& h, const std::byte* body, Sink&& sink) {
+      buf_.resize(h.count);
+      const std::byte* cur = body;
+      const std::byte* end = body + h.bytes;
+      const int64_t base = static_cast<int64_t>(codec_->layout_->Begin(p_));
+      int64_t prev = 0;
+      for (uint32_t i = 0; i < h.count; ++i) {
+        const int64_t rel = prev + UnZigZag(GetVarint(cur, end));
+        prev = rel;
+        const VertexId dst = codec_->layout_->OriginalId(static_cast<uint64_t>(base + rel));
+        std::memcpy(&buf_[i], &dst, sizeof(dst));
+      }
+      if constexpr (kPayloadBytes > 0) {
+        if ((h.flags & kFrameConstPayload) != 0) {
+          XS_CHECK_LE(kPayloadBytes, static_cast<size_t>(end - cur));
+          for (uint32_t i = 0; i < h.count; ++i) {
+            std::memcpy(PayloadOf(buf_[i]), cur, kPayloadBytes);
+          }
+          cur += kPayloadBytes;
+        } else {
+          XS_CHECK_LE(h.count * kPayloadBytes, static_cast<size_t>(end - cur));
+          for (uint32_t i = 0; i < h.count; ++i) {
+            std::memcpy(PayloadOf(buf_[i]), cur, kPayloadBytes);
+            cur += kPayloadBytes;
+          }
+        }
+      }
+      XS_CHECK(cur == end) << "compressed update frame length mismatch";
+      sink(static_cast<const Update*>(buf_.data()), static_cast<uint64_t>(h.count));
+    }
+
+    const StreamCodec* codec_;
+    uint32_t p_;
+    std::vector<std::byte> pending_;
+    std::vector<Update> buf_;
+  };
+
+ private:
+  static VertexId DstOf(const Update& u) {
+    VertexId v;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+  }
+  static const std::byte* PayloadOf(const Update& u) {
+    return reinterpret_cast<const std::byte*>(&u) + sizeof(VertexId);
+  }
+  static std::byte* PayloadOf(Update& u) {
+    return reinterpret_cast<std::byte*>(&u) + sizeof(VertexId);
+  }
+
+  const PartitionLayout* layout_ = nullptr;
+  uint64_t frame_records_ = 1;
+};
+
+}  // namespace xstream
+
+#endif  // XSTREAM_CORE_STREAM_CODEC_H_

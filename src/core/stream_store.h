@@ -47,6 +47,7 @@
 #include "core/algorithm.h"
 #include "core/partition.h"
 #include "core/stats.h"
+#include "core/stream_codec.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,14 +103,15 @@ struct EdgeShuffleTallies {
 inline void ShuffleAppendEdgeBlock(ThreadPool& pool, const PartitionLayout& layout,
                                    StorageDevice& dev, const std::vector<FileId>& files,
                                    Edge* data, Edge* scratch, uint64_t count,
-                                   const EdgeShuffleTallies& tallies) {
+                                   const EdgeShuffleTallies& tallies, size_t stage_bytes = 0) {
   if (count == 0) {
     return;
   }
   auto shuffled =
       ShuffleRecords(pool, data, scratch, count, layout.num_partitions(),
                      layout.num_partitions(),
-                     [&layout](const Edge& e) { return layout.PartitionOf(e.src); });
+                     [&layout](const Edge& e) { return layout.PartitionOf(e.src); },
+                     stage_bytes);
   for (uint32_t p = 0; p < layout.num_partitions(); ++p) {
     for (const auto& slice : shuffled.slices) {
       const ChunkRef& c = slice[p];
@@ -144,7 +146,7 @@ inline void PartitionEdgeFileToParts(ThreadPool& pool, const PartitionLayout& la
                                      StorageDevice& out_dev, const std::vector<FileId>& files,
                                      Edge* fill, Edge* scratch, uint64_t capacity_bytes,
                                      size_t io_unit_bytes,
-                                     const EdgeShuffleTallies& tallies) {
+                                     const EdgeShuffleTallies& tallies, size_t stage_bytes = 0) {
   FileId input = in_dev.Open(input_file);
   size_t read_chunk =
       std::max<size_t>(sizeof(Edge), io_unit_bytes / sizeof(Edge) * sizeof(Edge));
@@ -156,14 +158,16 @@ inline void PartitionEdgeFileToParts(ThreadPool& pool, const PartitionLayout& la
     XS_CHECK_EQ(chunk.size() % sizeof(Edge), 0u);
     uint64_t n = chunk.size() / sizeof(Edge);
     if ((buffered + n) * sizeof(Edge) > capacity_bytes) {
-      ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies);
+      ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies,
+                             stage_bytes);
       buffered = 0;
     }
     std::memcpy(reinterpret_cast<std::byte*>(fill) + buffered * sizeof(Edge), chunk.data(),
                 chunk.size());
     buffered += n;
   }
-  ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies);
+  ShuffleAppendEdgeBlock(pool, layout, out_dev, files, fill, scratch, buffered, tallies,
+                         stage_bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,6 +527,18 @@ struct DeviceStoreOptions {
   // construction.
   const std::vector<uint64_t>* shared_dst_tallies = nullptr;
   const std::vector<uint64_t>* shared_local_tallies = nullptr;
+  // Delta+varint compression of the spilled update streams (StreamCodec,
+  // --compress-updates): spills encode on the I/O thread, gathers decode
+  // frame by frame. Results are bit-identical either way; only the
+  // update-file bytes change. Off by default — it trades codec CPU for
+  // update-device bandwidth, a win exactly when the update device is the
+  // bottleneck.
+  bool compress_updates = false;
+  // Per-thread staging bytes for the single-stage shuffles (--stage-bytes):
+  // routes the spill/setup shuffles through StagedSingleStageShuffle when
+  // > 0 (~L2 is the intended size; see DefaultShuffleStageBytes). 0 keeps
+  // the legacy fused counting shuffle. Output is identical either way.
+  size_t stage_bytes = 0;
 };
 
 template <EdgeCentricAlgorithm Algo>
@@ -546,7 +562,8 @@ class DeviceStreamStore {
         opts_(opts),
         edge_dev_(edge_dev),
         update_dev_(update_dev),
-        vertex_dev_(vertex_dev) {
+        vertex_dev_(vertex_dev),
+        codec_(&layout_, std::max<uint64_t>(1, opts.io_unit_bytes / sizeof(Update))) {
     uint32_t k = layout_.num_partitions();
     uint64_t vertex_bytes = layout_.num_vertices() * sizeof(VertexState);
 
@@ -756,7 +773,8 @@ class DeviceStreamStore {
     } else {
       shuffled = ShuffleRecords(pool_, src, dst, n, layout_.num_partitions(),
                                 layout_.num_partitions(),
-                                [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+                                [this](const Update& u) { return layout_.PartitionOf(u.dst); },
+                                opts_.stage_bytes);
       XS_CHECK(shuffled.data == dst);  // single-stage shuffle, K > 1
     }
     shuffle_span.Close();
@@ -819,11 +837,38 @@ class DeviceStreamStore {
     const Update* data = shuffled.data;
     auto slices =
         std::make_shared<std::vector<std::vector<ChunkRef>>>(std::move(shuffled.slices));
+    // The write lambda owns the shuffled buffer until WaitWriteSlot, so the
+    // compressed path encodes there too — on the I/O thread, overlapped with
+    // the next batch's scatter/shuffle exactly like the raw appends.
     pending_write_[static_cast<size_t>(slot)] = update_dev_.executor().Submit(
         [this, data, slices, routing = std::move(to_file)] {
+          std::vector<std::byte> enc;  // reused across partitions when compressing
           for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
             if (!routing[p]) {
               continue;  // gathered into the shadow / kept resident above
+            }
+            if (opts_.compress_updates) {
+              enc.clear();
+              uint64_t recs = 0;
+              WallTimer codec_timer;
+              for (const auto& slice : *slices) {
+                const ChunkRef& c = slice[p];
+                if (c.count > 0) {
+                  codec_.EncodeChunk(p, data + c.begin, c.count, enc);
+                  recs += c.count;
+                }
+              }
+              double codec_seconds = codec_timer.Seconds();
+              if (recs > 0) {
+                update_dev_.Append(update_files_[p],
+                                   std::span<const std::byte>(enc.data(), enc.size()));
+                auto& reg = obs::MetricsRegistry::Global();
+                reg.counter("store.codec.raw_bytes").Add(recs * sizeof(Update));
+                reg.counter("store.codec.encoded_bytes").Add(enc.size());
+                reg.histogram("store.codec.encode_ns_per_update")
+                    .Observe(codec_seconds * 1e9 / static_cast<double>(recs));
+              }
+              continue;
             }
             for (const auto& slice : *slices) {
               const ChunkRef& c = slice[p];
@@ -914,7 +959,7 @@ class DeviceStreamStore {
         plan.resident = ShuffleRecords(
             pool_, fill_.template records<Update>(), alt_[0].template records<Update>(),
             plan.tail_records, layout_.num_partitions(), layout_.num_partitions(),
-            [this](const Update& u) { return layout_.PartitionOf(u.dst); });
+            [this](const Update& u) { return layout_.PartitionOf(u.dst); }, opts_.stage_bytes);
         // Memory-gathered tails still count as routed volume for partially
         // resident subclasses' re-plan feedback (no-op in the base store).
         for (uint32_t p = 0; p < layout_.num_partitions(); ++p) {
@@ -960,8 +1005,36 @@ class DeviceStreamStore {
   void ForEachUpdateChunk(uint32_t p, F&& f) {
     uint64_t chunk_updates = std::max<uint64_t>(1, opts_.io_unit_bytes / sizeof(Update));
     StreamReader reader(update_dev_, update_files_[p], chunk_updates * sizeof(Update));
-    for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
-      f(reinterpret_cast<const Update*>(chunk.data()), chunk.size() / sizeof(Update));
+    if (opts_.compress_updates) {
+      // Compressed stream: the file holds self-delimiting codec frames (one
+      // sink call per frame, each at most one I/O unit of records), which
+      // the incremental decoder reassembles across read-chunk boundaries.
+      typename StreamCodec<Update>::Decoder decoder(&codec_, p);
+      uint64_t records = 0;
+      double feed_seconds = 0;
+      double sink_seconds = 0;
+      for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+        WallTimer feed_timer;
+        decoder.Feed(chunk, [&](const Update* u, uint64_t n) {
+          WallTimer sink_timer;
+          f(u, n);
+          sink_seconds += sink_timer.Seconds();
+          records += n;
+        });
+        feed_seconds += feed_timer.Seconds();
+      }
+      XS_CHECK(decoder.Finished())
+          << "truncated compressed update stream for partition " << p;
+      if (records > 0) {
+        obs::MetricsRegistry::Global()
+            .histogram("store.codec.decode_ns_per_update")
+            .Observe(std::max(0.0, feed_seconds - sink_seconds) * 1e9 /
+                     static_cast<double>(records));
+      }
+    } else {
+      for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
+        f(reinterpret_cast<const Update*>(chunk.data()), chunk.size() / sizeof(Update));
+      }
     }
     stats_->gather_wait_seconds += reader.wait_seconds();
     obs::MetricsRegistry::Global()
@@ -1146,7 +1219,7 @@ class DeviceStreamStore {
     PartitionEdgeFileToParts(pool_, layout_, edge_dev_, input_edge_file, edge_dev_,
                              edge_files_, fill_.template records<Edge>(),
                              alt_[0].template records<Edge>(), buffer_bytes_,
-                             opts_.io_unit_bytes, tallies);
+                             opts_.io_unit_bytes, tallies, opts_.stage_bytes);
   }
 
   // Shuffles `count` edges sitting at the start of the fill buffer by source
@@ -1156,7 +1229,7 @@ class DeviceStreamStore {
     EdgeShuffleTallies tallies = SetupTallies();
     ShuffleAppendEdgeBlock(pool_, layout_, edge_dev_, edge_files_,
                            fill_.template records<Edge>(), alt_[0].template records<Edge>(),
-                           count, tallies);
+                           count, tallies, opts_.stage_bytes);
   }
 
   // Waits for the spill write holding `slot`'s buffer; .get() rather than
@@ -1205,6 +1278,9 @@ class DeviceStreamStore {
   StorageDevice& edge_dev_;
   StorageDevice& update_dev_;
   StorageDevice& vertex_dev_;
+  // Update-stream codec (opts_.compress_updates). Frames hold at most one
+  // I/O unit of records, so the decoded gather callbacks stay chunk-sized.
+  StreamCodec<Update> codec_;
 
   uint64_t buffer_bytes_ = 0;
   // Scatter output accumulates in fill_; spills shuffle it into rotating

@@ -114,6 +114,8 @@ DeviceStoreOptions AttachedStoreOptions(DeviceScanSource& source, const DeviceJo
   opts.absorb_local_updates = cfg.absorb_local_updates;
   opts.async_spill = cfg.async_spill;
   opts.spill_queue_depth = cfg.spill_queue_depth;
+  opts.compress_updates = cfg.compress_updates;
+  opts.stage_bytes = cfg.stage_bytes;
   opts.file_prefix = prefix;
   source.ConfigureAttachedStore(opts);
   return opts;

@@ -56,6 +56,10 @@ struct DeviceJobConfig {
   bool absorb_local_updates = true;
   bool async_spill = true;
   int spill_queue_depth = 2;
+  // Delta+varint compression of the job's spilled update streams.
+  bool compress_updates = false;
+  // Per-thread staging for the job's single-stage shuffles; 0 = legacy.
+  size_t stage_bytes = 0;
   // Hybrid (partially resident) job stores instead of plain device stores;
   // the scheduler's budget re-split then drives their residency planners.
   bool hybrid = false;

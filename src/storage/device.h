@@ -23,6 +23,10 @@
 
 namespace xstream {
 
+namespace obs {
+class MetricGroup;
+}  // namespace obs
+
 using FileId = int32_t;
 inline constexpr FileId kInvalidFile = -1;
 
@@ -94,6 +98,12 @@ class StorageDevice {
   // The dedicated I/O thread for this device (paper §3.3: "spawns one thread
   // for each disk"). Created lazily; shared by all streams on the device.
   IoExecutor& executor();
+
+ protected:
+  // Backend-specific additions to PublishStats under the same
+  // "device.<name>." prefix — e.g. PosixDevice's direct_supported gauge.
+  // Default publishes nothing.
+  virtual void PublishExtraStats(obs::MetricGroup& group);
 
  private:
   std::string name_;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "util/aligned.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -44,6 +45,23 @@ void FullPwrite(int fd, const void* buf, size_t len, uint64_t offset) {
 }
 
 }  // namespace
+
+void PosixDevice::RawRead(int fd, void* buf, size_t len, uint64_t offset) {
+  FullPread(fd, buf, len, offset);
+}
+
+void PosixDevice::RawWrite(int fd, const void* buf, size_t len, uint64_t offset) {
+  FullPwrite(fd, buf, len, offset);
+}
+
+void PosixDevice::PublishExtraStats(obs::MetricGroup& group) {
+  bool supported;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    supported = direct_supported_;
+  }
+  group.gauge("direct_supported").Set(supported ? 1.0 : 0.0);
+}
 
 PosixDevice::PosixDevice(std::string name, std::string root, bool try_direct)
     : StorageDevice(std::move(name)), root_(std::move(root)), try_direct_(try_direct) {
@@ -98,6 +116,14 @@ FileId PosixDevice::OpenInternal(const std::string& file, bool truncate) {
     direct_fd = ::open(path.c_str(), O_RDWR | O_DIRECT);
     if (direct_fd >= 0) {
       direct_supported_ = true;
+    } else if (!direct_warned_) {
+      // tmpfs and overlayfs reject O_DIRECT; fall back loudly (once), so a
+      // benchmark run on the wrong filesystem doesn't silently measure the
+      // page cache. direct_supported in PublishStats records the outcome.
+      direct_warned_ = true;
+      XS_LOG(Warning) << "device " << name() << ": O_DIRECT open of " << path
+                      << " failed (" << std::strerror(errno)
+                      << "); falling back to buffered I/O";
     }
   }
 
@@ -149,7 +175,7 @@ void PosixDevice::Read(FileId f, uint64_t offset, std::span<std::byte> out) {
                                                                             : file.fd;
   }
   WallTimer timer;
-  FullPread(fd, out.data(), out.size(), offset);
+  RawRead(fd, out.data(), out.size(), offset);
   double elapsed = timer.Seconds();
   std::lock_guard<std::mutex> lock(mu_);
   stats_.bytes_read += out.size();
@@ -167,7 +193,7 @@ void PosixDevice::Write(FileId f, uint64_t offset, std::span<const std::byte> da
     file.size = std::max(file.size, offset + data.size());
   }
   WallTimer timer;
-  FullPwrite(fd, data.data(), data.size(), offset);
+  RawWrite(fd, data.data(), data.size(), offset);
   double elapsed = timer.Seconds();
   std::lock_guard<std::mutex> lock(mu_);
   stats_.bytes_written += data.size();

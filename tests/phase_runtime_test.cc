@@ -309,6 +309,84 @@ uint64_t FullPinBytes(ThreadPool& pool, const EdgeList& edges, PartitionLayout l
   return store.FullPinBytes();
 }
 
+// Raw-speed pillar matrix (--compress-updates x --stage-bytes): compression
+// and cache-aware shuffle staging are pure transport optimizations, so every
+// combination must reproduce the baseline results for WCC, BFS and PageRank
+// on all three store modes — memory (where the flags are inert, the
+// baseline), device, and hybrid at half pin budget (compressed spill below
+// the pin line, RAM buffering above it).
+TEST(PhaseRuntimeTest, CompressionAndStagingAreResultInvariant) {
+  EdgeList edges = TestGraph(43);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+  std::vector<VertexId> wcc_ref = ReferenceWcc(edges, info.num_vertices);
+  ReferenceGraph g(edges, info.num_vertices);
+  std::vector<uint32_t> bfs_ref = ReferenceBfsLevels(g, 0);
+
+  RuntimeHarness<WccAlgorithm> hw(2);
+  RuntimeHarness<BfsAlgorithm> hb(2);
+  RuntimeHarness<PageRankAlgorithm> hp(2);
+  PageRankAlgorithm pr(info.num_vertices, 4);
+  auto pr_mem = hp.RunMemory(pr, edges, layout, 4);
+  uint64_t half_pin = FullPinBytes<WccAlgorithm>(hw.pool, edges, layout) / 2;
+
+  for (bool compress : {false, true}) {
+    for (size_t stage_bytes : {size_t{0}, size_t{32} << 10}) {
+      SCOPED_TRACE("compress=" + std::to_string(compress) +
+                   " stage_bytes=" + std::to_string(stage_bytes));
+      auto opts = SmallDeviceOpts(/*spill_heavy=*/true);
+      opts.compress_updates = compress;
+      opts.stage_bytes = stage_bytes;
+
+      auto w = hw.RunDevice(WccAlgorithm{}, edges, layout, opts);
+      EXPECT_GT(hw.stats.update_file_bytes, 0u);  // the leg really spilled
+      auto b = hb.RunDevice(BfsAlgorithm(0), edges, layout, opts);
+      auto p = hp.RunDevice(pr, edges, layout, opts, 4);
+      for (uint64_t v = 0; v < info.num_vertices; ++v) {
+        ASSERT_EQ(w[v].label, wcc_ref[v]) << "device store, vertex " << v;
+        ASSERT_EQ(b[v].level, bfs_ref[v]) << "device store, vertex " << v;
+        ASSERT_NEAR(p[v].rank, pr_mem[v].rank, 1e-5) << "device store, vertex " << v;
+      }
+
+      HybridStoreOptions hopts;
+      static_cast<DeviceStoreOptions&>(hopts) = opts;
+      hopts.pin_budget_bytes = half_pin;
+      auto hw_got = hw.RunHybrid(WccAlgorithm{}, edges, layout, hopts);
+      auto hb_got = hb.RunHybrid(BfsAlgorithm(0), edges, layout, hopts);
+      auto hp_got = hp.RunHybrid(pr, edges, layout, hopts, 4);
+      for (uint64_t v = 0; v < info.num_vertices; ++v) {
+        ASSERT_EQ(hw_got[v].label, wcc_ref[v]) << "hybrid store, vertex " << v;
+        ASSERT_EQ(hb_got[v].level, bfs_ref[v]) << "hybrid store, vertex " << v;
+        ASSERT_NEAR(hp_got[v].rank, pr_mem[v].rank, 1e-5) << "hybrid store, vertex " << v;
+      }
+    }
+  }
+}
+
+// Compression must not change what the engine reports as routed update
+// volume (update_file_bytes stays the raw byte count so ablations compare
+// like with like), while the actual device write volume shrinks.
+TEST(PhaseRuntimeTest, CompressedSpillsRouteSameVolumeWithFewerDeviceBytes) {
+  EdgeList edges = TestGraph(47, 10);
+  GraphInfo info = ScanEdges(edges);
+  PartitionLayout layout(info.num_vertices, 4);
+
+  RuntimeHarness<BfsAlgorithm> h(2);
+  auto opts = SmallDeviceOpts(/*spill_heavy=*/true);
+  auto plain = h.RunDevice(BfsAlgorithm(0), edges, layout, opts);
+  RunStats plain_stats = h.stats;
+  opts.compress_updates = true;
+  auto packed = h.RunDevice(BfsAlgorithm(0), edges, layout, opts);
+  RunStats packed_stats = h.stats;
+
+  for (uint64_t v = 0; v < info.num_vertices; ++v) {
+    ASSERT_EQ(plain[v].level, packed[v].level) << "vertex " << v;
+  }
+  EXPECT_GT(plain_stats.update_file_bytes, 0u);
+  EXPECT_EQ(packed_stats.update_file_bytes, plain_stats.update_file_bytes);
+  EXPECT_LT(packed_stats.bytes_written, plain_stats.bytes_written);
+}
+
 TEST(HybridStoreTest, WccMatchesReferenceAtBudgetsZeroHalfFull) {
   EdgeList edges = TestGraph(23);
   GraphInfo info = ScanEdges(edges);

@@ -108,6 +108,85 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param));
     });
 
+// The cache-aware staged shuffle (--stage-bytes) replaces the fused counting
+// pass for single-stage shuffles; its output must be byte-identical to the
+// legacy path — same record placement, same slice chunk boundaries — so the
+// two are interchangeable under any engine.
+void CheckStagedEquivalence(int threads, uint64_t count, uint32_t partitions,
+                            size_t stage_bytes, uint64_t seed) {
+  SCOPED_TRACE("threads=" + std::to_string(threads) + " count=" + std::to_string(count) +
+               " partitions=" + std::to_string(partitions) +
+               " stage_bytes=" + std::to_string(stage_bytes));
+  ThreadPool pool(threads);
+  std::vector<Rec> input = MakeRecords(count, partitions, seed);
+  auto part_of = [](const Rec& r) { return r.key; };
+  // Fanout >= partitions forces the single-stage plan on both paths.
+  const uint32_t fanout = 1u << 16;
+
+  std::vector<Rec> a_legacy = input, a_staged = input;
+  a_legacy.resize(count + 1);
+  a_staged.resize(count + 1);
+  std::vector<Rec> b_legacy(count + 1), b_staged(count + 1);
+  auto legacy = ShuffleRecords(pool, a_legacy.data(), b_legacy.data(), count, partitions,
+                               fanout, part_of, /*stage_bytes=*/0);
+  auto staged = ShuffleRecords(pool, a_staged.data(), b_staged.data(), count, partitions,
+                               fanout, part_of, stage_bytes);
+  // A single partition legitimately runs zero stages on both paths; anything
+  // else must plan exactly one (fanout >= partitions above).
+  ASSERT_EQ(legacy.stages_run, partitions > 1 ? 1 : 0);
+  ASSERT_EQ(staged.stages_run, legacy.stages_run);
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(legacy.data[i], staged.data[i]) << "record " << i << " diverged";
+  }
+  ASSERT_EQ(legacy.slices.size(), staged.slices.size());
+  for (size_t s = 0; s < legacy.slices.size(); ++s) {
+    ASSERT_EQ(legacy.slices[s].size(), staged.slices[s].size());
+    for (size_t p = 0; p < legacy.slices[s].size(); ++p) {
+      EXPECT_EQ(legacy.slices[s][p].begin, staged.slices[s][p].begin);
+      EXPECT_EQ(legacy.slices[s][p].count, staged.slices[s][p].count);
+    }
+  }
+}
+
+TEST(StagedShuffleTest, MatchesLegacySingleThread) {
+  CheckStagedEquivalence(1, 5000, 13, 64 << 10, 21);
+}
+
+TEST(StagedShuffleTest, MatchesLegacyMultiThread) {
+  CheckStagedEquivalence(4, 20000, 37, 256 << 10, 22);
+}
+
+TEST(StagedShuffleTest, TinyBlocksForceConstantFlushing) {
+  // stage_bytes small enough that every staging block holds one record:
+  // exercises the flush path on every scatter step.
+  CheckStagedEquivalence(3, 4000, 29, 64, 23);
+}
+
+TEST(StagedShuffleTest, SinglePartition) { CheckStagedEquivalence(2, 1000, 1, 32 << 10, 24); }
+
+TEST(StagedShuffleTest, EmptyInput) { CheckStagedEquivalence(2, 0, 8, 32 << 10, 25); }
+
+TEST(StagedShuffleTest, FewerRecordsThanSlices) {
+  CheckStagedEquivalence(8, 3, 4, 32 << 10, 26);
+}
+
+class StagedSweep : public ::testing::TestWithParam<std::tuple<int, uint32_t, size_t>> {};
+
+TEST_P(StagedSweep, ByteIdenticalToLegacy) {
+  auto [threads, partitions, stage_bytes] = GetParam();
+  CheckStagedEquivalence(threads, 4096, partitions, stage_bytes, 4321 + partitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StagedSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1u, 2u, 8u, 32u, 128u),
+                       ::testing::Values(size_t{256}, size_t{16} << 10, size_t{1} << 20)),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
 TEST(ShufflerTest, StageCountMatchesCeilLogFanout) {
   ThreadPool pool(2);
   std::vector<Rec> recs = MakeRecords(1000, 64, 11);
