@@ -85,8 +85,9 @@ BenchResult RunOne(bool async_spill, const EdgeList& edges, const GraphInfo& inf
   return best;
 }
 
-void RunGraph(const char* label, const EdgeList& edges, int threads, uint32_t partitions,
-              size_t io_unit_bytes, uint64_t iterations, int reps, bool* async_wins) {
+void RunGraph(const char* label, const char* key, BenchJson& json, const EdgeList& edges,
+              int threads, uint32_t partitions, size_t io_unit_bytes, uint64_t iterations,
+              int reps, bool* async_wins) {
   GraphInfo info = ScanEdges(edges);
   std::printf("%s: %s vertices, %s edge records, %u partitions, %llu iterations\n", label,
               HumanCount(info.num_vertices).c_str(), HumanCount(info.num_edges).c_str(),
@@ -115,6 +116,17 @@ void RunGraph(const char* label, const EdgeList& edges, int threads, uint32_t pa
   if (async_wins != nullptr) {
     *async_wins = async_r.edges_per_second >= sync_r.edges_per_second;
   }
+  // Update-file traffic is deterministic (routed records x record size, no
+  // absorption, fixed seed) and must not depend on the spill mode; the
+  // result fingerprint match is the §3.3 "overlap changes nothing" claim.
+  // Wall-derived numbers are machine load, recorded for trending only.
+  json.Exact(std::string(key) + ".sync_update_mb", static_cast<double>(sync_r.update_file_mb));
+  json.Exact(std::string(key) + ".async_update_mb",
+             static_cast<double>(async_r.update_file_mb));
+  json.Exact(std::string(key) + ".results_match", match ? 1.0 : 0.0);
+  json.Info(std::string(key) + ".async_speedup", speedup);
+  json.Info(std::string(key) + ".sync_spill_wait_s", sync_r.spill_wait_seconds);
+  json.Info(std::string(key) + ".async_spill_wait_s", async_r.spill_wait_seconds);
 }
 
 }  // namespace
@@ -137,17 +149,20 @@ int main(int argc, char** argv) {
   int reps = static_cast<int>(opts.GetInt("reps", smoke ? 1 : 3));
   uint64_t seed = opts.GetUint("seed", 1);
 
+  BenchJson json(opts, "fig28");
   EdgeList rmat = MakeRmat(scale, 16, true, seed + 1);
   GraphInfo rinfo = ScanEdges(rmat);
   rmat = PermuteVertexIds(rmat, rinfo.num_vertices, seed + 2);
-  RunGraph("rmat (power-law)", rmat, threads, partitions, io_unit, iterations, reps, nullptr);
+  RunGraph("rmat (power-law)", "rmat", json, rmat, threads, partitions, io_unit, iterations,
+           reps, nullptr);
 
   bool async_wins = false;
   EdgeList grid = GenerateGrid(grid_side, grid_side, seed + 3);
   GraphInfo ginfo = ScanEdges(grid);
   grid = PermuteVertexIds(grid, ginfo.num_vertices, seed + 4);
-  RunGraph("grid (road-network stand-in)", grid, threads, partitions, io_unit, iterations,
-           reps, &async_wins);
+  RunGraph("grid (road-network stand-in)", "grid", json, grid, threads, partitions, io_unit,
+           iterations, reps, &async_wins);
   std::printf("acceptance: async >= sync on grid: %s\n", async_wins ? "yes" : "NO");
+  json.Write();
   return async_wins ? 0 : 1;
 }

@@ -129,6 +129,28 @@ int main(int argc, char** argv) {
     table.AddRow({"TraceSpan (tracer off)", HumanCount(ops), FormatDouble(ns, 2)});
     json.Info("span_disabled_ns", ns);
   }
+  {
+    // The always-on production setting: tracer enabled but sampled way
+    // down, so virtually every span takes the not-sampled path (one
+    // enabled load + one xorshift draw). Ring-bounded so the few recorded
+    // spans cannot grow memory across the measurement.
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Reset();
+    tracer.set_ring_capacity(1024);
+    tracer.set_sample_rate(1e-6);
+    tracer.Enable();
+    WallTimer t;
+    for (uint64_t i = 0; i < ops; ++i) {
+      obs::TraceSpan span("scatter");
+    }
+    double ns = NsPerOp(ops, t.Seconds());
+    tracer.Disable();
+    tracer.set_sample_rate(1.0);
+    tracer.set_ring_capacity(0);
+    tracer.Reset();
+    table.AddRow({"TraceSpan (on, sample 1e-6)", HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("span_sampled_out_ns", ns);
+  }
   table.Print();
 
   // End-to-end: hybrid WCC wall time, tracer off vs on (best-of-reps to

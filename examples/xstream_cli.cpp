@@ -10,8 +10,11 @@
 // Engines: in-memory by default; --out-of-core streams from real files
 // under --workdir. Prints the result summary and run statistics.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "algorithms/algorithms.h"
@@ -22,6 +25,7 @@
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
+#include "obs/http_exporter.h"
 #include "partitioning/partitioner.h"
 #include "partitioning/quality.h"
 #include "graph/generators.h"
@@ -98,7 +102,21 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
                             (default 0 = react to the last iteration only)
   --trace=FILE              write a Chrome trace-event JSON timeline of the
                             run's phase spans (open in Perfetto or
-                            chrome://tracing); covers solo and --jobs runs
+                            chrome://tracing); covers solo and --jobs runs;
+                            also flushed on SIGINT/SIGTERM
+    --trace-sample=RATE     record each span with probability RATE in [0,1]
+                            (default 1; implies tracing on). Keeps tracing
+                            affordable on long runs.
+    --trace-ring=N          keep only the most recent N spans in memory,
+                            dropping the oldest (default 0 = unbounded;
+                            implies tracing on). Dump the tail via the
+                            telemetry GET /trace or the exit flush.
+  --http-port=P             serve live telemetry on 127.0.0.1:P while the
+                            run is in flight (0 = pick an ephemeral port,
+                            printed at startup): GET /metrics (Prometheus
+                            text format), /healthz, /stats (the live
+                            --stats-json document), /jobs (per-job
+                            scheduler progress), /trace
   --stats-json=FILE         write run statistics plus the metrics-registry
                             snapshot as JSON (per-job array in --jobs mode)
   --jobs=SPEC[,SPEC...]     batch mode: run concurrent jobs under the
@@ -161,6 +179,90 @@ EdgeList LoadOrGenerate(const Options& opts) {
 // WithEngine; the CLI runs one engine per process so a file-scope pointer is
 // the simplest plumbing through the per-algorithm result lambdas.
 StorageDevice* g_stats_device = nullptr;
+
+// ---- Live telemetry sources (--http-port) ---------------------------------
+//
+// The exporter thread reads these mid-run, so the scopes that own the
+// underlying objects publish and clear the pointers under a mutex (no
+// use-after-free when an engine or scheduler goes out of scope). The live
+// RunStats snapshot uses ToJson(false): only aligned scalar fields are read
+// while the driver thread mutates them — monitoring-grade torn values at
+// worst, never out-of-bounds (the per_iteration vector is excluded).
+struct LiveTelemetry {
+  std::mutex mu;
+  const RunStats* run = nullptr;
+  JobScheduler* scheduler = nullptr;
+};
+LiveTelemetry g_live;
+
+struct LiveRunScope {
+  explicit LiveRunScope(const RunStats* stats) {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    g_live.run = stats;
+  }
+  ~LiveRunScope() {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    g_live.run = nullptr;
+  }
+};
+
+struct LiveSchedulerScope {
+  explicit LiveSchedulerScope(JobScheduler* scheduler) {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    g_live.scheduler = scheduler;
+  }
+  ~LiveSchedulerScope() {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    g_live.scheduler = nullptr;
+  }
+};
+
+// GET /stats: the --stats-json document, rendered live — the in-flight
+// run's scalar stats (when one is active), per-job reports (in --jobs
+// mode), and the registry snapshot.
+obs::HttpResponse StatsEndpoint() {
+  JsonWriter w;
+  w.BeginObject();
+  {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    if (g_live.run != nullptr) {
+      w.Key("run").Raw(g_live.run->ToJson(/*include_iterations=*/false));
+    }
+    if (g_live.scheduler != nullptr) {
+      w.Key("jobs").Raw(JobReportsToJson(g_live.scheduler->reports()));
+    }
+  }
+  w.Key("metrics").Raw(obs::MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  return obs::HttpResponse{200, "application/json", w.TakeString()};
+}
+
+// GET /jobs: per-job scheduler progress (empty array outside --jobs mode).
+obs::HttpResponse JobsEndpoint() {
+  std::lock_guard<std::mutex> lock(g_live.mu);
+  std::string body =
+      g_live.scheduler != nullptr ? JobReportsToJson(g_live.scheduler->reports()) : "[]";
+  return obs::HttpResponse{200, "application/json", std::move(body)};
+}
+
+// ---- --trace flush on SIGINT/SIGTERM --------------------------------------
+//
+// Set once in main before the handlers are installed, read-only afterwards.
+std::string g_signal_trace_path;
+std::atomic<bool> g_trace_flushed{false};
+
+// Best-effort: WriteChromeTrace allocates and takes the tracer mutex, which
+// is not async-signal-safe — acceptable for a diagnostic flush on the way
+// out (the alternative is a killed long run losing its whole timeline). The
+// atomic guard keeps a second signal from re-entering; re-raising with the
+// default handler preserves the caller-visible death-by-signal status.
+void FlushTraceOnSignal(int sig) {
+  if (!g_trace_flushed.exchange(true)) {
+    obs::Tracer::Global().WriteChromeTrace(g_signal_trace_path);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 // Writes {"run": RunStats, "metrics": registry snapshot} when --stats-json
 // is set. Publishing the RunStats and device counters into the registry
@@ -267,14 +369,20 @@ std::string ResolveWorkdir(const Options& opts, std::unique_ptr<ScratchDir>& scr
 // device.disk.uring_active gauge records which path actually ran.
 std::unique_ptr<PosixDevice> MakeCliDevice(const Options& opts, const std::string& workdir) {
   std::string backend = opts.GetString("io-backend", "posix");
+  std::unique_ptr<PosixDevice> dev;
   if (backend == "uring") {
-    return std::make_unique<UringDevice>("disk", workdir);
-  }
-  if (backend != "posix") {
+    dev = std::make_unique<UringDevice>("disk", workdir);
+  } else if (backend == "posix") {
+    dev = std::make_unique<PosixDevice>("disk", workdir);
+  } else {
     std::fprintf(stderr, "unknown --io-backend=%s\n%s", backend.c_str(), kUsage);
     std::exit(2);
   }
-  return std::make_unique<PosixDevice>("disk", workdir);
+  // Publish the backend gauges (uring_active, direct_supported) now, not
+  // just at the end-of-run snapshot, so a /healthz probe early in the run
+  // already answers "which I/O path engaged".
+  dev->PublishStats();
+  return dev;
 }
 
 // --stage-bytes: explicit value wins; unset means the cache-probed auto
@@ -301,6 +409,7 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
     std::printf("engine: in-memory, %u partitions (%s), fanout %u\n", engine.num_partitions(),
                 partitioner ? partitioner->name() : "range", engine.shuffle_fanout());
     MaybePrintPartitionStats(opts, engine.layout(), edges);
+    LiveRunScope live(&engine.stats());
     run(engine);
     return;
   }
@@ -343,7 +452,10 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
                 HumanBytes(engine.pin_budget_bytes()).c_str(), engine.resident_partitions(),
                 engine.num_partitions());
     MaybePrintPartitionStats(opts, engine.layout(), edges);
-    run(engine);
+    {
+      LiveRunScope live(&engine.stats());
+      run(engine);
+    }
     g_stats_device = nullptr;  // `disk` dies with this scope
     return;
   }
@@ -363,7 +475,10 @@ void WithEngine(const Options& opts, const EdgeList& edges, uint64_t num_vertice
               engine.num_partitions(), partitioner ? partitioner->name() : "range",
               engine.vertices_in_memory() ? "in memory" : "on disk");
   MaybePrintPartitionStats(opts, engine.layout(), edges);
-  run(engine);
+  {
+    LiveRunScope live(&engine.stats());
+    run(engine);
+  }
   g_stats_device = nullptr;  // `disk` dies with this scope
 }
 
@@ -470,6 +585,10 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     return 2;
   }
 
+  // Publish the scheduler to the telemetry endpoints for the whole batch
+  // (the scope's destructor clears the pointer on every exit path; the
+  // explicit clear below precedes the normal-path scheduler.reset()).
+  LiveSchedulerScope live_jobs(scheduler.get());
   scheduler->RunAll();
 
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -536,6 +655,10 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     WriteJsonFile(stats_path, w.str());
   }
 
+  {
+    std::lock_guard<std::mutex> lock(g_live.mu);
+    g_live.scheduler = nullptr;  // the scheduler dies on the next line
+  }
   scheduler.reset();  // retire before the source/devices it scans
   return 0;
 }
@@ -549,18 +672,54 @@ int main(int argc, char** argv) {
 
   // --trace: switch the tracer on before any engine work and flush the
   // Chrome trace on every exit path (solo, --jobs, and error returns) via a
-  // scope guard.
+  // scope guard. --trace-sample / --trace-ring bound its cost and memory
+  // and imply tracing on even without a --trace file (the span tail stays
+  // reachable through GET /trace).
   struct TraceFlusher {
     std::string path;
     ~TraceFlusher() {
-      if (!path.empty()) {
+      if (!path.empty() && !g_trace_flushed.exchange(true)) {
         obs::Tracer::Global().WriteChromeTrace(path);
         std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", path.c_str());
       }
     }
   } trace_flusher{opts.GetString("trace", "")};
-  if (!trace_flusher.path.empty()) {
+  obs::Tracer::Global().set_sample_rate(opts.GetDouble("trace-sample", 1.0));
+  obs::Tracer::Global().set_ring_capacity(
+      static_cast<size_t>(opts.GetUint("trace-ring", 0)));
+  if (!trace_flusher.path.empty() || opts.Has("trace-sample") || opts.Has("trace-ring")) {
     obs::Tracer::Global().Enable();
+  }
+  if (!trace_flusher.path.empty()) {
+    // A killed long run keeps its timeline: flush the trace from the signal
+    // handler, then re-raise so the exit status still reports the signal.
+    g_signal_trace_path = trace_flusher.path;
+    std::signal(SIGINT, FlushTraceOnSignal);
+    std::signal(SIGTERM, FlushTraceOnSignal);
+  }
+
+  // --http-port: bring the telemetry endpoints up before any engine work so
+  // probes see the whole run. The exporter stops (and its thread joins) at
+  // scope exit, after the engines are gone.
+  obs::HttpExporter exporter;
+  if (opts.Has("http-port")) {
+    exporter.Handle("/stats", StatsEndpoint);
+    exporter.Handle("/jobs", JobsEndpoint);
+    if (exporter.Start(static_cast<uint16_t>(opts.GetUint("http-port", 0)))) {
+      std::printf("telemetry: listening on http://127.0.0.1:%d "
+                  "(/metrics /healthz /stats /jobs /trace)\n",
+                  exporter.port());
+      std::fflush(stdout);  // scripted probes poll this line through a pipe
+    } else {
+      std::fprintf(stderr,
+                   "warning: telemetry endpoint unavailable%s; continuing without it\n",
+#ifdef XSTREAM_DISABLE_OBS
+                   " (built with -DXSTREAM_DISABLE_OBS)"
+#else
+                   ""
+#endif
+      );
+    }
   }
 
   if (opts.GetBool("help", false) || (!opts.Has("algorithm") && !opts.Has("jobs"))) {

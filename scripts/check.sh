@@ -17,10 +17,18 @@
 #   6. raw-speed smoke: fig32 at smoke scale — io_uring backend, staged
 #      shuffle and compressed update streams must each be result-invariant,
 #      with >= 2x fewer update-device bytes on compressed BFS
-#   7. bench diff: every smoke bench also emits BENCH_figXX.json (metric
+#   7. async-spill smoke: fig28 at smoke scale — async update spill must
+#      match sync results exactly with identical update-file traffic
+#   8. telemetry smoke: a live --jobs run with --http-port=0, polled with
+#      curl mid-flight — /healthz must answer ok, /metrics must serve
+#      Prometheus exposition whose counters increase between scrapes, and
+#      /jobs must report per-job progress
+#   9. no-obs smoke: -DXSTREAM_DISABLE_OBS=ON must still compile the CLI
+#      (exporter stubbed to "unavailable") and run a solo job
+#  10. bench diff: every smoke bench also emits BENCH_figXX.json (metric
 #      values tagged exact/ratio/info) which scripts/bench_diff.py gates
 #      against the committed baselines in bench/baselines/
-#   8. docs: every intra-repo markdown link must resolve
+#  11. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -67,11 +75,75 @@ echo "== raw-speed smoke benchmark =="
 "./$BUILD_DIR/fig32_raw_speed" --smoke --json=BENCH_fig32.json
 
 echo
+echo "== async-spill smoke benchmark =="
+"./$BUILD_DIR/fig28_async_spill" --smoke --json=BENCH_fig28.json
+
+echo
+echo "== telemetry smoke: live /metrics + /healthz + /jobs =="
+if command -v curl >/dev/null 2>&1; then
+  TELEMETRY_LOG="$BUILD_DIR/telemetry_smoke.log"
+  TELEMETRY_DIR="$(mktemp -d)"
+  # A deliberately long job batch (we SIGINT it once the probes pass): the
+  # only requirement is that it is still running when curl arrives.
+  "./$BUILD_DIR/xstream_cli" --generate=rmat --scale=13 --engine=out-of-core \
+    --workdir="$TELEMETRY_DIR" --jobs=pagerank:iters=5000,wcc --http-port=0 \
+    > "$TELEMETRY_LOG" 2>&1 &
+  CLI_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*telemetry: listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$TELEMETRY_LOG" | head -1)"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$CLI_PID" 2>/dev/null || { echo "error: CLI exited before telemetry came up" >&2;
+      cat "$TELEMETRY_LOG" >&2; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$PORT" ]] || { echo "error: no telemetry port in CLI output" >&2;
+    cat "$TELEMETRY_LOG" >&2; exit 1; }
+  BASE="http://127.0.0.1:$PORT"
+  curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' \
+    || { echo "error: /healthz not ok" >&2; exit 1; }
+  # The counter series materializes on its first increment, so poll until
+  # the scheduler has scanned at least one partition.
+  SCANS1=""
+  for _ in $(seq 1 100); do
+    SCANS1="$(curl -fsS "$BASE/metrics" | sed -n 's/^xstream_scheduler_partition_scans_total //p')"
+    [[ -n "$SCANS1" ]] && break
+    sleep 0.2
+  done
+  [[ -n "$SCANS1" ]] || { echo "error: /metrics missing partition-scan counter" >&2; exit 1; }
+  sleep 1
+  SCANS2="$(curl -fsS "$BASE/metrics" | sed -n 's/^xstream_scheduler_partition_scans_total //p')"
+  awk -v a="$SCANS1" -v b="$SCANS2" 'BEGIN { exit !(b > a) }' \
+    || { echo "error: partition-scan counter did not increase ($SCANS1 -> $SCANS2)" >&2; exit 1; }
+  curl -fsS "$BASE/jobs" | grep -q '"state":"running"' \
+    || { echo "error: /jobs reports no running job" >&2; exit 1; }
+  echo "telemetry ok: port $PORT, partition scans $SCANS1 -> $SCANS2"
+  kill -INT "$CLI_PID" 2>/dev/null || true
+  wait "$CLI_PID" 2>/dev/null || true
+  rm -rf "$TELEMETRY_DIR"
+else
+  echo "warning: curl not found; skipping telemetry smoke" >&2
+fi
+
+echo
+echo "== no-obs smoke: -DXSTREAM_DISABLE_OBS builds and runs =="
+cmake -B "$BUILD_DIR-noobs" -S . -DXSTREAM_DISABLE_OBS=ON > /dev/null
+cmake --build "$BUILD_DIR-noobs" -j"$JOBS" --target xstream_cli
+# Captured, not piped: under pipefail a `grep -q` that matches early would
+# close the pipe and turn the CLI's SIGPIPE death into a gate failure.
+NOOBS_OUT="$("./$BUILD_DIR-noobs/xstream_cli" --algorithm=wcc --generate=rmat \
+  --scale=10 --http-port=0 2>&1)"
+grep -q "telemetry endpoint unavailable" <<<"$NOOBS_OUT" \
+  || { echo "error: no-obs CLI did not warn about the stubbed exporter" >&2;
+    echo "$NOOBS_OUT" >&2; exit 1; }
+
+echo
 echo "== bench diff vs committed baselines =="
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/bench_diff.py --baseline-dir bench/baselines \
-    BENCH_fig27.json BENCH_fig29.json BENCH_fig30.json BENCH_fig31.json \
-    BENCH_fig32.json
+    BENCH_fig27.json BENCH_fig28.json BENCH_fig29.json BENCH_fig30.json \
+    BENCH_fig31.json BENCH_fig32.json
 else
   echo "warning: python3 not found; skipping bench_diff gate" >&2
 fi

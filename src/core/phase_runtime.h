@@ -42,6 +42,7 @@
 #include "core/stats.h"
 #include "core/stream_store.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/device.h"
 #include "storage/stream_io.h"
@@ -82,6 +83,12 @@ struct PhaseDriverOptions {
   // (the §4.1 work-stealing ablation).
   bool enable_work_stealing = true;
   bool keep_iteration_log = true;
+  // Registry prefix for the driver's live progress gauges
+  // (<prefix>.iteration, .partition_cursor, .active_vertices,
+  // .edge_bytes_per_sec), published at iteration and partition boundaries
+  // so a telemetry scrape sees mid-run progress. Scheduler jobs get
+  // "job.<name>" so concurrent jobs do not clobber one another.
+  std::string progress_prefix = "run";
 };
 
 template <EdgeCentricAlgorithm Algo, StreamStoreFor Store>
@@ -93,6 +100,15 @@ class StreamingPhaseDriver {
   StreamingPhaseDriver(Store& store, const PhaseDriverOptions& opts)
       : store_(store), opts_(opts), queues_(store.pool().num_threads()) {
     store_.BindStats(&stats_);
+    // Gauge handles are resolved once; the boundary publishes are then one
+    // relaxed store each (no-ops under -DXSTREAM_DISABLE_OBS). Gauges are
+    // registry-owned, so two drivers with the same prefix share them
+    // (last writer wins — fine for monitoring).
+    obs::MetricGroup progress(obs::MetricsRegistry::Global(), opts_.progress_prefix);
+    progress_iteration_ = &progress.gauge("iteration");
+    progress_cursor_ = &progress.gauge("partition_cursor");
+    progress_active_ = &progress.gauge("active_vertices");
+    progress_throughput_ = &progress.gauge("edge_bytes_per_sec");
   }
 
   const PartitionLayout& layout() const { return store_.layout(); }
@@ -241,6 +257,7 @@ class StreamingPhaseDriver {
   void BeginIterationScatter(Algo& algo) {
     XS_CHECK(!in_iteration_scatter_) << "iteration scatter already in progress";
     in_iteration_scatter_ = true;
+    progress_iteration_->Set(static_cast<double>(stats_.iterations));
     iter_span_.Start(static_cast<int64_t>(stats_.iterations));
     cur_iter_ = IterationStats{};
     cur_iter_.iteration = stats_.iterations;
@@ -286,6 +303,7 @@ class StreamingPhaseDriver {
       if constexpr (requires(Store& st, uint32_t q) { st.AtPartitionBoundary(q); }) {
         store_.AtPartitionBoundary(s);
       }
+      PublishPartitionProgress(s);
       scatter_span_.Start(s);
       store_.BeginPartitionScatter(s);
       scatter_state_base_ =
@@ -369,6 +387,9 @@ class StreamingPhaseDriver {
     if (opts_.keep_iteration_log) {
       stats_.per_iteration.push_back(cur_iter_);
     }
+    progress_iteration_->Set(static_cast<double>(stats_.iterations));
+    progress_active_->Set(static_cast<double>(cur_iter_.vertices_changed));
+    PublishThroughput(stats_.edges_streamed);
     return cur_iter_;
   }
 
@@ -738,10 +759,32 @@ class StreamingPhaseDriver {
     });
   }
 
+  // Live progress publishes for the telemetry endpoints: the partition
+  // cursor at every scatter boundary, cumulative edge throughput whenever
+  // the cursor or an iteration lands. Mid-run readers (the HTTP exporter
+  // thread) see the last boundary's values — a deliberate snapshot
+  // granularity that keeps the publish cost to a few relaxed stores.
+  void PublishPartitionProgress(uint32_t s) {
+    progress_cursor_->Set(static_cast<double>(s));
+    PublishThroughput(stats_.edges_streamed + cur_iter_.edges_streamed);
+  }
+
+  void PublishThroughput(uint64_t edges) {
+    double elapsed = progress_clock_.Seconds();
+    if (elapsed > 0.0) {
+      progress_throughput_->Set(static_cast<double>(edges) * sizeof(Edge) / elapsed);
+    }
+  }
+
   Store& store_;
   PhaseDriverOptions opts_;
   WorkStealingQueues queues_;
   RunStats stats_;
+  obs::Gauge* progress_iteration_ = nullptr;
+  obs::Gauge* progress_cursor_ = nullptr;
+  obs::Gauge* progress_active_ = nullptr;
+  obs::Gauge* progress_throughput_ = nullptr;
+  WallTimer progress_clock_;  // driver lifetime, for cumulative bytes/s
 
   // In-flight iteration state for the drivable scatter pieces (RunIteration
   // and the scheduler's shared-scan mode alike).

@@ -1,0 +1,245 @@
+#include "obs/http_exporter.h"
+
+#ifndef XSTREAM_DISABLE_OBS
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xstream::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+// /healthz: liveness plus the per-device backend gauges
+// (device.<name>.uring_active, .direct_supported, .uring_fixed_buffers),
+// grouped by device — an operator's one-request answer to "is it up, and
+// did the fast I/O paths actually engage".
+HttpResponse HealthzResponse(double uptime_seconds) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("status", "ok");
+  w.Field("uptime_seconds", uptime_seconds);
+  w.Field("pid", static_cast<uint64_t>(::getpid()));
+  w.Key("devices").BeginObject();
+  std::string open_device;  // gauges arrive sorted, so devices arrive grouped
+  MetricsRegistry::Global().ForEachGauge([&](const std::string& name, double value) {
+    constexpr std::string_view kPrefix = "device.";
+    if (name.rfind(kPrefix, 0) != 0) {
+      return;
+    }
+    size_t dot = name.find('.', kPrefix.size());
+    if (dot == std::string::npos) {
+      return;
+    }
+    std::string device = name.substr(kPrefix.size(), dot - kPrefix.size());
+    std::string metric = name.substr(dot + 1);
+    if (metric != "uring_active" && metric != "direct_supported" &&
+        metric != "uring_fixed_buffers") {
+      return;
+    }
+    if (device != open_device) {
+      if (!open_device.empty()) {
+        w.EndObject();
+      }
+      w.Key(device).BeginObject();
+      open_device = device;
+    }
+    w.Field(metric, value);
+  });
+  if (!open_device.empty()) {
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse{200, "application/json", w.TakeString()};
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter() {
+  auto up = std::make_shared<WallTimer>();
+  Handle("/metrics", [] {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        MetricsRegistry::Global().ToPrometheus()};
+  });
+  Handle("/healthz", [up] { return HealthzResponse(up->Seconds()); });
+  Handle("/trace", [] {
+    return HttpResponse{200, "application/json", Tracer::Global().ToChromeJson()};
+  });
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+bool HttpExporter::Start(uint16_t port) {
+  if (running()) {
+    return true;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    XS_LOG(Error) << "telemetry: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    XS_LOG(Error) << "telemetry: bind(127.0.0.1:" << port
+                  << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    XS_LOG(Error) << "telemetry: listen() failed: " << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    XS_LOG(Error) << "telemetry: getsockname() failed: " << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  listen_fd_.store(fd, std::memory_order_relaxed);
+  port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() wakes the blocked accept() so the loop observes !running_.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void HttpExporter::AcceptLoop() {
+  for (;;) {
+    int fd = listen_fd_.load(std::memory_order_relaxed);
+    if (fd < 0 || !running()) {
+      return;
+    }
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed by Stop(), or unrecoverable
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+HttpResponse HttpExporter::Dispatch(const std::string& path) {
+  HttpHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(path);
+    if (it != handlers_.end()) {
+      handler = it->second;  // copy: run outside the lock
+    }
+  }
+  if (!handler) {
+    return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  }
+  return handler();
+}
+
+void HttpExporter::ServeConnection(int fd) {
+  // Read until the end of the request headers (the body, if any, is
+  // ignored — every route is a GET). 8 KB bounds a misbehaving client.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos && request.size() < 8192) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    return;
+  }
+  std::string line = request.substr(0, line_end);  // "GET /path HTTP/1.1"
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    resp = Dispatch(path);
+  }
+  MetricsRegistry::Global().counter("telemetry.http_requests").Add();
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " + StatusText(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a client that hung up turns into an error return, not a
+    // process-wide SIGPIPE.
+    ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace xstream::obs
+
+#endif  // XSTREAM_DISABLE_OBS

@@ -1,0 +1,103 @@
+// Embedded HTTP/1.1 telemetry endpoint — the live window into a running
+// process (the first brick of the xstream-serve daemon, see ROADMAP.md).
+//
+// Dependency-free by design: a blocking accept loop on one background
+// thread over plain POSIX sockets, GET-only, one response per connection
+// (Connection: close). That is deliberately primitive — the consumers are a
+// Prometheus scraper on a multi-second interval and a human with curl, so
+// connection reuse, TLS and request pipelining buy nothing here, and the
+// engine's hot paths never touch this thread.
+//
+// Built-in routes:
+//   GET /metrics   MetricsRegistry::ToPrometheus() (text exposition v0.0.4)
+//   GET /healthz   200 {"status":"ok",...} + per-device liveness gauges
+//   GET /trace     the tracer's Chrome trace JSON (ring tail when bounded)
+// The CLI registers /stats and /jobs on top via Handle(); any path can be
+// overridden. Unknown paths 404, non-GET methods 405.
+//
+// Binds 127.0.0.1 only: telemetry is operator-facing, not a public surface.
+// Port 0 asks the kernel for an ephemeral port; port() reports the binding.
+//
+// Under -DXSTREAM_DISABLE_OBS the class compiles to a stub whose Start()
+// returns false, so callers keep one code path.
+#ifndef XSTREAM_OBS_HTTP_EXPORTER_H_
+#define XSTREAM_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace xstream::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Handlers run on the exporter thread, concurrent with the engine: they
+// must only touch thread-safe state (the registry, the tracer, scheduler
+// snapshot accessors, mutex-guarded CLI pointers).
+using HttpHandler = std::function<HttpResponse()>;
+
+#ifndef XSTREAM_DISABLE_OBS
+
+class HttpExporter {
+ public:
+  HttpExporter();  // wires the built-in /metrics, /healthz and /trace routes
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Registers (or replaces) the handler for an exact path.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts the accept thread.
+  // Returns false — with an XS_LOG(Error) line — if the socket setup fails.
+  bool Start(uint16_t port);
+
+  // Stops accepting, closes the listener and joins the thread. Idempotent;
+  // the destructor calls it.
+  void Stop();
+
+  // The bound port once Start() succeeded, else -1.
+  int port() const { return port_.load(std::memory_order_relaxed); }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const std::string& path);
+
+  mutable std::mutex mu_;  // guards handlers_
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread thread_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> port_{-1};
+  std::atomic<bool> running_{false};
+};
+
+#else  // XSTREAM_DISABLE_OBS
+
+// No-op stand-in: the telemetry plane compiles out with the rest of the
+// observability layer. Start() reporting false lets the CLI print one
+// "unavailable" warning instead of ifdef-ing its wiring.
+class HttpExporter {
+ public:
+  void Handle(const std::string&, HttpHandler) {}
+  bool Start(uint16_t) { return false; }
+  void Stop() {}
+  int port() const { return -1; }
+  bool running() const { return false; }
+};
+
+#endif  // XSTREAM_DISABLE_OBS
+
+}  // namespace xstream::obs
+
+#endif  // XSTREAM_OBS_HTTP_EXPORTER_H_

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "util/json.h"
 
@@ -8,6 +10,32 @@ namespace xstream::obs {
 
 namespace {
 std::atomic<int> g_next_shard{0};
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dot-separated names map
+// each invalid byte to '_' under an "xstream_" namespace prefix.
+std::string PromName(const std::string& name, const char* suffix = "") {
+  std::string out = "xstream_";
+  out.reserve(out.size() + name.size() + 8);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  out += suffix;
+  return out;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
 }  // namespace
 
 int ThisThreadShard() {
@@ -133,6 +161,78 @@ std::string MetricsRegistry::ToJson() const {
   w.EndObject();
   w.EndObject();
   return w.TakeString();
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string pname = PromName(name, "_total");
+    out += "# TYPE ";
+    out += pname;
+    out += " counter\n";
+    out += pname;
+    out.push_back(' ');
+    AppendUint(out, c->Value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string pname = PromName(name);
+    out += "# TYPE ";
+    out += pname;
+    out += " gauge\n";
+    out += pname;
+    out.push_back(' ');
+    AppendDouble(out, g->Value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string pname = PromName(name);
+    out += "# TYPE ";
+    out += pname;
+    out += " histogram\n";
+    // Log2 buckets: bucket i's upper bound is 2^i (bucket 0 holds <= 1).
+    // Emit cumulative counts up to the last populated bound; every bound
+    // after that is redundant with +Inf.
+    int last = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->BucketCount(i) > 0) {
+        last = i;
+      }
+    }
+    uint64_t cumulative = 0;
+    for (int i = 0; i <= last; ++i) {
+      cumulative += h->BucketCount(i);
+      out += pname;
+      out += "_bucket{le=\"";
+      AppendUint(out, uint64_t{1} << i);
+      out += "\"} ";
+      AppendUint(out, cumulative);
+      out.push_back('\n');
+    }
+    out += pname;
+    out += "_bucket{le=\"+Inf\"} ";
+    AppendUint(out, h->Count());
+    out.push_back('\n');
+    out += pname;
+    out += "_sum ";
+    AppendDouble(out, h->Sum());
+    out.push_back('\n');
+    out += pname;
+    out += "_count ";
+    AppendUint(out, h->Count());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const std::string&, double)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // fn runs under the registry mutex: it must not create or look up metrics.
+  for (const auto& [name, g] : gauges_) {
+    fn(name, g->Value());
+  }
 }
 
 void MetricsRegistry::ResetAll() {

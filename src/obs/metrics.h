@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -142,6 +143,18 @@ class MetricsRegistry {
   //    "histograms":{name:{"count":..,"sum":..,"mean":..,"p50":..,"p90":..,
   //                        "p99":..},...}}
   std::string ToJson() const;
+
+  // Prometheus text exposition format v0.0.4 (the GET /metrics payload).
+  // Dot-separated names are sanitized to the Prometheus charset
+  // [a-zA-Z0-9_:] and prefixed "xstream_"; counters gain a "_total" suffix
+  // per convention. Histograms render the log2 buckets as cumulative
+  // `_bucket{le="2^i"}` series (bucket 0 -> le="1") up to the last
+  // populated bound, then `le="+Inf"`, `_sum` and `_count`.
+  std::string ToPrometheus() const;
+
+  // Visits every gauge as (name, value) — the /healthz device-liveness
+  // probe without exposing the map or its locking.
+  void ForEachGauge(const std::function<void(const std::string&, double)>& fn) const;
 
   // Zeroes every metric (tests and bench repetitions). Handles stay valid.
   void ResetAll();

@@ -1,19 +1,12 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.h"
 #include "util/json.h"
 
 namespace xstream::obs {
-
-namespace {
-
-std::atomic<uint32_t> g_next_tid{0};
-
-uint32_t ThisThreadTraceId() {
-  thread_local const uint32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
-  return tid;
-}
-
-}  // namespace
 
 Tracer& Tracer::Global() {
   static Tracer* t = new Tracer();  // leaked: outlives all threads
@@ -28,19 +21,99 @@ void Tracer::Enable() {
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
+void Tracer::set_sample_rate(double rate) {
+#ifndef XSTREAM_DISABLE_OBS
+  uint32_t threshold;
+  if (!(rate > 0.0)) {  // also catches NaN
+    threshold = 0;
+  } else if (rate >= 1.0) {
+    threshold = UINT32_MAX;
+  } else {
+    // Map (0,1) onto (0, 2^32); clamp tiny rates up to 1 so "some sampling"
+    // never silently becomes "none".
+    threshold = static_cast<uint32_t>(std::max(1.0, std::ldexp(rate, 32)));
+  }
+  sample_threshold_.store(threshold, std::memory_order_relaxed);
+#else
+  (void)rate;
+#endif
+}
+
+double Tracer::sample_rate() const {
+  uint32_t threshold = sample_threshold_.load(std::memory_order_relaxed);
+  if (threshold == UINT32_MAX) {
+    return 1.0;
+  }
+  return std::ldexp(static_cast<double>(threshold), -32);
+}
+
+uint32_t Tracer::NextSampleDraw() {
+  // xorshift32, seeded from the dense thread id (never the all-zero state).
+  thread_local uint32_t state = static_cast<uint32_t>(DenseThreadId()) * 2654435761u + 1u;
+  uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  state = x;
+  return x;
+}
+
+void Tracer::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity != 0 && events_.size() > capacity) {
+    // Keep the newest `capacity` events, rotated back into chronological
+    // order so ring_head_ can restart at 0.
+    std::rotate(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(ring_head_),
+                events_.end());
+    dropped_ += events_.size() - capacity;
+    events_.erase(events_.begin(), events_.end() - static_cast<ptrdiff_t>(capacity));
+  } else if (ring_head_ != 0) {
+    std::rotate(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(ring_head_),
+                events_.end());
+  }
+  ring_head_ = 0;
+  ring_capacity_ = capacity;
+}
+
+size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void Tracer::Record(const char* name, const char* cat, uint64_t ts_ns, uint64_t dur_ns,
                     int64_t partition, std::string label) {
   if (!enabled()) {
     return;
   }
-  TraceEvent ev{name, cat, ts_ns, dur_ns, ThisThreadTraceId(), partition, std::move(label)};
+  TraceEvent ev{name,
+                cat,
+                ts_ns,
+                dur_ns,
+                static_cast<uint32_t>(DenseThreadId()),
+                partition,
+                std::move(label)};
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(ev));
+  if (ring_capacity_ != 0 && events_.size() >= ring_capacity_) {
+    events_[ring_head_] = std::move(ev);
+    ring_head_ = (ring_head_ + 1) % ring_capacity_;
+    ++dropped_;
+  } else {
+    events_.push_back(std::move(ev));
+  }
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<ptrdiff_t>(ring_head_), events_.end());
+  out.insert(out.end(), events_.begin(), events_.begin() + static_cast<ptrdiff_t>(ring_head_));
+  return out;
 }
 
 std::string Tracer::ToChromeJson() const {
@@ -48,7 +121,11 @@ std::string Tracer::ToChromeJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
-  for (const TraceEvent& ev : events_) {
+  // Oldest first: the ring's tail segment [ring_head_, end) precedes the
+  // wrapped head segment [0, ring_head_).
+  size_t n = events_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = events_[(ring_head_ + i) % (n == 0 ? 1 : n)];
     w.BeginObject();
     w.Field("name", ev.name);
     w.Field("cat", ev.cat);
@@ -71,6 +148,9 @@ std::string Tracer::ToChromeJson() const {
   }
   w.EndArray();
   w.Field("displayTimeUnit", "ms");
+  if (dropped_ > 0) {
+    w.Field("droppedSpans", dropped_);  // extra key; trace viewers ignore it
+  }
   w.EndObject();
   return w.TakeString();
 }
@@ -82,6 +162,8 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
 void Tracer::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  ring_head_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace xstream::obs

@@ -99,9 +99,12 @@ std::unique_ptr<ScheduledJob> FinishBuild(const JobSpec& spec, Algo algo,
       out->summary = summarize(*out);
     };
   }
+  PhaseDriverOptions dopts;
+  // Per-job gauge namespace ("job.<name>.iteration", ...) so concurrent
+  // jobs' live progress does not collide on the solo "run." prefix.
+  dopts.progress_prefix = "job." + spec.name;
   return std::make_unique<TypedJob<Algo, Store>>(spec.name, std::move(algo), std::move(store),
-                                                 PhaseDriverOptions{}, max_iters,
-                                                 std::move(finalize));
+                                                 dopts, max_iters, std::move(finalize));
 }
 
 DeviceStoreOptions AttachedStoreOptions(DeviceScanSource& source, const DeviceJobConfig& cfg,

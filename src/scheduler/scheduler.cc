@@ -5,9 +5,29 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace xstream {
+
+std::string JobReportsToJson(const std::vector<JobReport>& reports) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const JobReport& r : reports) {
+    w.BeginObject();
+    w.Field("id", r.id);
+    w.Field("name", std::string_view(r.name));
+    w.Field("state", std::string_view(JobStateName(r.state)));
+    w.Field("rounds", r.rounds);
+    w.Field("partitions_done", static_cast<uint64_t>(r.partitions_done));
+    w.Field("partitions_total", static_cast<uint64_t>(r.partitions_total));
+    w.Field("queue_seconds", r.queue_seconds);
+    w.Field("run_seconds", r.run_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.TakeString();
+}
 
 JobScheduler::JobScheduler(ScanSource& source, SchedulerOptions opts)
     : source_(source), opts_(opts) {}
@@ -122,6 +142,8 @@ JobReport JobScheduler::ReportLocked(JobId id, const Record& rec) const {
   report.name = rec.name;
   report.state = rec.state;
   report.rounds = rec.rounds;
+  report.partitions_done = rec.partitions_done;
+  report.partitions_total = source_.layout().num_partitions();
   double now = clock_.Seconds();
   switch (rec.state) {
     case JobState::kQueued:
@@ -266,6 +288,10 @@ void JobScheduler::RetireActive(size_t index, JobState final_state) {
     rec.state = final_state;
     rec.finish_seconds = clock_.Seconds();
     rec.rounds = aj.rounds;
+    if (final_state == JobState::kDone) {
+      // Terminal reports read "full cycle", not the wrapped-to-zero cursor.
+      rec.partitions_done = source_.layout().num_partitions();
+    }
     fixed_in_use_ -= std::min(fixed_in_use_, aj.fixed_bytes);
     --active_count_;
     if (final_state == JobState::kDone) {
@@ -355,6 +381,17 @@ bool JobScheduler::Step() {
     stats_.saved_scan_bytes += bytes * (participants.size() - 1);
   }
   cursor_ = (s + 1) % k;
+
+  // --- Live progress: how far each active job's round has come through the
+  // partition cycle, mirrored under mu_ so reports()/GET /jobs see it
+  // mid-round. A job that just wrapped reads 0 here; the boundary loop
+  // below immediately folds that wrap into its round count.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const ActiveJob& aj : active_) {
+      records_[aj.id].partitions_done = (cursor_ + k - aj.start_partition) % k;
+    }
+  }
 
   // --- Round boundaries: jobs whose cycle wrapped finish their iteration
   // (tail spill + gather) and either retire or begin the next round.

@@ -84,7 +84,18 @@ struct JobReport {
   double queue_seconds = 0.0;  // submit -> admission (or cancellation)
   double run_seconds = 0.0;    // admission -> completion (or so far)
   uint64_t rounds = 0;         // iterations completed under the scheduler
+  // Progress through the current round's partition cycle: boundaries the
+  // shared cursor has passed since this job's round began, out of the
+  // layout's partition count. Resets to 0 as each round wraps; stays at
+  // its last value once the job is terminal.
+  uint32_t partitions_done = 0;
+  uint32_t partitions_total = 0;
 };
+
+/// Renders reports as a JSON array (the GET /jobs payload; also consumed by
+/// tests). Stable keys: id, name, state, rounds, partitions_done,
+/// partitions_total, queue_seconds, run_seconds.
+std::string JobReportsToJson(const std::vector<JobReport>& reports);
 
 /// N concurrent algorithm jobs over one shared edge scan.
 ///
@@ -160,6 +171,7 @@ class JobScheduler {
     double admit_seconds = 0.0;
     double finish_seconds = 0.0;
     uint64_t rounds = 0;
+    uint32_t partitions_done = 0;  // mirrored from the driver at boundaries
   };
 
   // One partition boundary; runs with the driver role held, no lock except

@@ -2,9 +2,19 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <thread>
 
 namespace xstream {
+
+namespace {
+std::atomic<int> g_next_thread_id{0};
+}  // namespace
+
+int DenseThreadId() {
+  thread_local const int id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 int NumCores() {
   unsigned hw = std::thread::hardware_concurrency();

@@ -26,6 +26,11 @@ size_t CachelineBytes();
 // Total physical memory in bytes (0 when unknown).
 uint64_t PhysicalMemoryBytes();
 
+// Small dense id for the calling thread, assigned on first use (0, 1, 2...).
+// Shared by the log-line prefix ("t<N>") and the tracer's per-span tid, so a
+// log line and a trace slice from the same thread carry the same number.
+int DenseThreadId();
+
 }  // namespace xstream
 
 #endif  // XSTREAM_UTIL_ENV_H_

@@ -9,6 +9,8 @@
 #include <ctime>
 #include <mutex>
 
+#include "util/env.h"
+
 namespace xstream {
 
 namespace {
@@ -89,7 +91,11 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   char ts[16];
   FormatTimestamp(ts, sizeof(ts));
-  stream_ << LevelName(level) << " " << ts << " [" << Basename(file) << ":" << line << "] ";
+  // The "t<N>" id matches the tracer's per-span tid (both come from
+  // DenseThreadId), so log lines correlate with trace slices and the
+  // per-thread counter shards.
+  stream_ << LevelName(level) << " " << ts << " t" << DenseThreadId() << " [" << Basename(file)
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -103,7 +109,7 @@ LogMessage::~LogMessage() {
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
   char ts[16];
   FormatTimestamp(ts, sizeof(ts));
-  stream_ << "F " << ts << " [" << Basename(file) << ":" << line
+  stream_ << "F " << ts << " t" << DenseThreadId() << " [" << Basename(file) << ":" << line
           << "] check failed: " << condition << " ";
 }
 

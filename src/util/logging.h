@@ -21,7 +21,9 @@ enum class LogLevel {
 // Global threshold below which messages are suppressed. Initialized from
 // the XSTREAM_LOG environment variable (debug/info/warning/error or 0-3);
 // defaults to kInfo. Set to kDebug for verbose engine tracing. Lines carry
-// a "L HH:MM:SS.mmm [file:line]" prefix.
+// a "L HH:MM:SS.mmm t<tid> [file:line]" prefix; the tid is the same dense
+// per-thread id the tracer stamps on spans (util/env.h DenseThreadId), so
+// log lines correlate with trace slices.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 

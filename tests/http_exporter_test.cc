@@ -1,0 +1,300 @@
+// The telemetry plane (src/obs/http_exporter.*, MetricsRegistry::ToPrometheus):
+// Prometheus text-exposition rendering (name sanitization, cumulative le
+// buckets, _sum/_count consistency), the embedded HTTP server end to end on
+// an ephemeral port (status codes, content types, custom routes, 404/405),
+// live metric movement across scrapes while a hybrid PageRank runs, and the
+// /jobs payload tracking real scheduler progress.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/pagerank.h"
+#include "core/hybrid_engine.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "scheduler/algo_jobs.h"
+#include "scheduler/scan_source.h"
+#include "scheduler/scheduler.h"
+#include "storage/sim_device.h"
+#include "threads/thread_pool.h"
+
+namespace xstream {
+namespace {
+
+// ---- Prometheus exposition helpers -----------------------------------------
+
+// All lines of the exposition that start with `series` followed by a space
+// or '{' (i.e. samples of that series, not of a longer-named one).
+std::vector<std::string> SeriesLines(const std::string& text, const std::string& series) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(series, 0) == 0 && line.size() > series.size() &&
+        (line[series.size()] == ' ' || line[series.size()] == '{')) {
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
+double SampleValue(const std::string& line) {
+  size_t space = line.rfind(' ');
+  return std::stod(line.substr(space + 1));
+}
+
+// Value of the single sample line for `series`, or NaN when absent.
+double SeriesValue(const std::string& text, const std::string& series) {
+  std::vector<std::string> lines = SeriesLines(text, series);
+  if (lines.size() != 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return SampleValue(lines[0]);
+}
+
+// ---- Raw-socket HTTP client ------------------------------------------------
+
+struct HttpReply {
+  int status = 0;
+  std::string headers;  // raw header block, lowercase not applied
+  std::string body;
+};
+
+// One blocking GET against 127.0.0.1:port. The exporter closes after each
+// response, so "read to EOF" delimits the body.
+HttpReply Get(int port, const std::string& target, const std::string& method = "GET") {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to 127.0.0.1:" << port;
+  std::string req = method + " " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    ADD_FAILURE() << "no header terminator in reply: " << raw;
+    return reply;
+  }
+  reply.headers = raw.substr(0, header_end);
+  reply.body = raw.substr(header_end + 4);
+  // "HTTP/1.1 200 OK"
+  if (raw.size() > 12 && raw.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.status = std::stoi(raw.substr(9, 3));
+  }
+  return reply;
+}
+
+// ---- ToPrometheus rendering ------------------------------------------------
+
+TEST(PrometheusTest, CountersGainTotalSuffixAndNamesAreSanitized) {
+  obs::MetricsRegistry reg;
+  reg.counter("io.ssd-0.read.ops").Add(42);
+  std::string text = reg.ToPrometheus();
+  // Dots and dashes both fold to '_'; the counter gets "_total".
+  EXPECT_NE(text.find("# TYPE xstream_io_ssd_0_read_ops_total counter"), std::string::npos)
+      << text;
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_io_ssd_0_read_ops_total"), 42.0) << text;
+}
+
+TEST(PrometheusTest, GaugesRenderPlainValues) {
+  obs::MetricsRegistry reg;
+  reg.gauge("residency.budget_mb").Set(512.25);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE xstream_residency_budget_mb gauge"), std::string::npos) << text;
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_residency_budget_mb"), 512.25) << text;
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeMonotoneAndConsistent) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("io.lat_us");
+  // 3 in bucket 0 (<=1), 2 in (1,2], 1 in (512,1024].
+  h.Observe(0.5);
+  h.Observe(1.0);
+  h.Observe(0.0);
+  h.Observe(1.5);
+  h.Observe(2.0);
+  h.Observe(600.0);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE xstream_io_lat_us histogram"), std::string::npos) << text;
+
+  std::vector<std::string> buckets = SeriesLines(text, "xstream_io_lat_us_bucket");
+  ASSERT_GE(buckets.size(), 2u) << text;
+  // Cumulative and monotone, ending at le="+Inf".
+  double prev = -1.0;
+  for (const std::string& line : buckets) {
+    double v = SampleValue(line);
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+  EXPECT_NE(buckets.back().find("le=\"+Inf\""), std::string::npos) << buckets.back();
+  // Spot-check the cumulative counts at the first buckets.
+  EXPECT_NE(text.find("xstream_io_lat_us_bucket{le=\"1\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("xstream_io_lat_us_bucket{le=\"2\"} 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("xstream_io_lat_us_bucket{le=\"1024\"} 6"), std::string::npos) << text;
+
+  // +Inf bucket == _count; _sum matches the Histogram accessors exactly.
+  EXPECT_DOUBLE_EQ(SampleValue(buckets.back()), static_cast<double>(h.Count()));
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_io_lat_us_count"), static_cast<double>(h.Count()));
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_io_lat_us_sum"), h.Sum());
+}
+
+TEST(PrometheusTest, EmptyHistogramStillEmitsInfSumCount) {
+  obs::MetricsRegistry reg;
+  reg.histogram("never.observed");
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("xstream_never_observed_bucket{le=\"+Inf\"} 0"), std::string::npos)
+      << text;
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_never_observed_count"), 0.0) << text;
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_never_observed_sum"), 0.0) << text;
+}
+
+// ---- Exporter end to end ---------------------------------------------------
+
+TEST(HttpExporterTest, ServesBuiltInAndCustomRoutesOnEphemeralPort) {
+  obs::HttpExporter exporter;
+  exporter.Handle("/stats", [] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = "{\"custom\":true}";
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0));
+  ASSERT_GT(exporter.port(), 0);
+  EXPECT_TRUE(exporter.running());
+
+  HttpReply healthz = Get(exporter.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos) << healthz.body;
+  EXPECT_NE(healthz.body.find("\"uptime_seconds\""), std::string::npos) << healthz.body;
+
+  HttpReply metrics = Get(exporter.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("version=0.0.4"), std::string::npos) << metrics.headers;
+  EXPECT_NE(metrics.body.find("xstream_"), std::string::npos);
+
+  // Query strings are stripped before route lookup (Prometheus adds none,
+  // humans do).
+  EXPECT_EQ(Get(exporter.port(), "/healthz?verbose=1").status, 200);
+
+  HttpReply custom = Get(exporter.port(), "/stats");
+  EXPECT_EQ(custom.status, 200);
+  EXPECT_EQ(custom.body, "{\"custom\":true}");
+  EXPECT_NE(custom.headers.find("application/json"), std::string::npos);
+
+  EXPECT_EQ(Get(exporter.port(), "/nope").status, 404);
+  EXPECT_EQ(Get(exporter.port(), "/metrics", "POST").status, 405);
+
+  // Each served request bumps the exporter's own counter.
+  EXPECT_GE(obs::MetricsRegistry::Global().counter("telemetry.http_requests").Value(), 6u);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.Stop();  // idempotent
+}
+
+TEST(HttpExporterTest, MetricsMoveBetweenScrapesWhileHybridPageRankRuns) {
+  obs::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start(0));
+  std::string before = Get(exporter.port(), "/metrics").body;
+
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = 5;
+  EdgeList edges = GenerateRmat(params);
+  GraphInfo info = ScanEdges(edges);
+  SimDevice dev("e2e", DeviceProfile::Instant());
+  WriteEdgeFile(dev, "input", edges);
+  HybridConfig config;
+  config.threads = 2;
+  config.num_partitions = 4;
+  config.io_unit_bytes = 16 << 10;
+  config.memory_budget_bytes = 1 << 20;
+  HybridEngine<PageRankAlgorithm> engine(config, dev, dev, dev, "input", info);
+  PageRankResult result = RunPageRank(engine, 3);
+  result.stats.PublishTo("e2e.run");
+
+  std::string after = Get(exporter.port(), "/metrics").body;
+  // The driver's live progress gauges moved (published at iteration
+  // boundaries by StreamingPhaseDriver)...
+  EXPECT_GE(SeriesValue(after, "xstream_run_iteration"), 3.0) << after;
+  // ...and the published run counters appear with live values the first
+  // scrape could not have had.
+  double streamed = SeriesValue(after, "xstream_e2e_run_edges_streamed_total");
+  EXPECT_GT(streamed, 0.0) << after;
+  EXPECT_TRUE(SeriesLines(before, "xstream_e2e_run_edges_streamed_total").empty());
+  EXPECT_DOUBLE_EQ(streamed, static_cast<double>(result.stats.edges_streamed));
+}
+
+TEST(HttpExporterTest, JobsRouteTracksSchedulerProgress) {
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  params.undirected = true;
+  params.seed = 9;
+  EdgeList edges = GenerateRmat(params);
+  GraphInfo info = ScanEdges(edges);
+  ThreadPool pool(2);
+  PartitionLayout layout(info.num_vertices, 4);
+  MemoryScanSource source(pool, layout, edges);
+  JobScheduler sched(source);
+
+  obs::HttpExporter exporter;
+  exporter.Handle("/jobs", [&sched] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = JobReportsToJson(sched.reports());
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0));
+
+  auto out = std::make_shared<JobOutput>();
+  sched.Submit(MakeMemoryJob(ParseJobSpec("pagerank:iters=4"), source, out));
+
+  // Mid-run: drive two partition boundaries, then scrape. The report must
+  // show a running job partway through its 4-partition round.
+  ASSERT_TRUE(sched.PumpOne());
+  ASSERT_TRUE(sched.PumpOne());
+  HttpReply mid = Get(exporter.port(), "/jobs");
+  EXPECT_EQ(mid.status, 200);
+  EXPECT_NE(mid.body.find("\"name\":\"pagerank:iters=4\""), std::string::npos) << mid.body;
+  EXPECT_NE(mid.body.find("\"state\":\"running\""), std::string::npos) << mid.body;
+  EXPECT_NE(mid.body.find("\"partitions_total\":4"), std::string::npos) << mid.body;
+  EXPECT_NE(mid.body.find("\"partitions_done\":2"), std::string::npos) << mid.body;
+
+  sched.RunAll();
+  HttpReply done = Get(exporter.port(), "/jobs");
+  EXPECT_EQ(done.status, 200);
+  EXPECT_NE(done.body.find("\"state\":\"done\""), std::string::npos) << done.body;
+  EXPECT_NE(done.body.find("\"partitions_done\":4"), std::string::npos) << done.body;
+  JobReport report = sched.reports().at(0);
+  EXPECT_EQ(report.partitions_done, report.partitions_total);
+}
+
+}  // namespace
+}  // namespace xstream

@@ -250,6 +250,78 @@ TEST(TracerTest, ManualSpanCancelDropsTheSpan) {
   tracer.Reset();
 }
 
+TEST(TracerTest, SampleRateZeroSuppressesEverySpan) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.Enable();
+  tracer.set_sample_rate(0.0);
+  for (int i = 0; i < 100; ++i) {
+    obs::TraceSpan span("scatter", "phase", i);
+    obs::ManualSpan manual;
+    manual.Start(0);
+    manual.Stop("gather");
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);  // never sampled, so never dropped
+
+  // Rate 1.0 restores record-everything (the default).
+  tracer.set_sample_rate(1.0);
+  { obs::TraceSpan span("scatter"); }
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+  tracer.Disable();
+  tracer.Reset();
+}
+
+TEST(TracerTest, MidRateSamplingKeepsAFraction) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.Enable();
+  tracer.set_sample_rate(0.5);
+  constexpr int kSpans = 4000;
+  for (int i = 0; i < kSpans; ++i) {
+    obs::TraceSpan span("scatter");
+  }
+  size_t kept = tracer.Snapshot().size();
+  // xorshift32 at rate 0.5: binomial(4000, 0.5) stays within ±10% of the
+  // mean with overwhelming probability (and the draw sequence is
+  // deterministic per thread, so this cannot flake).
+  EXPECT_GT(kept, kSpans * 2 / 5) << kept;
+  EXPECT_LT(kept, kSpans * 3 / 5) << kept;
+  tracer.set_sample_rate(1.0);
+  tracer.Disable();
+  tracer.Reset();
+}
+
+TEST(TracerTest, RingCapacityBoundsRetentionKeepingNewest) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.set_ring_capacity(4);
+  tracer.Enable();
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceSpan span("scatter", "phase", /*partition=*/i);
+  }
+  tracer.Disable();
+  std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest-first chronological order, newest four retained: partitions 6..9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].partition, 6 + i);
+  }
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"droppedSpans\":6"), std::string::npos) << json;
+
+  // Shrinking an occupied ring keeps the newest spans and counts the rest
+  // as dropped; capacity 0 returns to unbounded.
+  tracer.set_ring_capacity(2);
+  EXPECT_EQ(tracer.Snapshot().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 8u);
+  tracer.set_ring_capacity(0);
+  tracer.Reset();
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
 // Every engine mode must emit the same RunStats JSON schema — unused fields
 // as zeroes, never missing — so dashboards and bench_diff keys stay valid
 // regardless of which engine produced the run.
