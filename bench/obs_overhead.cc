@@ -15,7 +15,9 @@
 #include "algorithms/wcc.h"
 #include "core/hybrid_engine.h"
 #include "graph/transforms.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace xstream {
@@ -151,7 +153,68 @@ int main(int argc, char** argv) {
     table.AddRow({"TraceSpan (on, sample 1e-6)", HumanCount(ops), FormatDouble(ns, 2)});
     json.Info("span_sampled_out_ns", ns);
   }
+  {
+    // The attribution hot path: one clock delta folded into two relaxed
+    // fetch_adds (cell + wall). The driver calls this a handful of times per
+    // partition per iteration, so even 10x this cost would be invisible.
+    obs::PhaseAccountant acct("bench.attr", 8);
+    WallTimer t;
+    for (uint64_t i = 0; i < ops; ++i) {
+      acct.Record(obs::Phase::kScatter, static_cast<uint32_t>(i & 7), 1e-9);
+    }
+    double ns = NsPerOp(ops, t.Seconds());
+    table.AddRow({"PhaseAccountant::Record", HumanCount(ops), FormatDouble(ns, 2)});
+    json.Info("attribution_record_ns", ns);
+  }
+  {
+    // Full RAII section: two clock reads plus the Record above.
+    obs::PhaseAccountant acct("bench.attr_scoped", 8);
+    uint64_t timer_ops = ops / 4;  // clock reads dominate; fewer reps suffice
+    WallTimer t;
+    for (uint64_t i = 0; i < timer_ops; ++i) {
+      obs::PhaseTimer pt(&acct, obs::Phase::kGather, static_cast<uint32_t>(i & 7));
+    }
+    double ns = NsPerOp(timer_ops, t.Seconds());
+    table.AddRow({"PhaseTimer scope", HumanCount(timer_ops), FormatDouble(ns, 2)});
+    json.Info("attribution_scoped_ns", ns);
+  }
   table.Print();
+
+  // Sampling-profiler overhead: the same fixed CPU-bound spin with the
+  // SIGPROF sampler off vs on. At the default 97 Hz the handler runs ~100
+  // times per CPU-second, so the delta should be noise-level.
+  {
+    auto spin = [](uint64_t iters) {
+      volatile uint64_t x = 1;
+      for (uint64_t i = 0; i < iters; ++i) {
+        x = x * 2862933555777941757ULL + 3037000493ULL;
+      }
+      return x;
+    };
+    uint64_t iters = ops * 8;
+    spin(iters / 8);  // warm up
+    WallTimer t_off;
+    spin(iters);
+    double prof_off = t_off.Seconds();
+    double prof_on = prof_off;
+    uint64_t samples = 0;
+    if (obs::CpuProfiler::Global().Start()) {
+      WallTimer t_on;
+      spin(iters);
+      prof_on = t_on.Seconds();
+      obs::CpuProfiler::Global().Stop();
+      samples = obs::CpuProfiler::Global().sample_count();
+      obs::CpuProfiler::Global().Reset();
+    }
+    double prof_pct = prof_off > 0 ? 100.0 * (prof_on - prof_off) / prof_off : 0.0;
+    std::printf("\nprofiler on spin workload: off %.3fs, on %.3fs (%+.2f%%, %llu samples)\n",
+                prof_off, prof_on, prof_pct,
+                static_cast<unsigned long long>(samples));
+    json.Info("profiler_off_seconds", prof_off);
+    json.Info("profiler_on_seconds", prof_on);
+    json.Info("profiler_overhead_pct", prof_pct);
+    json.Info("profiler_samples", static_cast<double>(samples));
+  }
 
   // End-to-end: hybrid WCC wall time, tracer off vs on (best-of-reps to
   // shed scheduler noise). The interesting number is the off/on ratio, not

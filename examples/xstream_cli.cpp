@@ -25,7 +25,9 @@
 #include "core/inmem_engine.h"
 #include "core/ooc_engine.h"
 #include "graph/edge_io.h"
+#include "obs/attribution.h"
 #include "obs/http_exporter.h"
+#include "obs/profiler.h"
 #include "partitioning/partitioner.h"
 #include "partitioning/quality.h"
 #include "graph/generators.h"
@@ -111,12 +113,21 @@ constexpr char kUsage[] = R"(xstream_cli — edge-centric graph processing
                             dropping the oldest (default 0 = unbounded;
                             implies tracing on). Dump the tail via the
                             telemetry GET /trace or the exit flush.
+  --explain                 print the bottleneck doctor report after the
+                            run: ranked per-phase time sinks, the
+                            I/O-vs-compute verdict, the partition skew
+                            index, and flag-level tuning hints
+  --profile=FILE            sample the process with a SIGPROF CPU profiler
+                            for the whole run and write folded stacks to
+                            FILE (feed to flamegraph.pl)
+    --profile-hz=N          profiler sampling rate (default 97)
   --http-port=P             serve live telemetry on 127.0.0.1:P while the
                             run is in flight (0 = pick an ephemeral port,
                             printed at startup): GET /metrics (Prometheus
                             text format), /healthz, /stats (the live
                             --stats-json document), /jobs (per-job
-                            scheduler progress), /trace
+                            scheduler progress), /trace, /attribution,
+                            /profile?seconds=N
   --stats-json=FILE         write run statistics plus the metrics-registry
                             snapshot as JSON (per-job array in --jobs mode)
   --jobs=SPEC[,SPEC...]     batch mode: run concurrent jobs under the
@@ -220,7 +231,7 @@ struct LiveSchedulerScope {
 // GET /stats: the --stats-json document, rendered live — the in-flight
 // run's scalar stats (when one is active), per-job reports (in --jobs
 // mode), and the registry snapshot.
-obs::HttpResponse StatsEndpoint() {
+obs::HttpResponse StatsEndpoint(const std::string& /*query*/) {
   JsonWriter w;
   w.BeginObject();
   {
@@ -238,7 +249,7 @@ obs::HttpResponse StatsEndpoint() {
 }
 
 // GET /jobs: per-job scheduler progress (empty array outside --jobs mode).
-obs::HttpResponse JobsEndpoint() {
+obs::HttpResponse JobsEndpoint(const std::string& /*query*/) {
   std::lock_guard<std::mutex> lock(g_live.mu);
   std::string body =
       g_live.scheduler != nullptr ? JobReportsToJson(g_live.scheduler->reports()) : "[]";
@@ -280,13 +291,42 @@ void MaybeWriteStatsJson(const Options& opts, const RunStats& stats) {
   JsonWriter w;
   w.BeginObject();
   w.Key("run").Raw(stats.ToJson());
+  w.Key("attribution").Raw(obs::AttributionRegistry::Global().ToJson());
   w.Key("metrics").Raw(obs::MetricsRegistry::Global().ToJson());
   w.EndObject();
   WriteJsonFile(path, w.str());
 }
 
+// --explain: the end-of-run doctor report. Prints one report per registered
+// accountant (the solo driver, or every scheduler job plus the shared scan
+// source in --jobs mode), skipping accountants that never recorded time.
+void MaybePrintExplain(const Options& opts) {
+  if (!opts.GetBool("explain", false)) {
+    return;
+  }
+  bool printed = false;
+  for (const obs::AttributionSnapshot& snap :
+       obs::AttributionRegistry::Global().Snapshots()) {
+    if (snap.AccountedSeconds() <= 0.0) {
+      continue;
+    }
+    std::fputs(obs::ExplainReport(snap).c_str(), stdout);
+    printed = true;
+  }
+  if (!printed) {
+    std::fprintf(stderr, "warning: --explain found no attribution data%s\n",
+#ifdef XSTREAM_DISABLE_OBS
+                 " (built with -DXSTREAM_DISABLE_OBS)"
+#else
+                 ""
+#endif
+    );
+  }
+}
+
 void PrintStats(const Options& opts, const RunStats& stats) {
   MaybeWriteStatsJson(opts, stats);
+  MaybePrintExplain(opts);
   std::printf("stats: %llu iterations, %s edges streamed, %s updates, %.0f%% wasted, "
               "runtime %s (setup %s)\n",
               static_cast<unsigned long long>(stats.iterations),
@@ -615,6 +655,9 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     std::printf("edge pinning: %s scan bytes served from the shared pinned-edge cache\n",
                 HumanBytes(ss.edge_reads_avoided_bytes).c_str());
   }
+  // Finished job accountants live in the registry's retired ring; the scan
+  // source's accountant is still live — both show up here.
+  MaybePrintExplain(opts);
 
   // --stats-json in batch mode: one document with a per-job array (each job's
   // RunStats uses the same schema as a solo run), the scheduler's scan-sharing
@@ -650,6 +693,7 @@ int RunJobBatch(const Options& opts, const EdgeList& edges, const GraphInfo& inf
     w.Field("budget_resplits", ss.budget_resplits);
     w.Field("edge_reads_avoided_bytes", ss.edge_reads_avoided_bytes);
     w.EndObject();
+    w.Key("attribution").Raw(obs::AttributionRegistry::Global().ToJson());
     w.Key("metrics").Raw(obs::MetricsRegistry::Global().ToJson());
     w.EndObject();
     WriteJsonFile(stats_path, w.str());
@@ -698,6 +742,40 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, FlushTraceOnSignal);
   }
 
+  // --profile: whole-run SIGPROF sampling, folded stacks flushed to the
+  // given file on every exit path (the scope guard outlives the engines).
+  struct ProfileFlusher {
+    std::string path;
+    ~ProfileFlusher() {
+      if (path.empty()) {
+        return;
+      }
+      obs::CpuProfiler& prof = obs::CpuProfiler::Global();
+      prof.Stop();
+      if (prof.WriteFolded(path)) {
+        std::printf("profile: wrote %llu samples to %s "
+                    "(render: flamegraph.pl %s > profile.svg)\n",
+                    static_cast<unsigned long long>(prof.sample_count()), path.c_str(),
+                    path.c_str());
+      }
+    }
+  } profile_flusher;
+  if (opts.Has("profile")) {
+    std::string path = opts.GetString("profile", "");
+    int hz = static_cast<int>(opts.GetInt("profile-hz", 97));
+    if (!path.empty() && obs::CpuProfiler::Global().Start(hz)) {
+      profile_flusher.path = path;
+    } else {
+      std::fprintf(stderr, "warning: --profile unavailable%s; continuing without it\n",
+#ifdef XSTREAM_DISABLE_OBS
+                   " (built with -DXSTREAM_DISABLE_OBS)"
+#else
+                   ""
+#endif
+      );
+    }
+  }
+
   // --http-port: bring the telemetry endpoints up before any engine work so
   // probes see the whole run. The exporter stops (and its thread joins) at
   // scope exit, after the engines are gone.
@@ -707,7 +785,7 @@ int main(int argc, char** argv) {
     exporter.Handle("/jobs", JobsEndpoint);
     if (exporter.Start(static_cast<uint16_t>(opts.GetUint("http-port", 0)))) {
       std::printf("telemetry: listening on http://127.0.0.1:%d "
-                  "(/metrics /healthz /stats /jobs /trace)\n",
+                  "(/metrics /healthz /stats /jobs /trace /attribution /profile)\n",
                   exporter.port());
       std::fflush(stdout);  // scripted probes poll this line through a pipe
     } else {

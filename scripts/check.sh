@@ -21,14 +21,17 @@
 #      match sync results exactly with identical update-file traffic
 #   8. telemetry smoke: a live --jobs run with --http-port=0, polled with
 #      curl mid-flight — /healthz must answer ok, /metrics must serve
-#      Prometheus exposition whose counters increase between scrapes, and
-#      /jobs must report per-job progress
+#      Prometheus exposition whose counters increase between scrapes, /jobs
+#      must report per-job progress, /attribution must carry a diagnosis,
+#      and /profile?seconds=1 must return non-empty folded stacks
 #   9. no-obs smoke: -DXSTREAM_DISABLE_OBS=ON must still compile the CLI
 #      (exporter stubbed to "unavailable") and run a solo job
-#  10. bench diff: every smoke bench also emits BENCH_figXX.json (metric
+#  10. obs-overhead smoke: the instrumentation microbench must emit its
+#      attribution/profiler metrics for the bench diff
+#  11. bench diff: every smoke bench also emits BENCH_figXX.json (metric
 #      values tagged exact/ratio/info) which scripts/bench_diff.py gates
 #      against the committed baselines in bench/baselines/
-#  11. docs: every intra-repo markdown link must resolve
+#  12. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -118,6 +121,13 @@ if command -v curl >/dev/null 2>&1; then
     || { echo "error: partition-scan counter did not increase ($SCANS1 -> $SCANS2)" >&2; exit 1; }
   curl -fsS "$BASE/jobs" | grep -q '"state":"running"' \
     || { echo "error: /jobs reports no running job" >&2; exit 1; }
+  curl -fsS "$BASE/attribution" | grep -q '"diagnosis"' \
+    || { echo "error: /attribution carries no diagnosis" >&2; exit 1; }
+  # One-second on-demand capture; the busy job batch guarantees CPU samples.
+  PROFILE_OUT="$(curl -fsS "$BASE/profile?seconds=1")"
+  grep -qE ' [0-9]+$' <<<"$PROFILE_OUT" \
+    || { echo "error: /profile returned no folded stacks" >&2;
+      echo "$PROFILE_OUT" | head -5 >&2; exit 1; }
   echo "telemetry ok: port $PORT, partition scans $SCANS1 -> $SCANS2"
   kill -INT "$CLI_PID" 2>/dev/null || true
   wait "$CLI_PID" 2>/dev/null || true
@@ -133,17 +143,25 @@ cmake --build "$BUILD_DIR-noobs" -j"$JOBS" --target xstream_cli
 # Captured, not piped: under pipefail a `grep -q` that matches early would
 # close the pipe and turn the CLI's SIGPIPE death into a gate failure.
 NOOBS_OUT="$("./$BUILD_DIR-noobs/xstream_cli" --algorithm=wcc --generate=rmat \
-  --scale=10 --http-port=0 2>&1)"
+  --scale=10 --http-port=0 --explain 2>&1)"
 grep -q "telemetry endpoint unavailable" <<<"$NOOBS_OUT" \
   || { echo "error: no-obs CLI did not warn about the stubbed exporter" >&2;
     echo "$NOOBS_OUT" >&2; exit 1; }
+grep -q -- "--explain found no attribution data" <<<"$NOOBS_OUT" \
+  || { echo "error: no-obs CLI did not warn about the stubbed attribution" >&2;
+    echo "$NOOBS_OUT" >&2; exit 1; }
+
+echo
+echo "== obs-overhead smoke benchmark =="
+"./$BUILD_DIR/obs_overhead" --ops=2000000 --reps=1 --scale=10 \
+  --json=BENCH_obs_overhead.json
 
 echo
 echo "== bench diff vs committed baselines =="
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/bench_diff.py --baseline-dir bench/baselines \
     BENCH_fig27.json BENCH_fig28.json BENCH_fig29.json BENCH_fig30.json \
-    BENCH_fig31.json BENCH_fig32.json
+    BENCH_fig31.json BENCH_fig32.json BENCH_obs_overhead.json
 else
   echo "warning: python3 not found; skipping bench_diff gate" >&2
 fi

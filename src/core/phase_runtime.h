@@ -42,6 +42,7 @@
 #include "core/stats.h"
 #include "core/stream_store.h"
 #include "graph/types.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/device.h"
@@ -98,8 +99,17 @@ class StreamingPhaseDriver {
   using Update = typename Algo::Update;
 
   StreamingPhaseDriver(Store& store, const PhaseDriverOptions& opts)
-      : store_(store), opts_(opts), queues_(store.pool().num_threads()) {
+      : store_(store),
+        opts_(opts),
+        queues_(store.pool().num_threads()),
+        accountant_(opts.progress_prefix, store.layout().num_partitions()) {
     store_.BindStats(&stats_);
+    // Stores that can attribute their internal waits (spill-write stalls,
+    // edge-scan and gather read stalls, in-spill shuffles) feed the same
+    // accountant the driver charges its phase sections to.
+    if constexpr (requires(Store& st, obs::PhaseAccountant* a) { st.BindAccountant(a); }) {
+      store_.BindAccountant(&accountant_);
+    }
     // Gauge handles are resolved once; the boundary publishes are then one
     // relaxed store each (no-ops under -DXSTREAM_DISABLE_OBS). Gauges are
     // registry-owned, so two drivers with the same prefix share them
@@ -114,6 +124,8 @@ class StreamingPhaseDriver {
   const PartitionLayout& layout() const { return store_.layout(); }
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }
+  obs::PhaseAccountant& accountant() { return accountant_; }
+  const obs::PhaseAccountant& accountant() const { return accountant_; }
 
   // ---- Vertex iteration (§2.5) -------------------------------------------
 
@@ -259,6 +271,7 @@ class StreamingPhaseDriver {
     in_iteration_scatter_ = true;
     progress_iteration_->Set(static_cast<double>(stats_.iterations));
     iter_span_.Start(static_cast<int64_t>(stats_.iterations));
+    accountant_.BeginIteration(stats_.iterations);
     cur_iter_ = IterationStats{};
     cur_iter_.iteration = stats_.iterations;
     iter_timer_.Reset();
@@ -290,8 +303,8 @@ class StreamingPhaseDriver {
 
   void BeginScatterPartition(uint32_t s) {
     XS_CHECK(in_iteration_scatter_);
+    attr_partition_ = s;
     if constexpr (Store::kPartitionParallel) {
-      (void)s;
       scatter_state_base_ = store_.resident_states();
       scatter_part_base_ = 0;
     } else {
@@ -301,6 +314,7 @@ class StreamingPhaseDriver {
       // Runs in solo loops and the scheduler's shared-scan mode alike —
       // both reach every partition's scatter through this method.
       if constexpr (requires(Store& st, uint32_t q) { st.AtPartitionBoundary(q); }) {
+        obs::PhaseTimer pt(&accountant_, obs::Phase::kMigration, s);
         store_.AtPartitionBoundary(s);
       }
       PublishPartitionProgress(s);
@@ -325,12 +339,15 @@ class StreamingPhaseDriver {
       }
     }
     std::atomic<uint64_t> wasted{0};
-    store_.pool().ParallelForTid(0, n, 2048, [&](int tid, uint64_t lo, uint64_t hi) {
-      uint64_t w = ScatterSpan(algo, es + lo, hi - lo, scatter_state_base_,
-                               scatter_part_base_, tid, appender);
-      wasted.fetch_add(w, std::memory_order_relaxed);
-    });
-    appender.FlushAll();
+    {
+      obs::PhaseTimer pt(&accountant_, obs::Phase::kScatter, attr_partition_);
+      store_.pool().ParallelForTid(0, n, 2048, [&](int tid, uint64_t lo, uint64_t hi) {
+        uint64_t w = ScatterSpan(algo, es + lo, hi - lo, scatter_state_base_,
+                                 scatter_part_base_, tid, appender);
+        wasted.fetch_add(w, std::memory_order_relaxed);
+      });
+      appender.FlushAll();
+    }
     cur_iter_.edges_streamed += n;
     cur_iter_.wasted_edges += wasted.load();
   }
@@ -355,6 +372,10 @@ class StreamingPhaseDriver {
       if (cur_iter_.updates_generated > 0) {
         ScopedInterval si(streaming_);
         obs::TraceSpan span("shuffle");
+        // Wall only: the global shuffle has no per-partition owner, and a
+        // phantom cell would dilute the skew index.
+        obs::PhaseTimer pt(&accountant_, obs::Phase::kShuffle, obs::kNoPartition,
+                           obs::PhaseTimerMode::kWallOnly);
         shuffled = ShuffleRecords(
             store_.pool(), store_.update_records(), store_.scratch_records(),
             cur_iter_.updates_generated, layout.num_partitions(), opts_.shuffle_fanout,
@@ -377,6 +398,7 @@ class StreamingPhaseDriver {
     scatter_appender_.reset();
     in_iteration_scatter_ = false;
     iter_span_.Stop("iteration");
+    accountant_.EndIteration();
 
     cur_iter_.seconds = iter_timer_.Seconds();
     stats_.edges_streamed += cur_iter_.edges_streamed;
@@ -408,6 +430,7 @@ class StreamingPhaseDriver {
     }
     scatter_span_.Cancel();
     iter_span_.Cancel();
+    accountant_.EndIteration();
     scatter_appender_.reset();
     in_iteration_scatter_ = false;
   }
@@ -595,12 +618,19 @@ class StreamingPhaseDriver {
     {
       ScopedInterval si(streaming_);
       obs::TraceSpan span("scatter");
+      // Section wall on the driving thread; per-partition busy time (which
+      // sums to thread-seconds across the workers) as cells, so the skew
+      // index sees each partition's true cost under work stealing.
+      obs::PhaseTimer section(&accountant_, obs::Phase::kScatter, obs::kNoPartition,
+                              obs::PhaseTimerMode::kWallOnly);
       const VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_edges = 0;
         uint64_t local_wasted = 0;
         uint32_t p = 0;
         while (queues_.Pop(tid, p, opts_.enable_work_stealing)) {
+          obs::PhaseTimer cell(&accountant_, obs::Phase::kScatter, p,
+                               obs::PhaseTimerMode::kCellOnly);
           for (const auto& slice : edge_chunks.slices) {
             const ChunkRef& c = slice[p];
             local_wasted +=
@@ -630,11 +660,15 @@ class StreamingPhaseDriver {
     {
       ScopedInterval si(streaming_);
       obs::TraceSpan span("gather");
+      obs::PhaseTimer section(&accountant_, obs::Phase::kGather, obs::kNoPartition,
+                              obs::PhaseTimerMode::kWallOnly);
       VertexState* states = store_.resident_states();
       pool.RunOnAll([&](int tid) {
         uint64_t local_changed = 0;
         uint32_t p = 0;
         while (queues_.Pop(tid, p, opts_.enable_work_stealing)) {
+          obs::PhaseTimer cell(&accountant_, obs::Phase::kGather, p,
+                               obs::PhaseTimerMode::kCellOnly);
           if (cur_iter_.updates_generated > 0) {
             for (const auto& slice : shuffled.slices) {
               const ChunkRef& c = slice[p];
@@ -674,6 +708,7 @@ class StreamingPhaseDriver {
         continue;
       }
       obs::TraceSpan span("gather", "phase", p);
+      obs::PhaseTimer pt(&accountant_, obs::Phase::kGather, p);
       store_.BeginPartitionGather(p);
       VertexState* state_base =
           store_.all_resident() ? store_.resident_states() : store_.partition_states();
@@ -779,6 +814,10 @@ class StreamingPhaseDriver {
   Store& store_;
   PhaseDriverOptions opts_;
   WorkStealingQueues queues_;
+  // Per-phase/per-partition wall-time cells (obs/attribution.h). Named after
+  // the progress prefix, so solo runs show up as "run" and scheduler jobs
+  // as "job.<name>" in GET /attribution and --explain.
+  obs::PhaseAccountant accountant_;
   RunStats stats_;
   obs::Gauge* progress_iteration_ = nullptr;
   obs::Gauge* progress_cursor_ = nullptr;
@@ -798,6 +837,9 @@ class StreamingPhaseDriver {
   obs::ManualSpan scatter_span_;
   const VertexState* scatter_state_base_ = nullptr;
   VertexId scatter_part_base_ = 0;
+  // Partition whose chunks ScatterChunk is currently streaming (set by
+  // BeginScatterPartition), for cell attribution.
+  uint32_t attr_partition_ = 0;
   bool in_iteration_scatter_ = false;
 };
 

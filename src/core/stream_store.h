@@ -49,6 +49,7 @@
 #include "core/stats.h"
 #include "core/stream_codec.h"
 #include "graph/types.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/device.h"
@@ -668,6 +669,11 @@ class DeviceStreamStore {
 
   void BindStats(RunStats* stats) { stats_ = stats; }
 
+  // Optional (driver probes with a requires-clause): the accountant the
+  // store's internal waits — spill-write stalls, edge-scan and gather read
+  // stalls, in-spill shuffles — are attributed to (obs/attribution.h).
+  void BindAccountant(obs::PhaseAccountant* acct) { acct_ = acct; }
+
   void BeginIteration() {
     spilled_ = false;
     spilled_updates_ = 0;
@@ -707,6 +713,7 @@ class DeviceStreamStore {
   // gather s-destined updates into a shadow next-state while scatter keeps
   // reading the pre-iteration states.
   void BeginPartitionScatter(uint32_t s) {
+    attr_partition_ = s;  // cell owner for this partition's spills and waits
     if (vertices_in_memory_) {
       return;
     }
@@ -727,6 +734,9 @@ class DeviceStreamStore {
     StreamReader reader(edge_dev_, edge_files_[s], chunk_edges * sizeof(Edge));
     for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
       f(reinterpret_cast<const Edge*>(chunk.data()), chunk.size() / sizeof(Edge));
+    }
+    if (acct_ != nullptr) {
+      acct_->Record(obs::Phase::kScanIo, s, reader.wait_seconds());
     }
   }
 
@@ -762,6 +772,7 @@ class DeviceStreamStore {
     Update* dst = alt_[static_cast<size_t>(slot)].template records<Update>();
     ShuffleOutput<Update> shuffled;
     obs::TraceSpan shuffle_span("shuffle");
+    obs::PhaseTimer shuffle_pt(acct_, obs::Phase::kShuffle, attr_partition_);
     if (layout_.num_partitions() == 1) {
       // ShuffleRecords would leave a single partition's records in place in
       // the fill buffer, which scatter immediately overwrites; stage them
@@ -778,6 +789,7 @@ class DeviceStreamStore {
       XS_CHECK(shuffled.data == dst);  // single-stage shuffle, K > 1
     }
     shuffle_span.Close();
+    shuffle_pt.Stop();
 
     const uint32_t absorb = absorb_partition_;
     if (absorb != kNoAbsorbPartition) {
@@ -1040,6 +1052,11 @@ class DeviceStreamStore {
     obs::MetricsRegistry::Global()
         .histogram("store.gather_wait_us")
         .Observe(reader.wait_seconds() * 1e6);
+    if (acct_ != nullptr) {
+      // The driver's gather wall already covers this span; only flag the
+      // wait slice so the diagnosis can call it I/O, not compute.
+      acct_->RecordGatherReadWait(reader.wait_seconds());
+    }
   }
 
   void EndPartitionGather(uint32_t p, bool memory_gather) {
@@ -1242,6 +1259,11 @@ class DeviceStreamStore {
       double waited = timer.Seconds();
       stats_->spill_wait_seconds += waited;
       obs::MetricsRegistry::Global().histogram("store.spill_wait_us").Observe(waited * 1e6);
+      if (acct_ != nullptr) {
+        // Same timer value as spill_wait_seconds, so the attribution matrix
+        // reconciles with RunStats exactly.
+        acct_->Record(obs::Phase::kSpillWait, attr_partition_, waited);
+      }
     }
   }
 
@@ -1324,6 +1346,10 @@ class DeviceStreamStore {
   // the stores are a first-class API — never dereferences null mid-spill.
   RunStats fallback_stats_;
   RunStats* stats_ = &fallback_stats_;
+  // Attribution sink (BindAccountant; null = not attributed) and the
+  // partition owning the current scatter's spills/waits.
+  obs::PhaseAccountant* acct_ = nullptr;
+  uint32_t attr_partition_ = 0;
 };
 
 }  // namespace xstream

@@ -7,12 +7,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <utility>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -79,18 +85,61 @@ HttpResponse HealthzResponse(double uptime_seconds) {
   return HttpResponse{200, "application/json", w.TakeString()};
 }
 
+// Picks `key=N` out of a raw query string; `fallback` when absent/garbled.
+int QueryInt(const std::string& query, const std::string& key, int fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string pair = query.substr(pos, amp == std::string::npos ? std::string::npos
+                                                                  : amp - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.compare(0, eq, key) == 0) {
+      return std::atoi(pair.c_str() + eq + 1);
+    }
+    if (amp == std::string::npos) {
+      break;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+// /profile?seconds=N: on-demand folded-stack capture. If the profiler is
+// already running (--profile owns it), snapshot the samples so far instead
+// of fighting over the process-wide timer. Otherwise run a capture window
+// right here — blocking this connection (and further scrapes, the server is
+// single-threaded) for N seconds is fine for an operator request.
+HttpResponse ProfileResponse(const std::string& query) {
+  CpuProfiler& prof = CpuProfiler::Global();
+  if (prof.running()) {
+    return HttpResponse{200, "text/plain; charset=utf-8", prof.FoldedStacks()};
+  }
+  int seconds = std::clamp(QueryInt(query, "seconds", 1), 1, 30);
+  if (!prof.Start()) {
+    return HttpResponse{503, "application/json",
+                        "{\"error\":\"profiler unavailable\"}\n"};
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  prof.Stop();
+  return HttpResponse{200, "text/plain; charset=utf-8", prof.FoldedStacks()};
+}
+
 }  // namespace
 
 HttpExporter::HttpExporter() {
   auto up = std::make_shared<WallTimer>();
-  Handle("/metrics", [] {
+  Handle("/metrics", [](const std::string&) {
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         MetricsRegistry::Global().ToPrometheus()};
   });
-  Handle("/healthz", [up] { return HealthzResponse(up->Seconds()); });
-  Handle("/trace", [] {
+  Handle("/healthz", [up](const std::string&) { return HealthzResponse(up->Seconds()); });
+  Handle("/trace", [](const std::string&) {
     return HttpResponse{200, "application/json", Tracer::Global().ToChromeJson()};
   });
+  Handle("/attribution", [](const std::string&) {
+    return HttpResponse{200, "application/json", AttributionRegistry::Global().ToJson()};
+  });
+  Handle("/profile", [](const std::string& query) { return ProfileResponse(query); });
 }
 
 HttpExporter::~HttpExporter() { Stop(); }
@@ -172,7 +221,7 @@ void HttpExporter::AcceptLoop() {
   }
 }
 
-HttpResponse HttpExporter::Dispatch(const std::string& path) {
+HttpResponse HttpExporter::Dispatch(const std::string& path, const std::string& query) {
   HttpHandler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -184,7 +233,7 @@ HttpResponse HttpExporter::Dispatch(const std::string& path) {
   if (!handler) {
     return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
   }
-  return handler();
+  return handler(query);
 }
 
 void HttpExporter::ServeConnection(int fd) {
@@ -211,16 +260,18 @@ void HttpExporter::ServeConnection(int fd) {
   }
   std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  size_t query = path.find('?');
-  if (query != std::string::npos) {
-    path.resize(query);
+  std::string query;
+  size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path.resize(qmark);
   }
 
   HttpResponse resp;
   if (method != "GET") {
     resp = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
   } else {
-    resp = Dispatch(path);
+    resp = Dispatch(path, query);
   }
   MetricsRegistry::Global().counter("telemetry.http_requests").Add();
 

@@ -9,9 +9,11 @@
 // engine's hot paths never touch this thread.
 //
 // Built-in routes:
-//   GET /metrics   MetricsRegistry::ToPrometheus() (text exposition v0.0.4)
-//   GET /healthz   200 {"status":"ok",...} + per-device liveness gauges
-//   GET /trace     the tracer's Chrome trace JSON (ring tail when bounded)
+//   GET /metrics       MetricsRegistry::ToPrometheus() (text exposition v0.0.4)
+//   GET /healthz       200 {"status":"ok",...} + per-device liveness gauges
+//   GET /trace         the tracer's Chrome trace JSON (ring tail when bounded)
+//   GET /attribution   AttributionRegistry snapshots + diagnosis JSON
+//   GET /profile?seconds=N  on-demand CPU profile, folded-stack text
 // The CLI registers /stats and /jobs on top via Handle(); any path can be
 // overridden. Unknown paths 404, non-GET methods 405.
 //
@@ -41,8 +43,9 @@ struct HttpResponse {
 
 // Handlers run on the exporter thread, concurrent with the engine: they
 // must only touch thread-safe state (the registry, the tracer, scheduler
-// snapshot accessors, mutex-guarded CLI pointers).
-using HttpHandler = std::function<HttpResponse()>;
+// snapshot accessors, mutex-guarded CLI pointers). `query` is the raw
+// query string after the '?' ("" when absent); most handlers ignore it.
+using HttpHandler = std::function<HttpResponse(const std::string& query)>;
 
 #ifndef XSTREAM_DISABLE_OBS
 
@@ -72,7 +75,7 @@ class HttpExporter {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
-  HttpResponse Dispatch(const std::string& path);
+  HttpResponse Dispatch(const std::string& path, const std::string& query);
 
   mutable std::mutex mu_;  // guards handlers_
   std::map<std::string, HttpHandler> handlers_;

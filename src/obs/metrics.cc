@@ -36,6 +36,53 @@ void AppendUint(std::string& out, uint64_t v) {
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
   out += buf;
 }
+
+// Subsystem-level description catalog for # HELP lines, keyed by the
+// raw-name prefix each subsystem registers its metrics under (longest match
+// wins). Coarse on purpose: series come and go with features, prefixes are
+// the stable unit.
+const char* MetricHelp(const std::string& name) {
+  static constexpr struct {
+    const char* prefix;
+    const char* help;
+  } kCatalog[] = {
+      {"io.", "Per-device I/O executor: operation counts, bytes and queue timings."},
+      {"device.", "Storage backend capability and liveness gauges."},
+      {"store.codec.", "Update-stream compression: raw/encoded bytes and codec timings."},
+      {"store.", "Stream-store internals: spill waits, gather waits, buffer occupancy."},
+      {"scheduler.", "Multi-job scheduler: shared-scan rounds, admissions, job states."},
+      {"residency.", "Hybrid residency planner: pinned partitions and migrations."},
+      {"run.", "Live progress of the current solo run (driver-published gauges)."},
+      {"job.", "Live progress of a scheduler job (driver-published gauges)."},
+      {"telemetry.", "HTTP telemetry endpoint self-instrumentation."},
+      {"trace.", "Phase tracer internals: recorded/dropped span counts."},
+      {"bench.", "Microbenchmark scratch metrics (not produced by real runs)."},
+  };
+  const char* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& entry : kCatalog) {
+    size_t len = std::char_traits<char>::length(entry.prefix);
+    if (len > best_len && name.compare(0, len, entry.prefix) == 0) {
+      best = entry.help;
+      best_len = len;
+    }
+  }
+  return best != nullptr ? best : "xstream metric (see docs/observability.md).";
+}
+
+void AppendHelpType(std::string& out, const std::string& raw_name, const std::string& pname,
+                    const char* type) {
+  out += "# HELP ";
+  out += pname;
+  out.push_back(' ');
+  out += MetricHelp(raw_name);
+  out.push_back('\n');
+  out += "# TYPE ";
+  out += pname;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
 }  // namespace
 
 int ThisThreadShard() {
@@ -168,9 +215,7 @@ std::string MetricsRegistry::ToPrometheus() const {
   std::string out;
   for (const auto& [name, c] : counters_) {
     std::string pname = PromName(name, "_total");
-    out += "# TYPE ";
-    out += pname;
-    out += " counter\n";
+    AppendHelpType(out, name, pname, "counter");
     out += pname;
     out.push_back(' ');
     AppendUint(out, c->Value());
@@ -178,9 +223,7 @@ std::string MetricsRegistry::ToPrometheus() const {
   }
   for (const auto& [name, g] : gauges_) {
     std::string pname = PromName(name);
-    out += "# TYPE ";
-    out += pname;
-    out += " gauge\n";
+    AppendHelpType(out, name, pname, "gauge");
     out += pname;
     out.push_back(' ');
     AppendDouble(out, g->Value());
@@ -188,9 +231,7 @@ std::string MetricsRegistry::ToPrometheus() const {
   }
   for (const auto& [name, h] : histograms_) {
     std::string pname = PromName(name);
-    out += "# TYPE ";
-    out += pname;
-    out += " histogram\n";
+    AppendHelpType(out, name, pname, "histogram");
     // Log2 buckets: bucket i's upper bound is 2^i (bucket 0 holds <= 1).
     // Emit cumulative counts up to the last populated bound; every bound
     // after that is redundant with +Inf.

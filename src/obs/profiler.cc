@@ -1,0 +1,238 @@
+#include "obs/profiler.h"
+
+#ifndef XSTREAM_DISABLE_OBS
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace xstream::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+constexpr uint64_t kMaxSamples = 1u << 15;  // 32768 * ~520B = ~17 MiB, lazily allocated
+// backtrace() returns the handler's own frames on top of the interrupted
+// stack: the handler itself and the kernel signal trampoline. Skip them.
+constexpr int kHandlerFrames = 2;
+
+struct Sample {
+  // 0 = unpublished. The handler release-stores the frame count once the
+  // frames are written; readers acquire-load it and skip zeros, so a slot
+  // is either invisible or fully written — no locks, no torn reads.
+  std::atomic<int32_t> depth{0};
+  void* frames[kMaxDepth];
+};
+
+// Handler-visible state. The buffer is allocated (and backtrace primed)
+// before the handler is installed, so the handler never allocates.
+Sample* g_samples = nullptr;
+std::atomic<uint64_t> g_next{0};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<bool> g_running{false};
+
+extern "C" void ProfilerSignalHandler(int /*signo*/) {
+  // Everything here is async-signal-safe: two relaxed atomics and
+  // backtrace(), which after the Start()-time priming call unwinds without
+  // taking locks or allocating.
+  uint64_t slot = g_next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSamples) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& s = g_samples[slot];
+  int depth = ::backtrace(s.frames, kMaxDepth);
+  s.depth.store(depth > 0 ? depth : 0, std::memory_order_release);
+}
+
+// Control-path state (never touched by the handler).
+std::mutex g_control_mu;
+bool g_handler_installed = false;
+std::unordered_map<void*, std::string> g_symbol_cache;
+
+std::string Symbolize(void* pc) {
+  auto it = g_symbol_cache.find(pc);
+  if (it != g_symbol_cache.end()) {
+    return it->second;
+  }
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    std::free(demangled);
+    // Folded format: semicolons separate frames, spaces separate the count.
+    std::replace(name.begin(), name.end(), ';', ',');
+    std::replace(name.begin(), name.end(), ' ', '_');
+  } else if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base != nullptr ? base + 1 : info.dli_fname,
+                  reinterpret_cast<size_t>(pc) -
+                      reinterpret_cast<size_t>(info.dli_fbase));
+    name = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+    name = buf;
+  }
+  g_symbol_cache.emplace(pc, name);
+  return name;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::Global() {
+  static CpuProfiler* profiler = new CpuProfiler();
+  return *profiler;
+}
+
+bool CpuProfiler::Start(int hz) {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_running.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  hz = std::clamp(hz, 1, 1000);
+
+  if (g_samples == nullptr) {
+    g_samples = new Sample[kMaxSamples];
+  }
+  for (uint64_t i = 0; i < std::min(g_next.load(std::memory_order_relaxed), kMaxSamples); ++i) {
+    g_samples[i].depth.store(0, std::memory_order_relaxed);
+  }
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+
+  // Prime backtrace: its first call may dlopen libgcc and malloc — neither
+  // is signal-safe, so take that lazy path now, on this thread.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  if (!g_handler_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = ProfilerSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+      return false;
+    }
+    g_handler_installed = true;
+  }
+
+  struct itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = 1000000 / hz;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    return false;
+  }
+  g_running.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void CpuProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (!g_running.load(std::memory_order_relaxed)) {
+    return;
+  }
+  struct itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  g_running.store(false, std::memory_order_relaxed);
+}
+
+bool CpuProfiler::running() const { return g_running.load(std::memory_order_relaxed); }
+
+uint64_t CpuProfiler::sample_count() const {
+  return std::min(g_next.load(std::memory_order_relaxed), kMaxSamples);
+}
+
+uint64_t CpuProfiler::dropped_count() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string CpuProfiler::FoldedStacks() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_samples == nullptr) {
+    return "";
+  }
+  uint64_t n = std::min(g_next.load(std::memory_order_acquire), kMaxSamples);
+  // std::map: deterministic (sorted) output ordering.
+  std::map<std::string, uint64_t> folded;
+  for (uint64_t i = 0; i < n; ++i) {
+    int depth = g_samples[i].depth.load(std::memory_order_acquire);
+    if (depth <= kHandlerFrames) {
+      continue;  // unpublished, or nothing below the handler
+    }
+    // Frames come innermost-first; folded format wants root-first.
+    std::string key;
+    for (int f = depth - 1; f >= kHandlerFrames; --f) {
+      if (!key.empty()) {
+        key += ';';
+      }
+      key += Symbolize(g_samples[i].frames[f]);
+    }
+    ++folded[key];
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+bool CpuProfiler::WriteFolded(const std::string& path) {
+  std::string folded = FoldedStacks();
+  if (folded.empty()) {
+    std::fprintf(stderr, "profiler: no samples captured, not writing %s\n", path.c_str());
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profiler: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  bool ok = (std::fclose(f) == 0) && written == folded.size();
+  if (!ok) {
+    std::fprintf(stderr, "profiler: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+void CpuProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_samples != nullptr) {
+    for (uint64_t i = 0; i < std::min(g_next.load(std::memory_order_relaxed), kMaxSamples);
+         ++i) {
+      g_samples[i].depth.store(0, std::memory_order_relaxed);
+    }
+  }
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xstream::obs
+
+#endif  // XSTREAM_DISABLE_OBS

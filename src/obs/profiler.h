@@ -1,0 +1,89 @@
+// Signal-based sampling CPU profiler: SIGPROF driven by ITIMER_PROF (fires
+// on consumed CPU time, so an idle process costs nothing), backtrace(3) in
+// the handler, and a lock-free pre-allocated sample buffer so the handler
+// stays async-signal-safe — each sample claims a slot with one relaxed
+// fetch_add, writes its frames, then release-stores the depth; readers
+// acquire-load the depth and skip unpublished slots. Symbolization (dladdr +
+// demangling) happens outside the handler, at FoldedStacks() time.
+//
+// Output is the flamegraph-collapsed "folded stack" format, one line per
+// unique stack: "root;caller;leaf <count>". Consumed by --profile=FILE, the
+// GET /profile?seconds=N route, and flamegraph.pl directly.
+//
+// Under -DXSTREAM_DISABLE_OBS the profiler compiles to a stub whose Start()
+// reports failure, so callers degrade gracefully.
+#ifndef XSTREAM_OBS_PROFILER_H_
+#define XSTREAM_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xstream::obs {
+
+#ifndef XSTREAM_DISABLE_OBS
+
+class CpuProfiler {
+ public:
+  // One profiler per process: SIGPROF and ITIMER_PROF are process-global.
+  static CpuProfiler& Global();
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  // Installs the SIGPROF handler (SA_RESTART, so IoExecutor syscalls are
+  // transparently restarted) and arms ITIMER_PROF at `hz` samples per CPU
+  // second. Clears any previous capture. Returns false if already running
+  // or if the timer cannot be armed. hz is clamped to [1, 1000].
+  bool Start(int hz = 97);
+
+  // Disarms the timer. The handler stays installed (a SIGPROF already in
+  // flight must never hit the default disposition, which would kill the
+  // process); with the timer off it simply stops firing.
+  void Stop();
+
+  bool running() const;
+  // Samples captured so far (readable while running).
+  uint64_t sample_count() const;
+  // Samples dropped because the buffer filled.
+  uint64_t dropped_count() const;
+
+  // Aggregated folded stacks ("a;b;c 42\n" lines, root first). Safe to call
+  // while running: only published slots are read.
+  std::string FoldedStacks();
+  // FoldedStacks() to a file; false (with a log line) on I/O failure or if
+  // there are no samples.
+  bool WriteFolded(const std::string& path);
+
+  // Discards captured samples (Start implies this).
+  void Reset();
+
+ private:
+  CpuProfiler() = default;
+};
+
+#else  // XSTREAM_DISABLE_OBS
+
+class CpuProfiler {
+ public:
+  static CpuProfiler& Global() {
+    static CpuProfiler p;
+    return p;
+  }
+  bool Start(int = 97) { return false; }
+  void Stop() {}
+  bool running() const { return false; }
+  uint64_t sample_count() const { return 0; }
+  uint64_t dropped_count() const { return 0; }
+  std::string FoldedStacks() { return ""; }
+  bool WriteFolded(const std::string&) { return false; }
+  void Reset() {}
+
+ private:
+  CpuProfiler() = default;
+};
+
+#endif  // XSTREAM_DISABLE_OBS
+
+}  // namespace xstream::obs
+
+#endif  // XSTREAM_OBS_PROFILER_H_

@@ -12,7 +12,11 @@ namespace xstream {
 DeviceScanSource::DeviceScanSource(ThreadPool& pool, PartitionLayout layout,
                                    const Options& opts, StorageDevice& edge_dev,
                                    const std::string& input_edge_file)
-    : pool_(pool), layout_(std::move(layout)), opts_(opts), edge_dev_(edge_dev) {
+    : pool_(pool),
+      layout_(std::move(layout)),
+      opts_(opts),
+      edge_dev_(edge_dev),
+      acct_(opts.file_prefix, layout_.num_partitions()) {
   uint32_t k = layout_.num_partitions();
   edge_files_.resize(k);
   edge_counts_.assign(k, 0);
@@ -48,6 +52,7 @@ void DeviceScanSource::StreamPartition(uint32_t s,
   for (auto chunk = reader.Next(); !chunk.empty(); chunk = reader.Next()) {
     f(reinterpret_cast<const Edge*>(chunk.data()), chunk.size() / sizeof(Edge));
   }
+  acct_.Record(obs::Phase::kScanIo, s, reader.wait_seconds());
 }
 
 void DeviceScanSource::ForEachEdgeChunk(uint32_t s,

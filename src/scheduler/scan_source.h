@@ -23,6 +23,7 @@
 #include "core/partition.h"
 #include "core/stream_store.h"
 #include "graph/types.h"
+#include "obs/attribution.h"
 #include "storage/device.h"
 #include "threads/thread_pool.h"
 
@@ -129,6 +130,11 @@ class DeviceScanSource : public ScanSource {
 
   std::vector<uint64_t> local_edge_counts_;
   std::shared_ptr<PinnedEdgeCache> edge_cache_;  // never null; empty until requested
+  // Shared-scan read stalls, attributed under the source's file prefix
+  // ("scan" by default). Job drivers never see this wait — the scheduler
+  // owns the scan — so without it the batch diagnosis would call a
+  // scan-bound workload compute-bound.
+  obs::PhaseAccountant acct_;
 };
 
 // In-RAM scan source: the edges are shuffled into per-partition chunks once

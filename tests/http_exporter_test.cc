@@ -11,18 +11,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algorithms/pagerank.h"
 #include "core/hybrid_engine.h"
 #include "graph/edge_io.h"
 #include "graph/generators.h"
+#include "obs/attribution.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "scheduler/algo_jobs.h"
@@ -172,11 +175,60 @@ TEST(PrometheusTest, EmptyHistogramStillEmitsInfSumCount) {
   EXPECT_DOUBLE_EQ(SeriesValue(text, "xstream_never_observed_sum"), 0.0) << text;
 }
 
+TEST(PrometheusTest, EveryMetricGetsAHelpLine) {
+  obs::MetricsRegistry reg;
+  reg.counter("io.ssd.read.ops").Add(1);
+  reg.gauge("residency.pinned").Set(2);
+  reg.histogram("store.spill_wait_us").Observe(3.0);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# HELP xstream_io_ssd_read_ops_total "), std::string::npos) << text;
+  EXPECT_NE(text.find("# HELP xstream_residency_pinned "), std::string::npos) << text;
+  EXPECT_NE(text.find("# HELP xstream_store_spill_wait_us "), std::string::npos) << text;
+  // The catalog resolves known prefixes to real descriptions, not the
+  // fallback: the io.* counter should mention the I/O executor.
+  EXPECT_NE(text.find("# HELP xstream_io_ssd_read_ops_total Per-device I/O executor"),
+            std::string::npos)
+      << text;
+  // Every # TYPE line is preceded by a # HELP line for the same series.
+  std::istringstream in(text);
+  std::string line, prev;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string series = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(prev.rfind("# HELP " + series + " ", 0), 0u) << "TYPE without HELP: " << line;
+    }
+    prev = line;
+  }
+}
+
+TEST(PrometheusTest, EveryInfBucketEqualsItsCount) {
+  // Over the full process-global exposition (whatever earlier tests and
+  // engine runs left in it): each histogram's le="+Inf" cumulative bucket
+  // must equal its _count — the invariant Prometheus itself checks.
+  obs::MetricsRegistry::Global().histogram("test.help_probe_us").Observe(4.0);
+  std::string text = obs::MetricsRegistry::Global().ToPrometheus();
+  std::istringstream in(text);
+  std::string line;
+  int histograms_checked = 0;
+  while (std::getline(in, line)) {
+    size_t marker = line.find("_bucket{le=\"+Inf\"} ");
+    if (marker == std::string::npos || line.rfind("# ", 0) == 0) {
+      continue;
+    }
+    std::string series = line.substr(0, marker);
+    double inf_value = SampleValue(line);
+    double count = SeriesValue(text, series + "_count");
+    EXPECT_DOUBLE_EQ(inf_value, count) << series;
+    ++histograms_checked;
+  }
+  EXPECT_GT(histograms_checked, 0) << text;
+}
+
 // ---- Exporter end to end ---------------------------------------------------
 
 TEST(HttpExporterTest, ServesBuiltInAndCustomRoutesOnEphemeralPort) {
   obs::HttpExporter exporter;
-  exporter.Handle("/stats", [] {
+  exporter.Handle("/stats", [](const std::string&) {
     obs::HttpResponse r;
     r.content_type = "application/json";
     r.body = "{\"custom\":true}";
@@ -265,7 +317,7 @@ TEST(HttpExporterTest, JobsRouteTracksSchedulerProgress) {
   JobScheduler sched(source);
 
   obs::HttpExporter exporter;
-  exporter.Handle("/jobs", [&sched] {
+  exporter.Handle("/jobs", [&sched](const std::string&) {
     obs::HttpResponse r;
     r.content_type = "application/json";
     r.body = JobReportsToJson(sched.reports());
@@ -294,6 +346,64 @@ TEST(HttpExporterTest, JobsRouteTracksSchedulerProgress) {
   EXPECT_NE(done.body.find("\"partitions_done\":4"), std::string::npos) << done.body;
   JobReport report = sched.reports().at(0);
   EXPECT_EQ(report.partitions_done, report.partitions_total);
+}
+
+TEST(HttpExporterTest, AttributionRouteServesAccountantDiagnosis) {
+  obs::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start(0));
+  {
+    obs::PhaseAccountant acct("route-test", 2);
+    acct.Record(obs::Phase::kScatter, 0, 0.030);
+    acct.Record(obs::Phase::kSpillWait, 1, 0.070);
+
+    HttpReply reply = Get(exporter.port(), "/attribution");
+    EXPECT_EQ(reply.status, 200);
+    EXPECT_NE(reply.headers.find("application/json"), std::string::npos) << reply.headers;
+    EXPECT_NE(reply.body.find("\"name\":\"route-test\""), std::string::npos) << reply.body;
+    EXPECT_NE(reply.body.find("\"diagnosis\""), std::string::npos) << reply.body;
+    EXPECT_NE(reply.body.find("\"bottleneck\":\"spill_wait\""), std::string::npos)
+        << reply.body;
+  }
+  // After the accountant dies its snapshot survives in the retired ring.
+  HttpReply retired = Get(exporter.port(), "/attribution");
+  EXPECT_NE(retired.body.find("\"name\":\"route-test\""), std::string::npos) << retired.body;
+  obs::AttributionRegistry::Global().ClearRetired();
+}
+
+TEST(HttpExporterTest, ProfileRouteReturnsFoldedStacksUnderLoad) {
+  obs::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start(0));
+
+  // Keep a core busy so ITIMER_PROF (which counts consumed CPU time, not
+  // wall time) actually fires during the capture window.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sink{0};
+  std::thread spinner([&] {
+    uint64_t x = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      x = x * 2862933555777941757ULL + 3037000493ULL;
+      sink.store(x, std::memory_order_relaxed);
+    }
+  });
+
+  HttpReply reply = Get(exporter.port(), "/profile?seconds=1");
+  stop.store(true);
+  spinner.join();
+
+  EXPECT_EQ(reply.status, 200);
+  // Folded-stack lines: "frame;frame;... <count>".
+  bool has_sample_line = false;
+  std::istringstream in(reply.body);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t space = line.rfind(' ');
+    if (space != std::string::npos && space + 1 < line.size() &&
+        line.find_first_not_of("0123456789", space + 1) == std::string::npos) {
+      has_sample_line = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_sample_line) << "no folded stacks in: " << reply.body.substr(0, 512);
 }
 
 }  // namespace
