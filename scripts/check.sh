@@ -24,14 +24,18 @@
 #      Prometheus exposition whose counters increase between scrapes, /jobs
 #      must report per-job progress, /attribution must carry a diagnosis,
 #      and /profile?seconds=1 must return non-empty folded stacks
-#   9. no-obs smoke: -DXSTREAM_DISABLE_OBS=ON must still compile the CLI
+#   9. serve smoke: a live xstream-serve daemon on an ephemeral port — curl
+#      submits a BFS query over POST /v1/jobs, polls it to done, verifies
+#      the result payload and the serve counters on /metrics, then SIGTERMs
+#      the daemon and requires a clean drain with exit code 0
+#  10. no-obs smoke: -DXSTREAM_DISABLE_OBS=ON must still compile the CLI
 #      (exporter stubbed to "unavailable") and run a solo job
-#  10. obs-overhead smoke: the instrumentation microbench must emit its
+#  11. obs-overhead smoke: the instrumentation microbench must emit its
 #      attribution/profiler metrics for the bench diff
-#  11. bench diff: every smoke bench also emits BENCH_figXX.json (metric
+#  12. bench diff: every smoke bench also emits BENCH_figXX.json (metric
 #      values tagged exact/ratio/info) which scripts/bench_diff.py gates
 #      against the committed baselines in bench/baselines/
-#  12. docs: every intra-repo markdown link must resolve
+#  13. docs: every intra-repo markdown link must resolve
 #
 # Usage: scripts/check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -134,6 +138,62 @@ if command -v curl >/dev/null 2>&1; then
   rm -rf "$TELEMETRY_DIR"
 else
   echo "warning: curl not found; skipping telemetry smoke" >&2
+fi
+
+echo
+echo "== serve smoke: daemon submit/poll/result + drain =="
+if command -v curl >/dev/null 2>&1; then
+  SERVE_LOG="$BUILD_DIR/serve_smoke.log"
+  "./$BUILD_DIR/xstream-serve" --graphs=smoke=rmat:12 --port=0 \
+    > "$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*serve: listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$SERVE_LOG" | head -1)"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "error: daemon exited before listening" >&2;
+      cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$PORT" ]] || { echo "error: no listen port in daemon output" >&2;
+    cat "$SERVE_LOG" >&2; exit 1; }
+  BASE="http://127.0.0.1:$PORT"
+  # Submit one BFS query and walk it to completion through the REST surface.
+  SUBMIT="$(curl -fsS -X POST "$BASE/v1/jobs" \
+    -d '{"graph":"smoke","algo":"bfs","params":{"src":0},"tenant":"ci"}')"
+  JOB_ID="$(sed -n 's/.*"id":\([0-9]*\).*/\1/p' <<<"$SUBMIT")"
+  [[ -n "$JOB_ID" ]] || { echo "error: submit returned no job id: $SUBMIT" >&2; exit 1; }
+  STATE=""
+  for _ in $(seq 1 100); do
+    STATE="$(curl -fsS "$BASE/v1/jobs/$JOB_ID" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+    [[ "$STATE" == "done" ]] && break
+    sleep 0.2
+  done
+  [[ "$STATE" == "done" ]] || { echo "error: job stuck in state \"$STATE\"" >&2; exit 1; }
+  RESULT="$(curl -fsS "$BASE/v1/jobs/$JOB_ID/result")"
+  grep -q '"values":\[' <<<"$RESULT" \
+    || { echo "error: result carries no values array" >&2;
+      head -c 300 <<<"$RESULT" >&2; exit 1; }
+  grep -q '"summary":"[^"]*reached' <<<"$RESULT" \
+    || { echo "error: result carries no BFS summary" >&2; exit 1; }
+  # The serve counters must account for exactly what we just did.
+  METRICS="$(curl -fsS "$BASE/metrics")"
+  grep -qE '^xstream_serve_jobs_submitted_total [1-9]' <<<"$METRICS" \
+    || { echo "error: /metrics missing serve submit counter" >&2; exit 1; }
+  grep -qE '^xstream_serve_jobs_completed_total [1-9]' <<<"$METRICS" \
+    || { echo "error: /metrics missing serve completion counter" >&2; exit 1; }
+  # SIGTERM must drain and exit 0.
+  kill -TERM "$SERVE_PID"
+  SERVE_RC=0
+  wait "$SERVE_PID" || SERVE_RC=$?
+  [[ "$SERVE_RC" -eq 0 ]] || { echo "error: daemon exit code $SERVE_RC after SIGTERM" >&2;
+    cat "$SERVE_LOG" >&2; exit 1; }
+  grep -q "serve: drained, exiting" "$SERVE_LOG" \
+    || { echo "error: daemon did not log a clean drain" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+  echo "serve ok: port $PORT, job $JOB_ID done, clean drain"
+else
+  echo "warning: curl not found; skipping serve smoke" >&2
 fi
 
 echo

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -32,13 +33,56 @@ const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 201:
+      return "Created";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 410:
+      return "Gone";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Error";
   }
+}
+
+// Case-insensitive header lookup in the raw header block; returns the
+// trimmed value or "" when absent.
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  std::string lower;
+  lower.reserve(headers.size());
+  for (char c : headers) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  std::string needle = "\r\n" + name + ":";
+  for (char& c : needle) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  size_t pos = lower.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  size_t begin = pos + needle.size();
+  size_t end = headers.find("\r\n", begin);
+  std::string value = headers.substr(begin, end == std::string::npos ? end : end - begin);
+  size_t first = value.find_first_not_of(" \t");
+  size_t last = value.find_last_not_of(" \t");
+  if (first == std::string::npos) {
+    return "";
+  }
+  return value.substr(first, last - first + 1);
 }
 
 // /healthz: liveness plus the per-device backend gauges
@@ -149,6 +193,11 @@ void HttpExporter::Handle(const std::string& path, HttpHandler handler) {
   handlers_[path] = std::move(handler);
 }
 
+void HttpExporter::HandlePrefix(const std::string& prefix, RouteHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefix_routes_[prefix] = std::move(handler);
+}
+
 bool HttpExporter::Start(uint16_t port) {
   if (running()) {
     return true;
@@ -221,26 +270,48 @@ void HttpExporter::AcceptLoop() {
   }
 }
 
-HttpResponse HttpExporter::Dispatch(const std::string& path, const std::string& query) {
+HttpResponse HttpExporter::Dispatch(const HttpRequest& request) {
   HttpHandler handler;
+  RouteHandler route;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = handlers_.find(path);
+    auto it = handlers_.find(request.path);
     if (it != handlers_.end()) {
       handler = it->second;  // copy: run outside the lock
+    } else {
+      // Longest-prefix route: "/v1/jobs" serves "/v1/jobs" and everything
+      // under "/v1/jobs/...". Reverse iteration over the sorted map visits
+      // longer (lexicographically greater) candidates first.
+      for (auto rit = prefix_routes_.rbegin(); rit != prefix_routes_.rend(); ++rit) {
+        const std::string& prefix = rit->first;
+        if (request.path == prefix ||
+            (request.path.size() > prefix.size() &&
+             request.path.compare(0, prefix.size(), prefix) == 0 &&
+             request.path[prefix.size()] == '/')) {
+          route = rit->second;
+          break;
+        }
+      }
     }
   }
-  if (!handler) {
-    return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  if (handler) {
+    // Exact-path handlers are the GET-only telemetry surface.
+    if (request.method != "GET") {
+      return HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
+    }
+    return handler(request.query);
   }
-  return handler(query);
+  if (route) {
+    return route(request);
+  }
+  return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
 }
 
 void HttpExporter::ServeConnection(int fd) {
-  // Read until the end of the request headers (the body, if any, is
-  // ignored — every route is a GET). 8 KB bounds a misbehaving client.
+  // Read until the end of the request headers. 8 KB bounds a misbehaving
+  // client; the body, when announced, is read separately below.
   std::string request;
-  char buf[1024];
+  char buf[4096];
   while (request.find("\r\n\r\n") == std::string::npos && request.size() < 8192) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
@@ -248,41 +319,73 @@ void HttpExporter::ServeConnection(int fd) {
     }
     request.append(buf, static_cast<size_t>(n));
   }
-  size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
+  size_t header_end = request.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
     return;
   }
+  size_t line_end = request.find("\r\n");
   std::string line = request.substr(0, line_end);  // "GET /path HTTP/1.1"
   size_t sp1 = line.find(' ');
   size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
     return;
   }
-  std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string query;
-  size_t qmark = path.find('?');
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = req.path.find('?');
   if (qmark != std::string::npos) {
-    query = path.substr(qmark + 1);
-    path.resize(qmark);
+    req.query = req.path.substr(qmark + 1);
+    req.path.resize(qmark);
   }
 
   HttpResponse resp;
-  if (method != "GET") {
-    resp = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
-  } else {
-    resp = Dispatch(path, query);
+  bool dispatched = false;
+  std::string headers = request.substr(0, header_end);
+  std::string length_text = HeaderValue(headers, "Content-Length");
+  if (!length_text.empty()) {
+    if (length_text.find_first_not_of("0123456789") != std::string::npos) {
+      resp = HttpResponse{400, "application/json", "{\"error\":\"bad Content-Length\"}\n"};
+      dispatched = true;
+    } else {
+      // strtoull saturates on overflow, which the ceiling check then catches.
+      uint64_t announced = std::strtoull(length_text.c_str(), nullptr, 10);
+      if (announced > max_body_bytes_.load(std::memory_order_relaxed)) {
+        // Refuse before reading: the connection closes with the body unread,
+        // which is exactly what a bounded server should do to a flood.
+        resp = HttpResponse{413, "application/json",
+                            "{\"error\":\"request body too large\"}\n"};
+        dispatched = true;
+      } else {
+        req.body = request.substr(header_end + 4);
+        while (req.body.size() < announced) {
+          ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+          if (n <= 0) {
+            return;  // client vanished mid-body: nothing to answer
+          }
+          req.body.append(buf, static_cast<size_t>(n));
+        }
+        req.body.resize(announced);
+      }
+    }
+  }
+  if (!dispatched) {
+    resp = Dispatch(req);
   }
   MetricsRegistry::Global().counter("telemetry.http_requests").Add();
 
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " + StatusText(resp.status) +
-                    "\r\nContent-Type: " + resp.content_type +
-                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
-                    "\r\nConnection: close\r\n\r\n" + resp.body;
+                    "\r\nContent-Type: " + resp.content_type;
+  for (const auto& [name, value] : resp.headers) {
+    out += "\r\n" + name + ": " + value;
+  }
+  out += "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+         "\r\nConnection: close\r\n\r\n" + resp.body;
   size_t sent = 0;
   while (sent < out.size()) {
     // MSG_NOSIGNAL: a client that hung up turns into an error return, not a
-    // process-wide SIGPIPE.
+    // process-wide SIGPIPE — a dropped result stream must never kill the
+    // daemon.
     ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       return;

@@ -1,12 +1,26 @@
-// Embedded HTTP/1.1 telemetry endpoint — the live window into a running
-// process (the first brick of the xstream-serve daemon, see ROADMAP.md).
+// Embedded HTTP/1.1 endpoint — the live window into a running process, and
+// the transport the xstream-serve daemon mounts its query API on.
 //
 // Dependency-free by design: a blocking accept loop on one background
-// thread over plain POSIX sockets, GET-only, one response per connection
+// thread over plain POSIX sockets, one response per connection
 // (Connection: close). That is deliberately primitive — the consumers are a
-// Prometheus scraper on a multi-second interval and a human with curl, so
-// connection reuse, TLS and request pipelining buy nothing here, and the
-// engine's hot paths never touch this thread.
+// Prometheus scraper on a multi-second interval, a human with curl, and the
+// serve daemon's job-submission clients, so connection reuse, TLS and
+// request pipelining buy nothing here, and the engine's hot paths never
+// touch this thread.
+//
+// Two routing layers share the port:
+//   Handle(path, ...)        exact-path, GET-only telemetry routes (any
+//                            other method answers 405)
+//   HandlePrefix(prefix, ...) method-aware REST routes: the handler sees
+//                            the full HttpRequest (method, sub-path, query,
+//                            body) for everything at or under the prefix —
+//                            how xstream-serve mounts POST/GET/DELETE
+//                            /v1/jobs without teaching the exporter any
+//                            route semantics
+// Request bodies are read up to Content-Length, bounded by
+// set_max_body_bytes(); oversized announcements answer 413 without reading
+// the body. Unknown paths 404.
 //
 // Built-in routes:
 //   GET /metrics       MetricsRegistry::ToPrometheus() (text exposition v0.0.4)
@@ -15,10 +29,11 @@
 //   GET /attribution   AttributionRegistry snapshots + diagnosis JSON
 //   GET /profile?seconds=N  on-demand CPU profile, folded-stack text
 // The CLI registers /stats and /jobs on top via Handle(); any path can be
-// overridden. Unknown paths 404, non-GET methods 405.
+// overridden.
 //
-// Binds 127.0.0.1 only: telemetry is operator-facing, not a public surface.
-// Port 0 asks the kernel for an ephemeral port; port() reports the binding.
+// Binds 127.0.0.1 only: both telemetry and the serve API are
+// operator-facing, not a public surface. Port 0 asks the kernel for an
+// ephemeral port; port() reports the binding.
 //
 // Under -DXSTREAM_DISABLE_OBS the class compiles to a stub whose Start()
 // returns false, so callers keep one code path.
@@ -26,18 +41,33 @@
 #define XSTREAM_OBS_HTTP_EXPORTER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace xstream::obs {
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  // Extra response headers (e.g. {"Retry-After", "1"} on a 429/503).
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+// One parsed request, as a prefix-route handler sees it. `path` has the
+// query string stripped; `query` is the raw text after '?' ("" when absent);
+// `body` is the request entity (empty for bodiless methods).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
   std::string body;
 };
 
@@ -46,6 +76,9 @@ struct HttpResponse {
 // snapshot accessors, mutex-guarded CLI pointers). `query` is the raw
 // query string after the '?' ("" when absent); most handlers ignore it.
 using HttpHandler = std::function<HttpResponse(const std::string& query)>;
+
+// Method-aware prefix-route handler (same threading contract).
+using RouteHandler = std::function<HttpResponse(const HttpRequest& request)>;
 
 #ifndef XSTREAM_DISABLE_OBS
 
@@ -57,8 +90,18 @@ class HttpExporter {
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
 
-  // Registers (or replaces) the handler for an exact path.
+  // Registers (or replaces) the GET-only handler for an exact path.
   void Handle(const std::string& path, HttpHandler handler);
+
+  // Registers (or replaces) a method-aware handler for `prefix` and every
+  // path below it ("/v1/jobs" matches "/v1/jobs", "/v1/jobs/3/result").
+  // Exact-path handlers win over prefix routes; among prefixes the longest
+  // match wins.
+  void HandlePrefix(const std::string& prefix, RouteHandler handler);
+
+  // Request-body ceiling: a Content-Length above this answers 413 without
+  // reading the body. Default 1 MiB.
+  void set_max_body_bytes(size_t bytes) { max_body_bytes_.store(bytes, std::memory_order_relaxed); }
 
   // Binds 127.0.0.1:port (0 = ephemeral) and starts the accept thread.
   // Returns false — with an XS_LOG(Error) line — if the socket setup fails.
@@ -75,10 +118,12 @@ class HttpExporter {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
-  HttpResponse Dispatch(const std::string& path, const std::string& query);
+  HttpResponse Dispatch(const HttpRequest& request);
 
-  mutable std::mutex mu_;  // guards handlers_
+  mutable std::mutex mu_;  // guards handlers_ and prefix_routes_
   std::map<std::string, HttpHandler> handlers_;
+  std::map<std::string, RouteHandler> prefix_routes_;
+  std::atomic<size_t> max_body_bytes_{1 << 20};
   std::thread thread_;
   std::atomic<int> listen_fd_{-1};
   std::atomic<int> port_{-1};
@@ -93,6 +138,8 @@ class HttpExporter {
 class HttpExporter {
  public:
   void Handle(const std::string&, HttpHandler) {}
+  void HandlePrefix(const std::string&, RouteHandler) {}
+  void set_max_body_bytes(size_t) {}
   bool Start(uint16_t) { return false; }
   void Stop() {}
   int port() const { return -1; }

@@ -17,6 +17,7 @@ std::string JobReportsToJson(const std::vector<JobReport>& reports) {
     w.BeginObject();
     w.Field("id", r.id);
     w.Field("name", std::string_view(r.name));
+    w.Field("tenant", std::string_view(r.tenant));
     w.Field("state", std::string_view(JobStateName(r.state)));
     w.Field("rounds", r.rounds);
     w.Field("partitions_done", static_cast<uint64_t>(r.partitions_done));
@@ -42,19 +43,65 @@ JobScheduler::~JobScheduler() {
   }
 }
 
+JobScheduler::Tenant& JobScheduler::TenantLocked(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    Tenant t;
+    auto configured = opts_.tenants.find(name);
+    t.quota = configured != opts_.tenants.end() ? configured->second : opts_.default_quota;
+    if (!(t.quota.weight > 0.0)) {
+      t.quota.weight = 1.0;  // a zero/negative weight would wedge fair share
+    }
+    it = tenants_.emplace(name, std::move(t)).first;
+  }
+  return it->second;
+}
+
 JobId JobScheduler::Submit(std::unique_ptr<ScheduledJob> job) {
+  SubmitOutcome outcome = TrySubmit(std::move(job), "");
+  XS_CHECK(outcome.accepted) << "Submit rejected: " << outcome.reason
+                             << " (use TrySubmit for quota-bearing tenants)";
+  return outcome.id;
+}
+
+SubmitOutcome JobScheduler::TrySubmit(std::unique_ptr<ScheduledJob> job,
+                                      const std::string& tenant) {
   XS_CHECK(job != nullptr);
   std::lock_guard<std::mutex> lk(mu_);
+  Tenant& t = TenantLocked(tenant);
+  SubmitOutcome outcome;
+  if (t.quota.max_queued > 0 && t.queued >= t.quota.max_queued) {
+    outcome.reason = "tenant queue full (" + std::to_string(t.quota.max_queued) + " queued)";
+  } else if (t.quota.memory_share > 0.0 && opts_.memory_budget_bytes > 0) {
+    uint64_t cap = static_cast<uint64_t>(t.quota.memory_share *
+                                         static_cast<double>(opts_.memory_budget_bytes));
+    uint64_t fixed = job->FixedBytes();
+    if (fixed > cap) {
+      outcome.reason = "job fixed footprint " + std::to_string(fixed) +
+                       "B exceeds tenant memory share " + std::to_string(cap) + "B";
+    }
+  }
+  if (!outcome.reason.empty()) {
+    ++t.rejected;
+    ++stats_.jobs_rejected;
+    obs::MetricsRegistry::Global().counter("scheduler.jobs_rejected").Add();
+    return outcome;  // job destroyed on return
+  }
   JobId id = next_id_++;
   Record rec;
   rec.name = job->name();
+  rec.tenant = tenant;
   rec.state = JobState::kQueued;
   rec.submit_seconds = clock_.Seconds();
   records_.emplace(id, std::move(rec));
-  pending_.push_back(PendingJob{id, std::move(job)});
+  pending_.push_back(PendingJob{id, tenant, std::move(job)});
+  ++t.queued;
+  ++t.submitted;
   ++stats_.jobs_submitted;
   cv_.notify_all();
-  return id;
+  outcome.accepted = true;
+  outcome.id = id;
+  return outcome;
 }
 
 JobState JobScheduler::Poll(JobId id) const {
@@ -136,10 +183,31 @@ SchedulerStats JobScheduler::stats() const {
   return snapshot;
 }
 
+std::vector<TenantStats> JobScheduler::tenant_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStats s;
+    s.tenant = name;
+    s.weight = t.quota.weight;
+    s.deficit = t.deficit;
+    s.queued = t.queued;
+    s.running = t.running;
+    s.submitted = t.submitted;
+    s.rejected = t.rejected;
+    s.completed = t.completed;
+    s.cancelled = t.cancelled;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 JobReport JobScheduler::ReportLocked(JobId id, const Record& rec) const {
   JobReport report;
   report.id = id;
   report.name = rec.name;
+  report.tenant = rec.tenant;
   report.state = rec.state;
   report.rounds = rec.rounds;
   report.partitions_done = rec.partitions_done;
@@ -196,6 +264,9 @@ void JobScheduler::ApplyCancellations() {
       auto pending = std::find_if(pending_.begin(), pending_.end(),
                                   [id](const PendingJob& p) { return p.id == id; });
       if (pending != pending_.end()) {
+        Tenant& t = TenantLocked(pending->tenant);
+        --t.queued;
+        ++t.cancelled;
         doomed.push_back(std::move(pending->job));
         pending_.erase(pending);
         Record& rec = records_[id];
@@ -221,23 +292,84 @@ void JobScheduler::AdmitPending() {
   std::vector<PendingJob> admitted;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // One admission slot per loop iteration: deposit 1.0 credit split by
+    // weight across the eligible waiting tenants, then the largest deficit
+    // admits its oldest job and pays the full 1.0. Deposits equal charges,
+    // so deficits are conserved and long-run shares match the weights.
     while (!pending_.empty()) {
-      PendingJob& front = pending_.front();
-      uint64_t fixed = front.job->FixedBytes();
-      bool force = active_.empty() && admitted.empty();
-      bool fits = opts_.memory_budget_bytes == 0 ||
-                  fixed_in_use_ + fixed <= opts_.memory_budget_bytes;
-      if (!fits && !force) {
-        break;  // FIFO admission: later (smaller) jobs wait rather than starve this one
+      if (opts_.max_active_jobs > 0 &&
+          active_count_ + admitted.size() >= opts_.max_active_jobs) {
+        break;
       }
-      if (!fits) {
-        XS_LOG(Warning) << "job '" << front.job->name() << "' fixed footprint " << fixed
-                        << "B exceeds the scheduler budget "
-                        << opts_.memory_budget_bytes << "B; admitting it alone";
+      // Each waiting tenant's candidate is its oldest pending job (emplace
+      // keeps the first, i.e. lowest, index per tenant).
+      std::map<std::string, size_t> fronts;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        fronts.emplace(pending_[i].tenant, i);
       }
-      fixed_in_use_ += fixed;
-      admitted.push_back(std::move(front));
-      pending_.pop_front();
+      double eligible_weight = 0.0;
+      std::vector<std::pair<std::string, size_t>> eligible;
+      for (const auto& [name, idx] : fronts) {
+        Tenant& t = TenantLocked(name);
+        if (t.quota.max_running > 0 && t.running >= t.quota.max_running) {
+          continue;  // quota-blocked tenants sit out the slot (and its credit)
+        }
+        uint64_t fixed = pending_[idx].job->FixedBytes();
+        bool fits = opts_.memory_budget_bytes == 0 ||
+                    fixed_in_use_ + fixed <= opts_.memory_budget_bytes;
+        if (!fits) {
+          continue;
+        }
+        eligible.emplace_back(name, idx);
+        eligible_weight += t.quota.weight;
+      }
+      size_t pick = pending_.size();
+      if (eligible.empty()) {
+        // Nothing fits. With jobs running (or already admitted this
+        // boundary) the waiters simply try again at the next boundary; with
+        // the scheduler otherwise idle, refusing would deadlock the queue,
+        // so the oldest quota-free job is admitted over budget (the
+        // pre-tenant "big job alone" escape hatch, warning preserved).
+        if (active_count_ + admitted.size() > 0) {
+          break;
+        }
+        for (size_t i = 0; i < pending_.size(); ++i) {
+          Tenant& t = TenantLocked(pending_[i].tenant);
+          if (t.quota.max_running > 0 && t.running >= t.quota.max_running) {
+            continue;
+          }
+          pick = i;
+          break;
+        }
+        if (pick == pending_.size()) {
+          break;  // every tenant is at max_running with nothing active: impossible
+                  // to make progress here, retirements will reopen slots
+        }
+        XS_LOG(Warning) << "job '" << pending_[pick].job->name() << "' fixed footprint "
+                        << pending_[pick].job->FixedBytes()
+                        << "B exceeds the scheduler budget " << opts_.memory_budget_bytes
+                        << "B; admitting it alone";
+      } else {
+        const std::string* best = nullptr;
+        for (const auto& [name, idx] : eligible) {
+          Tenant& t = TenantLocked(name);
+          t.deficit += t.quota.weight / eligible_weight;
+          // Ties break toward the oldest waiting job, keeping single-tenant
+          // workloads exactly FIFO.
+          if (best == nullptr || t.deficit > tenants_.at(*best).deficit ||
+              (t.deficit == tenants_.at(*best).deficit && idx < pick)) {
+            best = &name;
+            pick = idx;
+          }
+        }
+        tenants_.at(*best).deficit -= 1.0;
+      }
+      Tenant& t = TenantLocked(pending_[pick].tenant);
+      --t.queued;
+      ++t.running;
+      fixed_in_use_ += pending_[pick].job->FixedBytes();
+      admitted.push_back(std::move(pending_[pick]));
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(pick));
     }
   }
   if (admitted.empty()) {
@@ -261,7 +393,7 @@ void JobScheduler::AdmitPending() {
       ++active_count_;
     }
     obs::MetricsRegistry::Global().counter("scheduler.jobs_admitted").Add();
-    active_.push_back(ActiveJob{p.id, std::move(p.job), cursor_, fixed, 0});
+    active_.push_back(ActiveJob{p.id, std::move(p.tenant), std::move(p.job), cursor_, fixed, 0});
   }
   // Split the budget before the newcomers' first BeginRound so their share
   // lands on iteration 1 (already running jobs pick theirs up at their next
@@ -294,10 +426,16 @@ void JobScheduler::RetireActive(size_t index, JobState final_state) {
     }
     fixed_in_use_ -= std::min(fixed_in_use_, aj.fixed_bytes);
     --active_count_;
+    // Quota release: the tenant's running slot frees here, at retirement,
+    // so a follow-on job can admit at this very boundary.
+    Tenant& t = TenantLocked(aj.tenant);
+    --t.running;
     if (final_state == JobState::kDone) {
       ++stats_.jobs_completed;
+      ++t.completed;
     } else {
       ++stats_.jobs_cancelled;
+      ++t.cancelled;
     }
   }
   ResplitBudget();

@@ -7,8 +7,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <random>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -388,6 +391,218 @@ TEST(SchedulerTest, RandomizedSubmitCancelStressAgainstOracles) {
     }
   }
   EXPECT_EQ(h.update_dev.executor().in_flight(), 0u);
+}
+
+// ---- Fair-share admission ---------------------------------------------------
+
+// Helpers for the fair-share tests: cheap in-memory jobs on a small graph,
+// driven one admission slot at a time (max_active_jobs=1 makes admission
+// order directly observable as the order jobs enter kRunning).
+struct FairShareHarness {
+  explicit FairShareHarness(SchedulerOptions opts, uint64_t seed = 31)
+      : edges(TestGraph(seed, /*scale=*/8)),
+        info(ScanEdges(edges)),
+        pool(2),
+        layout(info.num_vertices, 4),
+        source(pool, layout, edges),
+        sched(source, opts) {}
+
+  JobId Submit(const std::string& tenant, const std::string& spec = "bfs:src=0") {
+    auto out = std::make_shared<JobOutput>();
+    SubmitOutcome o = sched.TrySubmit(MakeMemoryJob(ParseJobSpec(spec), source, out), tenant);
+    EXPECT_TRUE(o.accepted) << o.reason;
+    tenant_of[o.id] = tenant;
+    return o.id;
+  }
+
+  // Drives everything, recording each job's tenant in the order the jobs
+  // entered kRunning.
+  std::vector<std::string> DriveRecordingAdmissions() {
+    std::vector<std::string> order;
+    std::set<JobId> seen;
+    bool more = true;
+    while (more) {
+      more = sched.PumpOne();
+      for (const JobReport& r : sched.reports()) {
+        if (r.state != JobState::kQueued && seen.insert(r.id).second) {
+          order.push_back(tenant_of[r.id]);
+        }
+      }
+    }
+    return order;
+  }
+
+  EdgeList edges;
+  GraphInfo info;
+  ThreadPool pool;
+  PartitionLayout layout;
+  MemoryScanSource source;
+  JobScheduler sched;
+  std::map<JobId, std::string> tenant_of;
+};
+
+TEST(SchedulerFairShareTest, WeightedSharesConvergeToConfiguredRatios) {
+  SchedulerOptions opts;
+  opts.max_active_jobs = 1;
+  TenantQuota heavy;
+  heavy.weight = 3.0;
+  opts.tenants["heavy"] = heavy;
+  FairShareHarness h(opts);
+
+  // Both tenants flood: 8 jobs each, interleaved submissions.
+  for (int i = 0; i < 8; ++i) {
+    h.Submit("heavy");
+    h.Submit("light");
+  }
+  std::vector<std::string> order = h.DriveRecordingAdmissions();
+  ASSERT_EQ(order.size(), 16u);
+
+  // Weighted deficit with conserved credit admits exactly 3 heavy per light
+  // while both stay backlogged: 6 of the first 8 slots are heavy.
+  int heavy_in_first_8 = 0;
+  for (int i = 0; i < 8; ++i) {
+    heavy_in_first_8 += order[static_cast<size_t>(i)] == "heavy" ? 1 : 0;
+  }
+  EXPECT_EQ(heavy_in_first_8, 6) << "admission order diverged from the 3:1 weights";
+
+  for (const auto& [id, tenant] : h.tenant_of) {
+    EXPECT_EQ(h.sched.Poll(id), JobState::kDone);
+    EXPECT_EQ(h.sched.report(id).tenant, tenant);  // tenant surfaces in reports
+  }
+  // tenant_stats mirrors the outcome; conserved deficits stay bounded.
+  for (const TenantStats& t : h.sched.tenant_stats()) {
+    EXPECT_EQ(t.completed, 8u) << t.tenant;
+    EXPECT_EQ(t.running, 0u) << t.tenant;
+    EXPECT_LT(std::abs(t.deficit), 4.0) << t.tenant;
+  }
+  // The JSON payload carries the tenant key (the /v1 and /jobs consumers).
+  EXPECT_NE(JobReportsToJson(h.sched.reports()).find("\"tenant\":\"heavy\""),
+            std::string::npos);
+}
+
+TEST(SchedulerFairShareTest, FloodingTenantCannotStarveAnother) {
+  SchedulerOptions opts;
+  opts.max_active_jobs = 1;
+  FairShareHarness h(opts);
+
+  // Tenant "flood" piles up a deep backlog and gets its first job running.
+  std::vector<JobId> flood;
+  for (int i = 0; i < 10; ++i) {
+    flood.push_back(h.Submit("flood"));
+  }
+  ASSERT_TRUE(h.sched.PumpOne());
+  ASSERT_EQ(h.sched.Poll(flood[0]), JobState::kRunning);
+
+  // A late-arriving equal-weight tenant must be admitted within
+  // ceil(total_weight / weight) = 2 admission slots — bounded wait, no
+  // aging, regardless of the 9 flooding jobs still queued.
+  JobId victim = h.Submit("victim");
+  std::vector<std::string> order = h.DriveRecordingAdmissions();
+  size_t victim_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == "victim") {
+      victim_pos = i;
+      break;
+    }
+  }
+  // order[0] is the already-running flood job; the victim may be preceded by
+  // at most one more flood admission.
+  EXPECT_LE(victim_pos, 2u) << "victim waited " << victim_pos << " admissions";
+  EXPECT_EQ(h.sched.Poll(victim), JobState::kDone);
+  EXPECT_EQ(h.sched.stats().jobs_completed, 11u);
+}
+
+TEST(SchedulerFairShareTest, MaxRunningQuotaEnforcedAndReleasedOnRetirement) {
+  SchedulerOptions opts;
+  TenantQuota capped;
+  capped.max_running = 2;
+  opts.tenants["capped"] = capped;
+  FairShareHarness h(opts);
+
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(h.Submit("capped"));
+  }
+  // At every boundary the tenant holds at most 2 running slots, yet all 5
+  // jobs eventually complete — retirement releases the quota.
+  bool more = true;
+  while (more) {
+    more = h.sched.PumpOne();
+    uint32_t running = 0;
+    for (JobId id : ids) {
+      running += h.sched.Poll(id) == JobState::kRunning ? 1 : 0;
+    }
+    EXPECT_LE(running, 2u);
+  }
+  for (JobId id : ids) {
+    EXPECT_EQ(h.sched.Poll(id), JobState::kDone);
+  }
+  EXPECT_EQ(h.sched.stats().jobs_completed, 5u);
+}
+
+TEST(SchedulerFairShareTest, MaxQueuedQuotaRejectsAtSubmitAndRecovers) {
+  SchedulerOptions opts;
+  TenantQuota shallow;
+  shallow.max_queued = 2;
+  opts.tenants["shallow"] = shallow;
+  FairShareHarness h(opts);
+
+  h.Submit("shallow");
+  h.Submit("shallow");
+  auto out = std::make_shared<JobOutput>();
+  SubmitOutcome rejected =
+      h.sched.TrySubmit(MakeMemoryJob(ParseJobSpec("bfs:src=0"), h.source, out), "shallow");
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_NE(rejected.reason.find("queue full"), std::string::npos) << rejected.reason;
+  EXPECT_EQ(h.sched.stats().jobs_rejected, 1u);
+
+  // Draining the queue reopens it.
+  h.sched.RunAll();
+  JobId late = h.Submit("shallow");
+  h.sched.RunAll();
+  EXPECT_EQ(h.sched.Poll(late), JobState::kDone);
+  for (const TenantStats& t : h.sched.tenant_stats()) {
+    EXPECT_EQ(t.rejected, 1u);
+    EXPECT_EQ(t.completed, 3u);
+  }
+}
+
+TEST(SchedulerFairShareTest, MemoryShareQuotaBoundsPerJobFootprint) {
+  EdgeList edges = TestGraph(37);
+  DeviceHarness h(edges);
+  DeviceJobConfig cfg = h.SpillHeavyConfig();
+  uint64_t fixed = 0;
+  {
+    auto probe = MakeDeviceJob(ParseJobSpec("wcc"), *h.source, h.update_dev, h.vertex_dev,
+                               cfg, "probe", nullptr);
+    fixed = probe->FixedBytes();
+  }
+  SchedulerOptions opts;
+  opts.memory_budget_bytes = 2 * fixed;
+  TenantQuota small;
+  small.memory_share = 0.25;  // cap = fixed / 2 < fixed: every job too big
+  opts.tenants["small"] = small;
+
+  JobScheduler sched(*h.source, opts);
+  auto out = std::make_shared<JobOutput>();
+  SubmitOutcome rejected = sched.TrySubmit(
+      MakeDeviceJob(ParseJobSpec("wcc"), *h.source, h.update_dev, h.vertex_dev, cfg,
+                    "small0", out),
+      "small");
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_NE(rejected.reason.find("memory share"), std::string::npos) << rejected.reason;
+
+  // An unconstrained tenant submits the same job shape successfully.
+  auto ok_out = std::make_shared<JobOutput>();
+  SubmitOutcome ok = sched.TrySubmit(
+      MakeDeviceJob(ParseJobSpec("wcc"), *h.source, h.update_dev, h.vertex_dev, cfg,
+                    "roomy0", ok_out),
+      "roomy");
+  ASSERT_TRUE(ok.accepted) << ok.reason;
+  sched.RunAll();
+  EXPECT_EQ(sched.Poll(ok.id), JobState::kDone);
+  ExpectWccMatches(*ok_out, edges, h.info.num_vertices);
+  EXPECT_EQ(sched.stats().jobs_rejected, 1u);
 }
 
 TEST(SchedulerTest, JobSpecParsing) {
